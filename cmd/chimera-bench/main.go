@@ -1,0 +1,120 @@
+// chimera-bench regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	chimera-bench -table 1              # Table 1 (benchmark inventory)
+//	chimera-bench -table 2              # Table 2 (record/replay, 4 workers)
+//	chimera-bench -figure 5             # Figure 5 (overhead per opt set)
+//	chimera-bench -figure 6             # Figure 6 (wl ops / mem ops)
+//	chimera-bench -figure 7             # Figure 7 (logging vs contention)
+//	chimera-bench -figure 8             # Figure 8 (2/4/8 workers)
+//	chimera-bench -figure sens          # §7.3 profile sensitivity
+//	chimera-bench -all                  # everything
+//	chimera-bench -bench radix -table 2 # restrict to one benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench/harness"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "", "regenerate a table: 1 or 2")
+		figure  = flag.String("figure", "", "regenerate a figure: 5, 6, 7, 8, or sens")
+		all     = flag.Bool("all", false, "regenerate everything")
+		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
+		workers = flag.Int("workers", 4, "evaluation worker count for tables/figures 5-7")
+	)
+	flag.Parse()
+
+	cfg := harness.Default()
+	cfg.Workers = *workers
+
+	var names []string
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+
+	if !*all && *table == "" && *figure == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	newSuite := func() *harness.Suite {
+		fmt.Fprintln(os.Stderr, "preparing benchmarks (analyze + profile + instrument)...")
+		s, err := harness.NewSuite(cfg, names...)
+		if err != nil {
+			fatal(err)
+		}
+		return s
+	}
+
+	var s *harness.Suite
+	suite := func() *harness.Suite {
+		if s == nil {
+			s = newSuite()
+		}
+		return s
+	}
+
+	if *all || *table == "1" {
+		fmt.Println(suite().Table1())
+	}
+	if *all || *table == "2" {
+		_, out, err := suite().Table2()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if *all || *figure == "5" {
+		_, out, err := suite().Figure5()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if *all || *figure == "6" {
+		_, out, err := suite().Figure6()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if *all || *figure == "7" {
+		_, out, err := suite().Figure7()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if *all || *figure == "8" {
+		_, out, err := suite().Figure8(nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if *all || *figure == "sens" {
+		sensNames := names
+		if len(sensNames) == 0 {
+			sensNames = []string{"pfscan", "water"}
+		}
+		_, out, err := harness.ProfileSensitivity(sensNames, 10)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chimera-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// minic runs a MiniC program natively on the simulated multicore VM.
+//
+// Usage:
+//
+//	minic prog.mc                # run with an empty world
+//	minic -seed 7 prog.mc        # different schedule seed
+//	minic -disasm prog.mc        # print bytecode instead of running
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/minic/parser"
+	"repro/internal/minic/types"
+	"repro/internal/oskit"
+	"repro/internal/vm"
+)
+
+func main() {
+	var (
+		seed   = flag.Uint64("seed", 1, "schedule seed")
+		disasm = flag.Bool("disasm", false, "print bytecode and exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	file, err := parser.Parse(flag.Arg(0), string(src))
+	if err != nil {
+		fatal(err)
+	}
+	info, err := types.Check(file)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := vm.Compile(info)
+	if err != nil {
+		fatal(err)
+	}
+	if *disasm {
+		fmt.Print(prog.Disasm())
+		return
+	}
+	w := oskit.NewWorld(*seed)
+	w.AddFile(1, make([]int64, 8))
+	r := vm.Run(prog, vm.Config{Inputs: vm.LiveInputs{OS: w}, Seed: *seed})
+	os.Stdout.Write(r.Output)
+	if r.Err != nil {
+		fatal(r.Err)
+	}
+	fmt.Fprintf(os.Stderr, "exit=%d makespan=%d instrs=%d threads=%d\n",
+		r.ExitCode, r.Makespan, r.Counters.Instrs, r.Threads)
+	os.Exit(int(r.ExitCode))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minic:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestAllBenchmarksLoadAndRun checks that every benchmark parses, checks,
+// compiles, and runs to completion in both environments, and that RELAY
+// finds race pairs in each (they all contain at least false races).
+func TestAllBenchmarksLoadAndRun(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p, err := core.Load(b.Name, b.FullSource())
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if len(p.Races.Pairs) == 0 {
+				t.Errorf("RELAY found no race pairs in %s; every benchmark should have some", b.Name)
+			}
+			// Profile environment.
+			rp := p.RunNative(core.RunConfig{World: b.ProfileWorld(0), Seed: 1})
+			if rp.Err != nil {
+				t.Fatalf("profile-env run: %v\noutput: %s", rp.Err, rp.Output)
+			}
+			// Eval environment with 4 workers.
+			re := p.RunNative(core.RunConfig{World: b.EvalWorld(4), Seed: 1})
+			if re.Err != nil {
+				t.Fatalf("eval-env run: %v\noutput: %s", re.Err, re.Output)
+			}
+			if re.Threads < 5 {
+				t.Errorf("eval run used %d threads, want >= 5 (4 workers + main)", re.Threads)
+			}
+			if re.Makespan <= rp.Makespan {
+				t.Errorf("eval makespan %d not larger than profile %d", re.Makespan, rp.Makespan)
+			}
+			t.Logf("%s: LOC=%d races=%d eval: instrs=%d makespan=%d memops=%d syncops=%d inputs=%d",
+				b.Name, b.LOC(), len(p.Races.Pairs), re.Counters.Instrs, re.Makespan,
+				re.Counters.MemOps, re.Counters.SyncOps, re.Counters.InputOps)
+		})
+	}
+}
+
+// TestBenchmarkDeterminism: each native benchmark run is deterministic for
+// a fixed seed (the VM contract), and the scientific programs additionally
+// produce the same output across seeds when race-free in practice.
+func TestBenchmarkDeterminism(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p, err := core.Load(b.Name, b.FullSource())
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			r1 := p.RunNative(core.RunConfig{World: b.EvalWorld(2), Seed: 9})
+			r2 := p.RunNative(core.RunConfig{World: b.EvalWorld(2), Seed: 9})
+			if r1.Err != nil || r2.Err != nil {
+				t.Fatalf("runs failed: %v %v", r1.Err, r2.Err)
+			}
+			if r1.Hash64() != r2.Hash64() {
+				t.Errorf("same seed, different results")
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("radix") == nil || ByName("apache") == nil {
+		t.Fatalf("ByName lookup failed")
+	}
+	if ByName("nope") != nil {
+		t.Fatalf("unknown name should be nil")
+	}
+}
+
+func TestLOCCounts(t *testing.T) {
+	for _, b := range All() {
+		if b.LOC() < 50 {
+			t.Errorf("%s suspiciously small: %d LOC", b.Name, b.LOC())
+		}
+	}
+}

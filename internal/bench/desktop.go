@@ -1,0 +1,413 @@
+package bench
+
+import "repro/internal/oskit"
+
+// ---------------------------------------------------------------------------
+// aget — segmented parallel downloader (Table 1: profile 2 workers / 29KB
+// from local network, eval N workers / 10MB from ftp.gnu.org; scaled).
+// Each worker drains its own connection into a disjoint slice of a shared
+// buffer; the shared `progress` counter is updated without a lock — the
+// real aget's benign race. Recording cost hides under network waits
+// (paper §7.3: "for network applications like aget ... recording cost
+// overlaps with I/O wait").
+
+const agetSrc = `
+int cfg[8];
+int nworkers;
+int segwords;
+int chunk;
+
+int buf[32768];
+int conns[8];
+int progress;
+int done_flag[8];
+
+void download(int id) {
+    int conn = conns[id];
+    int seg = segwords;
+    int ch = chunk;
+    int base = id * seg;
+    int got = 0;
+    while (got < seg) {
+        int want = ch;
+        if (seg - got < want) { want = seg - got; }
+        int *dst = buf;
+        int n = recv(conn, dst + base + got, want);
+        if (n <= 0) { break; }
+        got = got + n;
+        progress = progress + n;
+    }
+    done_flag[id] = got;
+}
+
+int main(void) {
+    int fd = open(1);
+    read(fd, cfg, 8);
+    close(fd);
+    nworkers = cfg[0];
+    segwords = cfg[1];
+    chunk = cfg[2];
+
+    for (int w = 0; w < nworkers; w++) {
+        conns[w] = accept(0);
+        check(conns[w] >= 0);
+    }
+    int tids[8];
+    for (int w = 0; w < nworkers; w++) {
+        tids[w] = spawn(download, w);
+    }
+    int total = 0;
+    for (int w = 0; w < nworkers; w++) {
+        join(tids[w]);
+        total = total + done_flag[w];
+    }
+    check(total == nworkers * segwords);
+    int out = open(2);
+    write(out, buf, total);
+    close(out);
+    int hsum = 2166136261;
+    for (int hi = 0; hi < total; hi++) {
+        hsum = hsum ^ buf[hi];
+        hsum = hsum * 16777619;
+        hsum = hsum & 1073741823;
+    }
+    print(hsum);
+    print(progress);
+    return 0;
+}
+`
+
+// Aget returns the aget benchmark.
+func Aget() *Benchmark {
+	mkWorld := func(seed uint64, workers, segwords, chunk int64) *oskit.World {
+		w := cfgWorld(seed, []int64{workers, segwords, chunk, 0, 0, 0, 0, 0})
+		w.AddFile(2, nil) // output sink
+		for i := int64(0); i < workers; i++ {
+			seg := make([]int64, segwords)
+			x := seed + uint64(i)*977
+			for j := range seg {
+				x = x*6364136223846793005 + 1442695040888963407
+				seg[j] = int64(x>>40) & 0xffff
+			}
+			// Connections arrive staggered, like parallel HTTP ranges.
+			w.AddConn(500+i*700, seg)
+		}
+		return w
+	}
+	return &Benchmark{
+		Name:   "aget",
+		Class:  "desktop",
+		Source: agetSrc,
+		ProfileWorld: func(run int) *oskit.World {
+			return mkWorld(uint64(run)+1, 2, 128, 64)
+		},
+		EvalWorld: func(workers int) *oskit.World {
+			return mkWorld(11, int64(workers), 4096, 256)
+		},
+		ProfileRuns: 6,
+		ProfileEnv:  "2 workers, 128-word segments from local network",
+		EvalEnv:     "N workers, 4096-word segments, chunked transfers",
+	}
+}
+
+// ---------------------------------------------------------------------------
+// pfscan — parallel file scanner (Table 1: profile 2 workers / 22 small
+// files, eval N workers / 8 log files; scaled). A mutex+condvar work queue
+// feeds workers; the queue is filled by unlocked initialization code before
+// any worker exists and the totals are read by unlocked reporting code
+// after every worker has been joined — the fork/join false races that make
+// pfscan the paper's function-lock showcase (§7.3: "most data-races are in
+// function-pairs ordered by some non-mutex synchronization operation").
+
+const pfscanSrc = `
+int cfg[8];
+int nworkers;
+int nfiles;
+int pattern;
+
+int queue[64];
+int qhead;
+int qtail;
+int qlock;
+int qcond;
+
+int slock;
+int total_matches;
+int max_matches;
+int max_file;
+int files_done;
+
+int bufs[4096];
+
+void init_queue(void) {
+    int nf = nfiles;
+    for (int i = 0; i < nf; i++) {
+        queue[qtail] = 10 + i;
+        qtail = qtail + 1;
+    }
+    int nw = nworkers;
+    for (int w = 0; w < nw; w++) {
+        queue[qtail] = -1;
+        qtail = qtail + 1;
+    }
+}
+
+int grab_work(void) {
+    lock(&qlock);
+    while (qhead == qtail) {
+        cond_wait(&qcond, &qlock);
+    }
+    int fid = queue[qhead];
+    qhead = qhead + 1;
+    unlock(&qlock);
+    return fid;
+}
+
+int scan_buffer(int base, int n, int pat) {
+    int c = 0;
+    for (int j = 0; j < n; j++) {
+        if (bufs[base + j] == pat) {
+            c = c + 1;
+        }
+    }
+    return c;
+}
+
+void update_stats(int c, int fid) {
+    lock(&slock);
+    total_matches = total_matches + c;
+    if (c > max_matches) {
+        max_matches = c;
+        max_file = fid;
+    }
+    unlock(&slock);
+}
+
+void bump_done(void) {
+    files_done = files_done + 1;
+}
+
+void scan_worker(int id) {
+    int base = id * 512;
+    int pat = pattern;
+    while (1) {
+        int fid = grab_work();
+        if (fid < 0) { break; }
+        int fd = open(fid);
+        if (fd < 0) { continue; }
+        int c = 0;
+        int n = read(fd, &bufs[base], 512);
+        while (n > 0) {
+            c = c + scan_buffer(base, n, pat);
+            n = read(fd, &bufs[base], 512);
+        }
+        close(fd);
+        update_stats(c, fid);
+        bump_done();
+    }
+}
+
+void report(void) {
+    print(total_matches);
+    print(max_matches);
+    print(max_file);
+    print(files_done);
+}
+
+int main(void) {
+    int fd = open(1);
+    read(fd, cfg, 8);
+    close(fd);
+    nworkers = cfg[0];
+    nfiles = cfg[1];
+    pattern = cfg[2];
+
+    init_queue();
+    int tids[8];
+    for (int w = 0; w < nworkers; w++) {
+        tids[w] = spawn(scan_worker, w);
+    }
+    lock(&qlock);
+    cond_broadcast(&qcond);
+    unlock(&qlock);
+    for (int w = 0; w < nworkers; w++) {
+        join(tids[w]);
+    }
+    report();
+    return 0;
+}
+`
+
+// Pfscan returns the pfscan benchmark.
+func Pfscan() *Benchmark {
+	mkWorld := func(seed uint64, workers, nfiles, fwords, pattern int64) *oskit.World {
+		w := cfgWorld(seed, []int64{workers, nfiles, pattern, 0, 0, 0, 0, 0})
+		for i := int64(0); i < nfiles; i++ {
+			data := make([]int64, fwords)
+			x := seed*31 + uint64(i)*1299721
+			for j := range data {
+				x = x*6364136223846793005 + 1442695040888963407
+				data[j] = int64(x>>45) & 127
+			}
+			w.AddFile(10+i, data)
+		}
+		return w
+	}
+	return &Benchmark{
+		Name:   "pfscan",
+		Class:  "desktop",
+		Source: pfscanSrc,
+		ProfileWorld: func(run int) *oskit.World {
+			return mkWorld(uint64(run)+1, 2, 4, 96, 42)
+		},
+		EvalWorld: func(workers int) *oskit.World {
+			return mkWorld(17, int64(workers), 16, 2048, 42)
+		},
+		ProfileRuns: 6,
+		ProfileEnv:  "2 workers, 4 small files",
+		EvalEnv:     "N workers, 16 log files of 2048 words",
+	}
+}
+
+// ---------------------------------------------------------------------------
+// pbzip2 — block-parallel compressor (Table 1: profile 2 workers / 219KB,
+// eval N workers / 16MB file; scaled). Blocks are enqueued by the
+// producer, delta-"compressed" by workers into disjoint output slots
+// (precise loop-lock bounds keep the blocks parallel), and checksummed;
+// the blocks_done counter carries the benign progress race.
+
+const pbzip2Src = `
+int cfg[8];
+int nworkers;
+int nblocks;
+int bwords;
+
+int inblocks[16384];
+int outblocks[16384];
+int outsize[64];
+
+int queue[80];
+int qhead;
+int qtail;
+int qlock;
+int qcond;
+
+int blocks_done;
+
+int grab_block(void) {
+    lock(&qlock);
+    while (qhead == qtail) {
+        cond_wait(&qcond, &qlock);
+    }
+    int b = queue[qhead];
+    qhead = qhead + 1;
+    unlock(&qlock);
+    return b;
+}
+
+void compress_block(int b) {
+    int bw = bwords;
+    int ibase = b * bw;
+    int obase = b * bw;
+    // Delta filter: the affine indexing gives the loop-lock precise
+    // symbolic bounds, so blocks compress in parallel.
+    for (int k = 0; k < bw; k++) {
+        int prev = 0;
+        if (k > 0) { prev = inblocks[ibase + k - 1]; }
+        outblocks[obase + k] = inblocks[ibase + k] - prev;
+    }
+    outsize[b] = bw;
+}
+
+void compress_worker(int id) {
+    while (1) {
+        int b = grab_block();
+        if (b < 0) { break; }
+        compress_block(b);
+        blocks_done = blocks_done + 1;
+    }
+}
+
+int main(void) {
+    int fd = open(1);
+    read(fd, cfg, 8);
+    close(fd);
+    nworkers = cfg[0];
+    nblocks = cfg[1];
+    bwords = cfg[2];
+
+    int dfd = open(10);
+    int got = 0;
+    int n = read(dfd, inblocks, 1024);
+    while (n > 0) {
+        got = got + n;
+        int *dst = inblocks;
+        n = read(dfd, dst + got, 1024);
+    }
+    close(dfd);
+    check(got == nblocks * bwords);
+
+    for (int b = 0; b < nblocks; b++) {
+        queue[qtail] = b;
+        qtail = qtail + 1;
+    }
+    for (int w = 0; w < nworkers; w++) {
+        queue[qtail] = -1;
+        qtail = qtail + 1;
+    }
+
+    int tids[8];
+    for (int w = 0; w < nworkers; w++) {
+        tids[w] = spawn(compress_worker, w);
+    }
+    lock(&qlock);
+    cond_broadcast(&qcond);
+    unlock(&qlock);
+    for (int w = 0; w < nworkers; w++) {
+        join(tids[w]);
+    }
+
+    int total = 0;
+    int nb = nblocks;
+    for (int b = 0; b < nb; b++) {
+        total = total + outsize[b];
+    }
+    check(total == nblocks * bwords);
+    int out = open(2);
+    write(out, outblocks, total);
+    close(out);
+    print(total);
+    print(blocks_done);
+    return 0;
+}
+`
+
+// Pbzip2 returns the pbzip2 benchmark.
+func Pbzip2() *Benchmark {
+	mkWorld := func(seed uint64, workers, nblocks, bwords int64) *oskit.World {
+		w := cfgWorld(seed, []int64{workers, nblocks, bwords, 0, 0, 0, 0, 0})
+		w.AddFile(2, nil)
+		data := make([]int64, nblocks*bwords)
+		x := seed*71 + 5
+		for j := range data {
+			x = x*6364136223846793005 + 1442695040888963407
+			data[j] = int64(x>>44) & 255
+		}
+		w.AddFile(10, data)
+		return w
+	}
+	return &Benchmark{
+		Name:   "pbzip2",
+		Class:  "desktop",
+		Source: pbzip2Src,
+		ProfileWorld: func(run int) *oskit.World {
+			return mkWorld(uint64(run)+1, 2, 4, 64)
+		},
+		EvalWorld: func(workers int) *oskit.World {
+			return mkWorld(23, int64(workers), 32, 512)
+		},
+		ProfileRuns: 6,
+		ProfileEnv:  "2 workers, 4 blocks of 64 words",
+		EvalEnv:     "N workers, 32 blocks of 512 words",
+	}
+}

@@ -1,0 +1,494 @@
+// Package harness drives the full evaluation: it prepares every benchmark
+// (analyze → profile → instrument under each optimization configuration),
+// measures native/record/replay executions on the simulated multicore, and
+// regenerates each table and figure of the paper's evaluation section:
+//
+//	Table 1   benchmarks, LOC, profile/eval environments
+//	Table 2   DRF logs, weak-lock logs by granularity, record/replay
+//	          overheads, compressed log sizes
+//	Figure 5  recording overhead per optimization set
+//	Figure 6  weak-lock operations as a fraction of memory operations
+//	Figure 7  logging vs contention breakdown per weak-lock granularity
+//	Figure 8  scalability over 2/4/8 workers
+//	§7.3      profile-run sensitivity (concurrent-pair saturation)
+//
+// Absolute numbers come from the simulator's cost model; the claims under
+// test are the *relative* ones — which configuration wins, by roughly what
+// factor, and where each benchmark class lands.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/oskit"
+	"repro/internal/profile"
+	"repro/internal/vm"
+	"repro/internal/weaklock"
+)
+
+// ConfigNames lists the optimization configurations of Figure 5, in
+// presentation order.
+var ConfigNames = []string{"instr", "instr+func", "instr+loop", "all"}
+
+// OptionsFor maps a configuration name to instrumenter options.
+func OptionsFor(name string) instrument.Options {
+	switch name {
+	case "instr":
+		return instrument.NaiveOptions()
+	case "instr+func":
+		return instrument.Options{FuncLocks: true}
+	case "instr+loop":
+		return instrument.Options{LoopLocks: true, LoopBodyThreshold: 14}
+	case "all":
+		return instrument.AllOptions()
+	}
+	panic("unknown config " + name)
+}
+
+// Config parameterizes the harness.
+type Config struct {
+	Workers    int    // evaluation worker count (default 4)
+	Seed       uint64 // record seed
+	ReplaySeed uint64
+	HeapWords  int64 // VM heap (smaller than default to keep memory modest)
+}
+
+// Default returns the Table 2 configuration: 4 worker threads.
+func Default() Config {
+	return Config{Workers: 4, Seed: 1234, ReplaySeed: 987654, HeapWords: 1 << 19}
+}
+
+// Prepared caches everything derivable from one benchmark independent of
+// the measured run: the analysis, the profile, and one instrumentation per
+// configuration.
+type Prepared struct {
+	B    *bench.Benchmark
+	Prog *core.Program
+	Conc *profile.Concurrency
+	Inst map[string]*core.Instrumented
+}
+
+// Suite is a set of prepared benchmarks.
+type Suite struct {
+	Cfg   Config
+	Items []*Prepared
+}
+
+// NewSuite prepares the named benchmarks (all of them when names is
+// empty).
+func NewSuite(cfg Config, names ...string) (*Suite, error) {
+	var list []*bench.Benchmark
+	if len(names) == 0 {
+		list = bench.All()
+	} else {
+		for _, n := range names {
+			b := bench.ByName(n)
+			if b == nil {
+				return nil, fmt.Errorf("unknown benchmark %q", n)
+			}
+			list = append(list, b)
+		}
+	}
+	s := &Suite{Cfg: cfg}
+	for _, b := range list {
+		p, err := Prepare(b)
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, p)
+	}
+	return s, nil
+}
+
+// Prepare analyzes, profiles and instruments one benchmark under every
+// configuration.
+func Prepare(b *bench.Benchmark) (*Prepared, error) {
+	prog, err := core.Load(b.Name, b.FullSource())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	conc := prog.ProfileNonConcurrency(b.ProfileWorld, b.ProfileRuns, 10_000)
+	p := &Prepared{B: b, Prog: prog, Conc: conc, Inst: make(map[string]*core.Instrumented)}
+	for _, cn := range ConfigNames {
+		ip, err := prog.Instrument(conc, OptionsFor(cn))
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", b.Name, cn, err)
+		}
+		p.Inst[cn] = ip
+	}
+	return p, nil
+}
+
+// Measurement is one measured configuration of one benchmark.
+type Measurement struct {
+	Bench  string
+	Config string
+
+	NativeMakespan int64
+	RecordMakespan int64
+	ReplayMakespan int64
+
+	RecordOverhead float64
+	ReplayOverhead float64
+
+	// DRF log volumes (Table 2 left columns).
+	Syscalls int // input-log records
+	SyncOps  int // order-log records for original sync
+
+	// Weak-lock log records by granularity (Table 2 middle columns:
+	// instr. / basic blk. / loop / func.).
+	WLLogs [weaklock.NumKinds]int64
+
+	// Dynamic operation counts (Figure 6).
+	MemOps int64
+	WLOps  int64
+
+	// Per-kind logging and contention cycles (Figure 7).
+	LogCycles  [weaklock.NumKinds]int64
+	Contention [weaklock.NumKinds]int64
+
+	// Compressed log sizes in KB (Table 2 right columns).
+	InputLogKB float64
+	OrderLogKB float64
+
+	Timeouts int64
+
+	// ReplayMatches is true when replay bit-matched the recording.
+	ReplayMatches bool
+	ReplayErr     string
+}
+
+// Measure runs native + record + replay for one benchmark/config at the
+// given worker count.
+func (s *Suite) Measure(p *Prepared, configName string, workers int) (*Measurement, error) {
+	ip := p.Inst[configName]
+	m := &Measurement{Bench: p.B.Name, Config: configName}
+
+	rcNative := core.RunConfig{World: p.B.EvalWorld(workers), Seed: s.Cfg.Seed, HeapWords: s.Cfg.HeapWords}
+	native := p.Prog.RunNative(rcNative)
+	if native.Err != nil {
+		return nil, fmt.Errorf("%s native: %w", p.B.Name, native.Err)
+	}
+	m.NativeMakespan = native.Makespan
+
+	rcRec := core.RunConfig{World: p.B.EvalWorld(workers), Seed: s.Cfg.Seed, Table: ip.Table, HeapWords: s.Cfg.HeapWords}
+	recRes, log := ip.Record(rcRec)
+	if recRes.Err != nil {
+		return nil, fmt.Errorf("%s/%s record: %w", p.B.Name, configName, recRes.Err)
+	}
+	m.RecordMakespan = recRes.Makespan
+	m.RecordOverhead = ratio(recRes.Makespan, native.Makespan)
+	m.Syscalls = log.InputCount()
+	m.SyncOps = log.OrderCount(vm.SyncMutex, vm.SyncBarrier, vm.SyncCond, vm.SyncSpawn)
+	m.WLLogs = recRes.WLStats.Logs
+	m.MemOps = recRes.Counters.MemOps
+	m.WLOps = recRes.WLStats.TotalOps()
+	m.LogCycles = recRes.WLStats.LogCycles
+	m.Contention = recRes.WLStats.Contention
+	m.InputLogKB = log.InputLogKB()
+	m.OrderLogKB = log.OrderLogKB()
+	m.Timeouts = recRes.WLStats.Timeouts
+
+	repRes, err := ip.Replay(log, core.RunConfig{
+		World: p.B.EvalWorld(workers), Seed: s.Cfg.ReplaySeed, Table: ip.Table, HeapWords: s.Cfg.HeapWords,
+	})
+	if err != nil {
+		m.ReplayErr = err.Error()
+	} else {
+		m.ReplayMakespan = repRes.Makespan
+		m.ReplayOverhead = ratio(repRes.Makespan, native.Makespan)
+		m.ReplayMatches = repRes.Hash64() == recRes.Hash64()
+		if !m.ReplayMatches {
+			m.ReplayErr = "replay hash mismatch"
+		}
+	}
+	return m, nil
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// ---------------------------------------------------------------------------
+// Table 1
+
+// Table1 renders the benchmark inventory.
+func (s *Suite) Table1() string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: benchmarks and environments (LOC counts MiniC lines incl. mini-libc)\n")
+	fmt.Fprintf(&sb, "%-8s %-11s %5s  %-45s %s\n", "app", "class", "LOC", "profile environment", "evaluation environment")
+	for _, p := range s.Items {
+		fmt.Fprintf(&sb, "%-8s %-11s %5d  %-45s %s\n",
+			p.B.Name, p.B.Class, p.B.LOC(), p.B.ProfileEnv, p.B.EvalEnv)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 2
+
+// Table2 measures every benchmark in the "all" configuration at the
+// default worker count.
+func (s *Suite) Table2() ([]*Measurement, string, error) {
+	var ms []*Measurement
+	for _, p := range s.Items {
+		m, err := s.Measure(p, "all", s.Cfg.Workers)
+		if err != nil {
+			return nil, "", err
+		}
+		ms = append(ms, m)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 2: record and replay, %d worker threads, all optimizations\n", s.Cfg.Workers)
+	fmt.Fprintf(&sb, "%-8s | %8s %8s | %8s %8s %8s %8s | %7s %7s | %9s %9s | %4s\n",
+		"app", "syscalls", "syncops", "instrlog", "bblog", "looplog", "funclog",
+		"rec.ovh", "rep.ovh", "inlog(KB)", "ordlog(KB)", "rep?")
+	for _, m := range ms {
+		ok := "ok"
+		if !m.ReplayMatches {
+			ok = "FAIL"
+		}
+		fmt.Fprintf(&sb, "%-8s | %8d %8d | %8d %8d %8d %8d | %7.2f %7.2f | %9.1f %9.1f | %4s\n",
+			m.Bench, m.Syscalls, m.SyncOps,
+			m.WLLogs[weaklock.KindInstr], m.WLLogs[weaklock.KindBB],
+			m.WLLogs[weaklock.KindLoop], m.WLLogs[weaklock.KindFunc],
+			m.RecordOverhead, m.ReplayOverhead,
+			m.InputLogKB, m.OrderLogKB, ok)
+	}
+	return ms, sb.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 / Figure 6
+
+// FigureRow is one benchmark's series over configurations.
+type FigureRow struct {
+	Bench  string
+	Values map[string]float64
+}
+
+// Figure5 measures the recording overhead under each configuration.
+func (s *Suite) Figure5() ([]FigureRow, string, error) {
+	rows, err := s.perConfig(func(m *Measurement) float64 { return m.RecordOverhead })
+	if err != nil {
+		return nil, "", err
+	}
+	return rows, renderFigure("Figure 5: normalized recording overhead (x)", rows, "%8.2f"), nil
+}
+
+// Figure6 measures weak-lock operations as a percentage of dynamic memory
+// operations under each configuration.
+func (s *Suite) Figure6() ([]FigureRow, string, error) {
+	rows, err := s.perConfig(func(m *Measurement) float64 {
+		if m.MemOps == 0 {
+			return 0
+		}
+		return 100 * float64(m.WLOps) / float64(m.MemOps)
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	return rows, renderFigure("Figure 6: weak-lock ops as % of memory ops", rows, "%8.3f"), nil
+}
+
+func (s *Suite) perConfig(metric func(*Measurement) float64) ([]FigureRow, error) {
+	var rows []FigureRow
+	for _, p := range s.Items {
+		row := FigureRow{Bench: p.B.Name, Values: make(map[string]float64)}
+		for _, cn := range ConfigNames {
+			m, err := s.Measure(p, cn, s.Cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			row.Values[cn] = metric(m)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func renderFigure(title string, rows []FigureRow, f string) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	fmt.Fprintf(&sb, "%-8s", "app")
+	for _, cn := range ConfigNames {
+		fmt.Fprintf(&sb, " %12s", cn)
+	}
+	sb.WriteByte('\n')
+	var gmean = make(map[string]float64)
+	for _, cn := range ConfigNames {
+		gmean[cn] = 1
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s", r.Bench)
+		for _, cn := range ConfigNames {
+			fmt.Fprintf(&sb, "     "+f, r.Values[cn])
+			if r.Values[cn] > 0 {
+				gmean[cn] *= r.Values[cn]
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if len(rows) > 1 {
+		fmt.Fprintf(&sb, "%-8s", "geomean")
+		for _, cn := range ConfigNames {
+			fmt.Fprintf(&sb, "     "+f, pow(gmean[cn], 1/float64(len(rows))))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func pow(x, e float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, e)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7
+
+// Fig7Row is the per-kind overhead breakdown for one benchmark, as
+// fractions of the native makespan.
+type Fig7Row struct {
+	Bench      string
+	Logging    [weaklock.NumKinds]float64
+	Contention [weaklock.NumKinds]float64
+}
+
+// Figure7 breaks recording overhead into logging and contention per
+// weak-lock granularity (all-optimizations configuration).
+func (s *Suite) Figure7() ([]Fig7Row, string, error) {
+	var rows []Fig7Row
+	for _, p := range s.Items {
+		m, err := s.Measure(p, "all", s.Cfg.Workers)
+		if err != nil {
+			return nil, "", err
+		}
+		r := Fig7Row{Bench: p.B.Name}
+		for k := weaklock.Kind(0); k < weaklock.NumKinds; k++ {
+			r.Logging[k] = ratio(m.LogCycles[k], m.NativeMakespan)
+			r.Contention[k] = ratio(m.Contention[k], m.NativeMakespan)
+		}
+		rows = append(rows, r)
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 7: sources of recording overhead (fraction of native time)\n")
+	fmt.Fprintf(&sb, "%-8s", "app")
+	for k := weaklock.Kind(0); k < weaklock.NumKinds; k++ {
+		fmt.Fprintf(&sb, " %9s-log %9s-wait", k, k)
+	}
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s", r.Bench)
+		for k := weaklock.Kind(0); k < weaklock.NumKinds; k++ {
+			fmt.Fprintf(&sb, " %13.3f %14.3f", r.Logging[k], r.Contention[k])
+		}
+		sb.WriteByte('\n')
+	}
+	return rows, sb.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8
+
+// Fig8Row is the scalability series for one benchmark.
+type Fig8Row struct {
+	Bench     string
+	Overheads map[int]float64 // workers -> record overhead
+}
+
+// Figure8 sweeps worker counts (paper: 2, 4, 8 processors).
+func (s *Suite) Figure8(workerCounts []int) ([]Fig8Row, string, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{2, 4, 8}
+	}
+	var rows []Fig8Row
+	for _, p := range s.Items {
+		r := Fig8Row{Bench: p.B.Name, Overheads: make(map[int]float64)}
+		for _, wc := range workerCounts {
+			m, err := s.Measure(p, "all", wc)
+			if err != nil {
+				return nil, "", err
+			}
+			r.Overheads[wc] = m.RecordOverhead
+		}
+		rows = append(rows, r)
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 8: recording overhead vs worker threads (all opts)\n")
+	fmt.Fprintf(&sb, "%-8s", "app")
+	for _, wc := range workerCounts {
+		fmt.Fprintf(&sb, " %7dw", wc)
+	}
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s", r.Bench)
+		for _, wc := range workerCounts {
+			fmt.Fprintf(&sb, " %8.2f", r.Overheads[wc])
+		}
+		sb.WriteByte('\n')
+	}
+	return rows, sb.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// §7.3 profile sensitivity
+
+// SensitivityRow tracks concurrent-pair saturation per profile run count.
+type SensitivityRow struct {
+	Bench string
+	Pairs []int // pairs observed after run i+1
+}
+
+// ProfileSensitivity reproduces the §7.3 study: the number of concurrent
+// function pairs observed saturates after a few profile runs.
+func ProfileSensitivity(names []string, maxRuns int) ([]SensitivityRow, string, error) {
+	if len(names) == 0 {
+		names = []string{"pfscan", "water"}
+	}
+	if maxRuns == 0 {
+		maxRuns = 10
+	}
+	var rows []SensitivityRow
+	for _, name := range names {
+		b := bench.ByName(name)
+		if b == nil {
+			return nil, "", fmt.Errorf("unknown benchmark %q", name)
+		}
+		prog, err := core.Load(b.Name, b.FullSource())
+		if err != nil {
+			return nil, "", err
+		}
+		row := SensitivityRow{Bench: name}
+		acc := profile.NewConcurrency()
+		for run := 0; run < maxRuns; run++ {
+			r := run
+			one := prog.ProfileNonConcurrency(func(int) *oskit.World {
+				return b.ProfileWorld(r)
+			}, 1, uint64(run)*1000003+7)
+			acc.Merge(one)
+			row.Pairs = append(row.Pairs, acc.PairCount())
+		}
+		rows = append(rows, row)
+	}
+	var sb strings.Builder
+	sb.WriteString("Profile sensitivity (§7.3): concurrent pairs after k profile runs\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s", r.Bench)
+		for _, n := range r.Pairs {
+			fmt.Fprintf(&sb, " %4d", n)
+		}
+		sb.WriteByte('\n')
+	}
+	return rows, sb.String(), nil
+}

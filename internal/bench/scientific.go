@@ -1,0 +1,579 @@
+package bench
+
+import "repro/internal/oskit"
+
+// ---------------------------------------------------------------------------
+// radix — SPLASH-2 radix sort (paper Fig. 4; Table 1: profile 2 workers /
+// 2^8 keys, eval 4 workers / 2^14 keys with sanity check; key counts are
+// scaled to the simulator).
+//
+// Each worker owns a slice of the key array and a private region of the
+// shared rank histogram. The clear loop gets precise symbolic bounds
+// (&rank[base] .. &rank[base+radix-1]); the count loop indexes rank with
+// (key >> shift) & mask, which the bounds grammar cannot express, so it
+// gets an infinite-range loop-lock — both exactly as in the paper's
+// Figure 4. The single-threaded offset/swap phases are inlined into the
+// worker driver (as in the SPLASH original), so radix exercises loop-locks
+// rather than function-locks.
+
+const radixSrc = `
+int cfg[8];
+int nworkers;
+int nkeys;
+int bits;
+int radixsz;
+int npasses;
+int sanity;
+
+int keys0[16384];
+int keys1[16384];
+int rank[2048];
+int offsets[2048];
+int *kf;
+int *kt;
+int bar;
+
+void sort_worker(int id) {
+    int chunk = nkeys / nworkers;
+    int start = id * chunk;
+    int stop = start + chunk;
+    int rsz = radixsz;
+    int base = id * rsz;
+    int mask = rsz - 1;
+    int passes = npasses;
+    int nbits = bits;
+    for (int pass = 0; pass < passes; pass++) {
+        int shift = pass * nbits;
+        for (int j = 0; j < rsz; j++) {
+            rank[base + j] = 0;
+        }
+        for (int j = start; j < stop; j++) {
+            int my_key = (kf[j] >> shift) & mask;
+            rank[base + my_key] = rank[base + my_key] + 1;
+        }
+        barrier_wait(&bar);
+        if (id == 0) {
+            int run = 0;
+            int nw = nworkers;
+            for (int d = 0; d < rsz; d++) {
+                for (int w = 0; w < nw; w++) {
+                    offsets[w * rsz + d] = run;
+                    run = run + rank[w * rsz + d];
+                }
+            }
+        }
+        barrier_wait(&bar);
+        for (int j = start; j < stop; j++) {
+            int my_key = (kf[j] >> shift) & mask;
+            int pos = offsets[base + my_key];
+            offsets[base + my_key] = pos + 1;
+            kt[pos] = kf[j];
+        }
+        barrier_wait(&bar);
+        if (id == 0) {
+            int *tmp = kf;
+            kf = kt;
+            kt = tmp;
+        }
+        barrier_wait(&bar);
+    }
+}
+
+int main(void) {
+    int fd = open(1);
+    read(fd, cfg, 8);
+    close(fd);
+    nworkers = cfg[0];
+    nkeys = cfg[1];
+    bits = cfg[2];
+    radixsz = 1 << bits;
+    npasses = cfg[3];
+    sanity = cfg[4];
+
+    int kfd = open(10);
+    int got = 0;
+    int n = read(kfd, keys0, 2048);
+    while (n > 0) {
+        got = got + n;
+        int *dst = keys0;
+        n = read(kfd, dst + got, 2048);
+    }
+    close(kfd);
+    check(got == nkeys);
+
+    kf = keys0;
+    kt = keys1;
+    barrier_init(&bar, nworkers);
+
+    int tids[8];
+    for (int w = 0; w < nworkers; w++) {
+        tids[w] = spawn(sort_worker, w);
+    }
+    for (int w = 0; w < nworkers; w++) {
+        join(tids[w]);
+    }
+
+    if (sanity != 0) {
+        for (int i = 1; i < nkeys; i++) {
+            check(kf[i - 1] <= kf[i]);
+        }
+    }
+    int hsum = 2166136261;
+    for (int hi = 0; hi < nkeys; hi++) {
+        hsum = hsum ^ kf[hi];
+        hsum = hsum * 16777619;
+        hsum = hsum & 1073741823;
+    }
+    print(hsum);
+    return 0;
+}
+`
+
+// Radix returns the radix benchmark.
+func Radix() *Benchmark {
+	mkWorld := func(seed uint64, workers, nkeys, bits, passes, sanity int64) *oskit.World {
+		w := cfgWorld(seed, []int64{workers, nkeys, bits, passes, sanity, 0, 0, 0})
+		maxVal := int64(1) << uint(bits*passes)
+		keys := make([]int64, nkeys)
+		x := seed*2862933555777941757 + 3037000493
+		for i := range keys {
+			x = x*2862933555777941757 + 3037000493
+			keys[i] = int64(x>>33) % maxVal
+		}
+		w.AddFile(10, keys)
+		return w
+	}
+	return &Benchmark{
+		Name:   "radix",
+		Class:  "scientific",
+		Source: radixSrc,
+		ProfileWorld: func(run int) *oskit.World {
+			return mkWorld(uint64(run)+1, 2, 256, 4, 2, 0)
+		},
+		EvalWorld: func(workers int) *oskit.World {
+			return mkWorld(99, int64(workers), 16384, 4, 3, 1)
+		},
+		ProfileRuns: 6,
+		ProfileEnv:  "2 workers, 2^8 keys, no sanity check",
+		EvalEnv:     "N workers, 2^14 keys, with sanity check",
+	}
+}
+
+// ---------------------------------------------------------------------------
+// water — SPLASH-2 water-nsquared (paper Fig. 2; Table 1: profile 2
+// workers / 64 molecules / 5 steps, eval 4 workers / 1000 molecules / 10
+// steps; scaled). The barrier-separated phase functions predic / correc /
+// bndry and the snapshot/force accessors carry the false races that the
+// profiler proves non-concurrent — water is the paper's function-lock
+// showcase. The O(n^2) force computation reads a thread-private snapshot,
+// so the heavy loop itself is race-free and stays parallel.
+
+const waterSrc = `
+int cfg[8];
+int nworkers;
+int nmol;
+int nsteps;
+
+int pos[1024];
+int vel[1024];
+int force[1024];
+int poten;
+int potlock;
+int flock;
+int bar;
+
+void init_data(void) {
+    int n = nmol;
+    for (int i = 0; i < n; i++) {
+        pos[i] = (i * 37 + 11) & 4095;
+        vel[i] = (i * 13) & 63;
+        force[i] = 0;
+    }
+}
+
+void snapshot_positions(int *dst) {
+    int n = nmol;
+    for (int j = 0; j < n; j++) {
+        dst[j] = pos[j];
+    }
+}
+
+void add_force(int i, int v) {
+    lock(&flock);
+    force[i] = force[i] + v;
+    unlock(&flock);
+}
+
+void predic(int id) {
+    int chunk = nmol / nworkers;
+    int start = id * chunk;
+    int stop = start + chunk;
+    for (int i = start; i < stop; i++) {
+        pos[i] = pos[i] + vel[i];
+    }
+}
+
+void interf(int id) {
+    int snap[1024];
+    int n = nmol;
+    snapshot_positions(snap);
+    int chunk = n / nworkers;
+    int start = id * chunk;
+    int stop = start + chunk;
+    for (int i = start; i < stop; i++) {
+        int acc = 0;
+        // Cutoff radius: only a window of neighbors interacts.
+        for (int k = 0; k < 24; k++) {
+            int j = i + k - 12;
+            if (j < 0) { j = j + n; }
+            if (j >= n) { j = j - n; }
+            int d = snap[i] - snap[j];
+            if (d < 0) { d = -d; }
+            acc = acc + (d & 15);
+        }
+        add_force(i, acc);
+    }
+}
+
+void correc(int id) {
+    int chunk = nmol / nworkers;
+    int start = id * chunk;
+    int stop = start + chunk;
+    for (int i = start; i < stop; i++) {
+        vel[i] = vel[i] + force[i] / 2;
+        force[i] = 0;
+    }
+}
+
+void bndry(int id) {
+    int chunk = nmol / nworkers;
+    int start = id * chunk;
+    int stop = start + chunk;
+    for (int i = start; i < stop; i++) {
+        if (pos[i] > 4096) { pos[i] = pos[i] - 4096; }
+        if (pos[i] < 0) { pos[i] = pos[i] + 4096; }
+    }
+}
+
+void poteng(int id) {
+    int chunk = nmol / nworkers;
+    int start = id * chunk;
+    int stop = start + chunk;
+    int local = 0;
+    for (int i = start; i < stop; i++) {
+        local = local + pos[i] * pos[i] / 1024;
+    }
+    lock(&potlock);
+    poten = poten + local;
+    unlock(&potlock);
+}
+
+void water_worker(int id) {
+    int steps = nsteps;
+    for (int s = 0; s < steps; s++) {
+        predic(id);
+        barrier_wait(&bar);
+        interf(id);
+        barrier_wait(&bar);
+        correc(id);
+        barrier_wait(&bar);
+        bndry(id);
+        barrier_wait(&bar);
+    }
+    poteng(id);
+}
+
+int main(void) {
+    int fd = open(1);
+    read(fd, cfg, 8);
+    close(fd);
+    nworkers = cfg[0];
+    nmol = cfg[1];
+    nsteps = cfg[2];
+
+    init_data();
+    barrier_init(&bar, nworkers);
+
+    int tids[8];
+    for (int w = 0; w < nworkers; w++) {
+        tids[w] = spawn(water_worker, w);
+    }
+    for (int w = 0; w < nworkers; w++) {
+        join(tids[w]);
+    }
+    print(poten);
+    int hsum = 2166136261;
+    for (int hi = 0; hi < nmol; hi++) {
+        hsum = hsum ^ pos[hi];
+        hsum = hsum * 16777619;
+        hsum = hsum & 1073741823;
+    }
+    print(hsum);
+    return 0;
+}
+`
+
+// Water returns the water benchmark.
+func Water() *Benchmark {
+	return &Benchmark{
+		Name:   "water",
+		Class:  "scientific",
+		Source: waterSrc,
+		ProfileWorld: func(run int) *oskit.World {
+			return cfgWorld(uint64(run)+1, []int64{2, 32, 2, 0, 0, 0, 0, 0})
+		},
+		EvalWorld: func(workers int) *oskit.World {
+			return cfgWorld(5, []int64{int64(workers), 512, 5, 0, 0, 0, 0, 0})
+		},
+		ProfileRuns: 6,
+		ProfileEnv:  "2 workers, 32 molecules, 2 steps",
+		EvalEnv:     "N workers, 512 molecules, 5 steps",
+	}
+}
+
+// ---------------------------------------------------------------------------
+// ocean — SPLASH-2 ocean (Table 1: profile 2 workers / 130x130 grid, eval
+// 4 workers / 1026x1026; scaled). A Jacobi stencil over row bands with
+// barriers between sweeps: band writes have precise loop bounds but the
+// stencil reads neighbor rows, so adjacent workers' loop-lock ranges
+// overlap at band boundaries — the loop-lock contention the paper reports
+// dominating ocean (Fig. 7). The single-threaded grid flip is inlined in
+// the driver.
+
+const oceanSrc = `
+int cfg[8];
+int nworkers;
+int dim;
+int iters;
+
+int grid0[9604];
+int grid1[9604];
+int *src;
+int *dst;
+int bar;
+int difflock;
+int totaldiff;
+
+void sweep(int id) {
+    int d = dim;
+    int *g = src;
+    int *h = dst;
+    int rows = (d - 2) / nworkers;
+    int r0 = 1 + id * rows;
+    int r1 = r0 + rows;
+    int local = 0;
+    for (int r = r0; r < r1; r++) {
+        for (int c = 1; c < d - 1; c++) {
+            int up = g[(r - 1) * d + c];
+            int down = g[(r + 1) * d + c];
+            int left = g[r * d + c - 1];
+            int right = g[r * d + c + 1];
+            int v = (up + down + left + right) / 4;
+            int old = g[r * d + c];
+            h[r * d + c] = v;
+            int dd = v - old;
+            if (dd < 0) { dd = -dd; }
+            local = local + dd;
+        }
+    }
+    lock(&difflock);
+    totaldiff = totaldiff + local;
+    unlock(&difflock);
+}
+
+void ocean_worker(int id) {
+    int ni = iters;
+    for (int it = 0; it < ni; it++) {
+        sweep(id);
+        barrier_wait(&bar);
+        if (id == 0) {
+            int *tmp = src;
+            src = dst;
+            dst = tmp;
+            totaldiff = 0;
+        }
+        barrier_wait(&bar);
+    }
+}
+
+int main(void) {
+    int fd = open(1);
+    read(fd, cfg, 8);
+    close(fd);
+    nworkers = cfg[0];
+    dim = cfg[1];
+    iters = cfg[2];
+
+    int d0 = dim;
+    for (int r = 0; r < d0; r++) {
+        for (int c = 0; c < d0; c++) {
+            grid0[r * d0 + c] = ((r * 31 + c * 17) & 255) * 16;
+            grid1[r * d0 + c] = grid0[r * d0 + c];
+        }
+    }
+    src = grid0;
+    dst = grid1;
+    barrier_init(&bar, nworkers);
+
+    int tids[8];
+    for (int w = 0; w < nworkers; w++) {
+        tids[w] = spawn(ocean_worker, w);
+    }
+    for (int w = 0; w < nworkers; w++) {
+        join(tids[w]);
+    }
+    int hn = dim * dim;
+    int hsum = 2166136261;
+    for (int hi = 0; hi < hn; hi++) {
+        hsum = hsum ^ src[hi];
+        hsum = hsum * 16777619;
+        hsum = hsum & 1073741823;
+    }
+    print(hsum);
+    return 0;
+}
+`
+
+// Ocean returns the ocean benchmark.
+func Ocean() *Benchmark {
+	return &Benchmark{
+		Name:   "ocean",
+		Class:  "scientific",
+		Source: oceanSrc,
+		ProfileWorld: func(run int) *oskit.World {
+			return cfgWorld(uint64(run)+1, []int64{2, 18, 2, 0, 0, 0, 0, 0})
+		},
+		EvalWorld: func(workers int) *oskit.World {
+			return cfgWorld(3, []int64{int64(workers), 98, 5, 0, 0, 0, 0, 0})
+		},
+		ProfileRuns: 6,
+		ProfileEnv:  "2 workers, 18x18 grid, 2 sweeps",
+		EvalEnv:     "N workers, 98x98 grid, 5 sweeps",
+	}
+}
+
+// ---------------------------------------------------------------------------
+// fft — SPLASH-2 fft (Table 1: profile 2 workers / 2^4 matrix, eval 4
+// workers / larger with inverse check; scaled). An in-place Walsh-Hadamard
+// butterfly: each stage pairs element i with i^stride — the XOR index is
+// outside the symbolic bounds grammar, so fft's hot loops get imprecise
+// loop-locks and the contention the paper observes (Fig. 7, §7.4).
+
+const fftSrc = `
+int cfg[8];
+int nworkers;
+int n;
+int logn;
+int docheck;
+
+int data[8192];
+int orig[8192];
+int bar;
+
+void butterfly(int id, int stride) {
+    int nn = n;
+    int chunk = nn / nworkers;
+    int start = id * chunk;
+    int stop = start + chunk;
+    for (int i = start; i < stop; i++) {
+        int partner = i ^ stride;
+        if (partner > i) {
+            int a = data[i];
+            int b = data[partner];
+            data[i] = a + b;
+            data[partner] = a - b;
+        }
+    }
+}
+
+void fft_worker(int id) {
+    int stride = 1;
+    int stages = logn;
+    for (int s = 0; s < stages; s++) {
+        butterfly(id, stride);
+        stride = stride * 2;
+        barrier_wait(&bar);
+    }
+}
+
+void inverse_worker(int id) {
+    int stride = 1;
+    int stages = logn;
+    for (int s = 0; s < stages; s++) {
+        butterfly(id, stride);
+        stride = stride * 2;
+        barrier_wait(&bar);
+    }
+    // The transform composed with itself scales by n.
+    int nn = n;
+    int chunk = nn / nworkers;
+    int start = id * chunk;
+    int stop = start + chunk;
+    for (int i = start; i < stop; i++) {
+        data[i] = data[i] / nn;
+    }
+}
+
+int main(void) {
+    int fd = open(1);
+    read(fd, cfg, 8);
+    close(fd);
+    nworkers = cfg[0];
+    logn = cfg[1];
+    n = 1 << logn;
+    docheck = cfg[2];
+
+    for (int i = 0; i < n; i++) {
+        data[i] = (i * 29 + 7) & 1023;
+        orig[i] = data[i];
+    }
+    barrier_init(&bar, nworkers);
+
+    int tids[8];
+    for (int w = 0; w < nworkers; w++) {
+        tids[w] = spawn(fft_worker, w);
+    }
+    for (int w = 0; w < nworkers; w++) {
+        join(tids[w]);
+    }
+    int hsum = 2166136261;
+    for (int hi = 0; hi < n; hi++) {
+        hsum = hsum ^ data[hi];
+        hsum = hsum * 16777619;
+        hsum = hsum & 1073741823;
+    }
+    print(hsum);
+
+    if (docheck != 0) {
+        for (int w = 0; w < nworkers; w++) {
+            tids[w] = spawn(inverse_worker, w);
+        }
+        for (int w = 0; w < nworkers; w++) {
+            join(tids[w]);
+        }
+        for (int i = 0; i < n; i++) {
+            check(data[i] == orig[i]);
+        }
+        print(1);
+    }
+    return 0;
+}
+`
+
+// FFT returns the fft benchmark.
+func FFT() *Benchmark {
+	return &Benchmark{
+		Name:   "fft",
+		Class:  "scientific",
+		Source: fftSrc,
+		ProfileWorld: func(run int) *oskit.World {
+			return cfgWorld(uint64(run)+1, []int64{2, 6, 0, 0, 0, 0, 0, 0})
+		},
+		EvalWorld: func(workers int) *oskit.World {
+			return cfgWorld(8, []int64{int64(workers), 12, 1, 0, 0, 0, 0, 0})
+		},
+		ProfileRuns: 6,
+		ProfileEnv:  "2 workers, 2^6 points, no inverse check",
+		EvalEnv:     "N workers, 2^12 points, with inverse FFT check",
+	}
+}

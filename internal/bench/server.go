@@ -1,0 +1,326 @@
+package bench
+
+import "repro/internal/oskit"
+
+// ---------------------------------------------------------------------------
+// knot — threaded web server (Table 1: profile 2 workers / 4 clients / 100
+// requests, eval N workers / 16 clients / 1000 requests; scaled). The main
+// thread accepts connections into a mutex+condvar queue; workers serve
+// requests out of a shared file cache. The cache hit counter is the
+// classic benign server race; per-worker scoreboard slots are disjoint but
+// collapsed by the pointer analysis.
+
+const knotSrc = `
+int cfg[8];
+int nworkers;
+
+int connq[128];
+int qhead;
+int qtail;
+int qlock;
+int qcond;
+
+int cache_tag[8];
+int cache_data[2048];
+int cache_lock;
+int cache_hits;
+
+int scoreboard[8];
+
+int cache_lookup(int fileid, int *out, int maxn) {
+    int slot = fileid & 7;
+    lock(&cache_lock);
+    if (cache_tag[slot] != fileid) {
+        int fd = open(fileid);
+        if (fd < 0) {
+            unlock(&cache_lock);
+            return -1;
+        }
+        int n = read(fd, &cache_data[slot * 256], 256);
+        close(fd);
+        cache_tag[slot] = fileid;
+    } else {
+        cache_hits = cache_hits + 1;
+    }
+    int base = slot * 256;
+    int n = maxn;
+    if (n > 256) { n = 256; }
+    for (int i = 0; i < n; i++) {
+        out[i] = cache_data[base + i];
+    }
+    unlock(&cache_lock);
+    return n;
+}
+
+void serve(int id, int conn) {
+    int req[4];
+    int n = recv(conn, req, 4);
+    if (n < 2) { return; }
+    int fileid = req[0];
+    int want = req[1];
+    int resp[256];
+    int have = cache_lookup(fileid, resp, want);
+    if (have < 0) {
+        resp[0] = -1;
+        send(conn, resp, 1);
+        return;
+    }
+    send(conn, resp, have);
+    scoreboard[id] = scoreboard[id] + 1;
+}
+
+void knot_worker(int id) {
+    while (1) {
+        lock(&qlock);
+        while (qhead == qtail) {
+            cond_wait(&qcond, &qlock);
+        }
+        int conn = connq[qhead];
+        qhead = qhead + 1;
+        unlock(&qlock);
+        if (conn < 0) { break; }
+        serve(id, conn);
+    }
+}
+
+int main(void) {
+    int fd = open(1);
+    read(fd, cfg, 8);
+    close(fd);
+    nworkers = cfg[0];
+
+    int tids[8];
+    for (int w = 0; w < nworkers; w++) {
+        tids[w] = spawn(knot_worker, w);
+    }
+
+    int conn = accept(0);
+    while (conn >= 0) {
+        lock(&qlock);
+        connq[qtail] = conn;
+        qtail = qtail + 1;
+        cond_signal(&qcond);
+        unlock(&qlock);
+        conn = accept(0);
+    }
+    lock(&qlock);
+    for (int w = 0; w < nworkers; w++) {
+        connq[qtail] = -1;
+        qtail = qtail + 1;
+    }
+    cond_broadcast(&qcond);
+    unlock(&qlock);
+
+    for (int w = 0; w < nworkers; w++) {
+        join(tids[w]);
+    }
+    int served = 0;
+    for (int w = 0; w < nworkers; w++) {
+        served = served + scoreboard[w];
+    }
+    print(served);
+    print(cache_hits);
+    return 0;
+}
+`
+
+// knotWorld builds a request stream over a small set of files.
+func knotWorld(seed uint64, workers, nreqs, fwords int64) *oskit.World {
+	w := cfgWorld(seed, []int64{workers, 0, 0, 0, 0, 0, 0, 0})
+	for f := int64(10); f < 14; f++ {
+		data := make([]int64, fwords)
+		x := seed + uint64(f)*7919
+		for j := range data {
+			x = x*6364136223846793005 + 1442695040888963407
+			data[j] = int64(x>>46) & 63
+		}
+		w.AddFile(f, data)
+	}
+	x := seed * 104729
+	for i := int64(0); i < nreqs; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		fileid := 10 + int64(x>>40)&3
+		want := fwords
+		w.AddConn(400+i*600, []int64{fileid, want, 0, 0})
+	}
+	return w
+}
+
+// Knot returns the knot benchmark.
+func Knot() *Benchmark {
+	return &Benchmark{
+		Name:   "knot",
+		Class:  "server",
+		Source: knotSrc,
+		ProfileWorld: func(run int) *oskit.World {
+			return knotWorld(uint64(run)+1, 2, 6, 64)
+		},
+		EvalWorld: func(workers int) *oskit.World {
+			return knotWorld(31, int64(workers), 48, 192)
+		},
+		ProfileRuns: 6,
+		ProfileEnv:  "2 workers, 6 requests, 64-word file",
+		EvalEnv:     "N workers, 48 requests, 192-word file",
+	}
+}
+
+// ---------------------------------------------------------------------------
+// apache — web server with per-worker response buffers (Table 1: same
+// client setup as knot; scaled). Building a response clears the worker's
+// buffer with my_memset — the paper's flagship false self-race: RELAY
+// flags the memset store against itself, and only the loop-lock with
+// symbolic bounds (&buf[0] .. &buf[len-1]) keeps concurrent responses
+// parallel (§7.3: "in apache, RELAY reports a false data-race between
+// memory operations within a hot loop in the memset library function").
+
+const apacheSrc = `
+int cfg[8];
+int nworkers;
+int respwords;
+
+int connq[128];
+int qhead;
+int qtail;
+int qlock;
+int qcond;
+
+int respbuf[4096];
+int files[1024];
+int fwords;
+
+int slock;
+int bytes_sent;
+int requests_served;
+
+int content_len(void) {
+    return fwords;
+}
+
+void build_response(int id, int fileid, int want) {
+    int rw = respwords;
+    int base = id * rw;
+    int *dst = &respbuf[base];
+    my_memset(dst, 0, rw);
+    int n = want;
+    int fl = content_len();
+    if (n > fl) { n = fl; }
+    if (n > rw - 2) { n = rw - 2; }
+    my_memcpy(dst, &files[0], n);
+    dst[n] = my_checksum(&files[0], n);
+    dst[n + 1] = 0;
+}
+
+void account(int n) {
+    lock(&slock);
+    bytes_sent = bytes_sent + n;
+    unlock(&slock);
+    requests_served = requests_served + 1;
+}
+
+void handle(int id, int conn) {
+    int req[4];
+    int n = recv(conn, req, 4);
+    if (n < 2) { return; }
+    build_response(id, req[0], req[1]);
+    int rw = respwords;
+    int base = id * rw;
+    int sent = send(conn, &respbuf[base], req[1] + 2);
+    account(sent);
+}
+
+void apache_worker(int id) {
+    while (1) {
+        lock(&qlock);
+        while (qhead == qtail) {
+            cond_wait(&qcond, &qlock);
+        }
+        int conn = connq[qhead];
+        qhead = qhead + 1;
+        unlock(&qlock);
+        if (conn < 0) { break; }
+        handle(id, conn);
+    }
+}
+
+void load_content(void) {
+    int fd = open(10);
+    fwords = read(fd, files, 1024);
+    close(fd);
+}
+
+int main(void) {
+    int fd = open(1);
+    read(fd, cfg, 8);
+    close(fd);
+    nworkers = cfg[0];
+    respwords = cfg[1];
+
+    load_content();
+
+    int tids[8];
+    for (int w = 0; w < nworkers; w++) {
+        tids[w] = spawn(apache_worker, w);
+    }
+
+    int conn = accept(0);
+    while (conn >= 0) {
+        lock(&qlock);
+        connq[qtail] = conn;
+        qtail = qtail + 1;
+        cond_signal(&qcond);
+        unlock(&qlock);
+        conn = accept(0);
+    }
+    lock(&qlock);
+    for (int w = 0; w < nworkers; w++) {
+        connq[qtail] = -1;
+        qtail = qtail + 1;
+    }
+    cond_broadcast(&qcond);
+    unlock(&qlock);
+
+    for (int w = 0; w < nworkers; w++) {
+        join(tids[w]);
+    }
+    print(requests_served);
+    print(bytes_sent);
+    return 0;
+}
+`
+
+// apacheWorld builds the request stream.
+func apacheWorld(seed uint64, workers, nreqs, respwords, fwords int64) *oskit.World {
+	w := cfgWorld(seed, []int64{workers, respwords, 0, 0, 0, 0, 0, 0})
+	data := make([]int64, fwords)
+	x := seed*53 + 1
+	for j := range data {
+		x = x*6364136223846793005 + 1442695040888963407
+		data[j] = int64(x>>46) & 63
+	}
+	w.AddFile(10, data)
+	x = seed * 7
+	for i := int64(0); i < nreqs; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		want := fwords/2 + int64(x>>44)%(fwords/2)
+		w.AddConn(400+i*500, []int64{10, want, 0, 0})
+	}
+	return w
+}
+
+// Apache returns the apache benchmark.
+func Apache() *Benchmark {
+	return &Benchmark{
+		Name:   "apache",
+		Class:  "server",
+		Source: apacheSrc,
+		ProfileWorld: func(run int) *oskit.World {
+			return apacheWorld(uint64(run)+1, 2, 6, 96, 64)
+		},
+		EvalWorld: func(workers int) *oskit.World {
+			return apacheWorld(41, int64(workers), 48, 320, 256)
+		},
+		ProfileRuns: 6,
+		ProfileEnv:  "2 workers, 6 requests, 96-word responses",
+		EvalEnv:     "N workers, 48 requests, 320-word responses",
+	}
+}

@@ -1,0 +1,267 @@
+// Package callgraph builds the program call graph, resolving indirect calls
+// and spawn targets through the Andersen points-to analysis, and provides
+// the bottom-up SCC order in which RELAY composes function summaries
+// (paper §3.1: "RELAY composes function summaries in a bottom-up manner
+// over the call graph").
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/types"
+	"repro/internal/pointsto"
+)
+
+// Edge is one call site.
+type Edge struct {
+	Caller *types.FuncInfo
+	Callee *types.FuncInfo
+	Site   *ast.Call
+	Spawn  bool // edge created by spawn(fn, arg)
+}
+
+// Graph is the call graph.
+type Graph struct {
+	Info *types.Info
+
+	// Edges in deterministic order.
+	Edges []*Edge
+
+	// Callees[f] and Callers[f] index the edges.
+	Callees map[*types.FuncInfo][]*Edge
+	Callers map[*types.FuncInfo][]*Edge
+
+	// Roots are the thread entry points: main plus every spawn target
+	// (paper §3.1: access summaries are computed for "all functions that
+	// are thread entry points").
+	Roots []*types.FuncInfo
+
+	// SCCs lists strongly connected components in bottom-up (callee-first)
+	// order; recursion groups appear as multi-function components.
+	SCCs [][]*types.FuncInfo
+
+	// sccIndex[f] is the index of f's SCC in SCCs.
+	sccIndex map[*types.FuncInfo]int
+}
+
+// Build constructs the call graph using the type checker's direct-call
+// resolution plus pta's indirect-call and spawn resolution.
+func Build(info *types.Info, pta *pointsto.Analysis) *Graph {
+	g := &Graph{
+		Info:     info,
+		Callees:  make(map[*types.FuncInfo][]*Edge),
+		Callers:  make(map[*types.FuncInfo][]*Edge),
+		sccIndex: make(map[*types.FuncInfo]int),
+	}
+
+	rootSet := make(map[*types.FuncInfo]bool)
+	if mainFn := info.Funcs["main"]; mainFn != nil {
+		g.Roots = append(g.Roots, mainFn)
+		rootSet[mainFn] = true
+	}
+
+	for _, fn := range info.FuncList {
+		caller := fn
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.Call)
+			if !ok {
+				return true
+			}
+			if target := info.CallTargets[call.ID()]; target != nil {
+				if target.Kind == types.ObjFunc {
+					g.addEdge(caller, info.Funcs[target.Name], call, false)
+					return true
+				}
+				if target.Builtin == types.BSpawn {
+					g.addSpawnEdges(caller, call, pta, rootSet)
+				}
+				return true
+			}
+			// Indirect call.
+			for _, callee := range pta.CallTargets[call.ID()] {
+				g.addEdge(caller, callee, call, false)
+			}
+			return true
+		})
+	}
+	g.computeSCCs()
+	return g
+}
+
+func (g *Graph) addSpawnEdges(caller *types.FuncInfo, call *ast.Call, pta *pointsto.Analysis, rootSet map[*types.FuncInfo]bool) {
+	var targets []*types.FuncInfo
+	// Direct spawn target: spawn(worker, x).
+	if len(call.Args) > 0 {
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if o := g.Info.Uses[id.ID()]; o != nil && o.Kind == types.ObjFunc {
+				targets = append(targets, o.Func)
+			}
+		}
+	}
+	if len(targets) == 0 {
+		targets = pta.SpawnTargets[call.ID()]
+	}
+	for _, fn := range targets {
+		g.addEdge(caller, fn, call, true)
+		if !rootSet[fn] {
+			rootSet[fn] = true
+			g.Roots = append(g.Roots, fn)
+		}
+	}
+}
+
+func (g *Graph) addEdge(caller, callee *types.FuncInfo, site *ast.Call, spawn bool) {
+	if caller == nil || callee == nil {
+		return
+	}
+	e := &Edge{Caller: caller, Callee: callee, Site: site, Spawn: spawn}
+	g.Edges = append(g.Edges, e)
+	g.Callees[caller] = append(g.Callees[caller], e)
+	g.Callers[callee] = append(g.Callers[callee], e)
+}
+
+// CalleesOf returns the distinct functions f may call (excluding spawn
+// edges, which are concurrency edges rather than call edges).
+func (g *Graph) CalleesOf(f *types.FuncInfo) []*types.FuncInfo {
+	seen := make(map[*types.FuncInfo]bool)
+	var out []*types.FuncInfo
+	for _, e := range g.Callees[f] {
+		if e.Spawn || seen[e.Callee] {
+			continue
+		}
+		seen[e.Callee] = true
+		out = append(out, e.Callee)
+	}
+	return out
+}
+
+// IsRoot reports whether f is a thread entry point.
+func (g *Graph) IsRoot(f *types.FuncInfo) bool {
+	for _, r := range g.Roots {
+		if r == f {
+			return true
+		}
+	}
+	return false
+}
+
+// SCCOf returns the index of f's SCC in bottom-up order.
+func (g *Graph) SCCOf(f *types.FuncInfo) int { return g.sccIndex[f] }
+
+// InCycle reports whether f participates in recursion.
+func (g *Graph) InCycle(f *types.FuncInfo) bool {
+	scc := g.SCCs[g.sccIndex[f]]
+	if len(scc) > 1 {
+		return true
+	}
+	for _, callee := range g.CalleesOf(f) {
+		if callee == f {
+			return true
+		}
+	}
+	return false
+}
+
+// computeSCCs runs Tarjan's algorithm; the natural output order of Tarjan
+// is already bottom-up (an SCC is emitted only after all SCCs it calls
+// into).
+func (g *Graph) computeSCCs() {
+	index := make(map[*types.FuncInfo]int)
+	low := make(map[*types.FuncInfo]int)
+	onStack := make(map[*types.FuncInfo]bool)
+	var stack []*types.FuncInfo
+	next := 0
+
+	var strongconnect func(f *types.FuncInfo)
+	strongconnect = func(f *types.FuncInfo) {
+		index[f] = next
+		low[f] = next
+		next++
+		stack = append(stack, f)
+		onStack[f] = true
+
+		for _, callee := range g.CalleesOf(f) {
+			if _, seen := index[callee]; !seen {
+				strongconnect(callee)
+				if low[callee] < low[f] {
+					low[f] = low[callee]
+				}
+			} else if onStack[callee] && index[callee] < low[f] {
+				low[f] = index[callee]
+			}
+		}
+
+		if low[f] == index[f] {
+			var scc []*types.FuncInfo
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == f {
+					break
+				}
+			}
+			sort.Slice(scc, func(i, j int) bool { return scc[i].Name < scc[j].Name })
+			for _, w := range scc {
+				g.sccIndex[w] = len(g.SCCs)
+			}
+			g.SCCs = append(g.SCCs, scc)
+		}
+	}
+
+	for _, fn := range g.Info.FuncList {
+		if _, seen := index[fn]; !seen {
+			strongconnect(fn)
+		}
+	}
+}
+
+// BottomUp returns all functions in bottom-up order (callees before
+// callers), flattening the SCCs.
+func (g *Graph) BottomUp() []*types.FuncInfo {
+	var out []*types.FuncInfo
+	for _, scc := range g.SCCs {
+		out = append(out, scc...)
+	}
+	return out
+}
+
+// ReachableFrom returns the set of functions reachable from root via call
+// edges (spawn edges excluded).
+func (g *Graph) ReachableFrom(root *types.FuncInfo) map[*types.FuncInfo]bool {
+	seen := make(map[*types.FuncInfo]bool)
+	var dfs func(f *types.FuncInfo)
+	dfs = func(f *types.FuncInfo) {
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		for _, callee := range g.CalleesOf(f) {
+			dfs(callee)
+		}
+	}
+	dfs(root)
+	return seen
+}
+
+// String renders the graph for debugging.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "callgraph (%d edges, roots:", len(g.Edges))
+	for _, r := range g.Roots {
+		fmt.Fprintf(&sb, " %s", r.Name)
+	}
+	sb.WriteString(")\n")
+	for _, e := range g.Edges {
+		arrow := "->"
+		if e.Spawn {
+			arrow = "=spawn=>"
+		}
+		fmt.Fprintf(&sb, "  %s %s %s\n", e.Caller.Name, arrow, e.Callee.Name)
+	}
+	return sb.String()
+}

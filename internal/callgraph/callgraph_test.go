@@ -1,0 +1,149 @@
+package callgraph
+
+import (
+	"testing"
+
+	"repro/internal/minic/parser"
+	"repro/internal/minic/types"
+	"repro/internal/pointsto"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	f := parser.MustParse("t.mc", src)
+	info := types.MustCheck(f)
+	pta := pointsto.Analyze(info)
+	return Build(info, pta)
+}
+
+func names(fns []*types.FuncInfo) map[string]bool {
+	out := make(map[string]bool)
+	for _, fn := range fns {
+		out[fn.Name] = true
+	}
+	return out
+}
+
+func TestDirectEdges(t *testing.T) {
+	g := build(t, `
+int leaf(int x) { return x; }
+int mid(int x) { return leaf(x) + leaf(x + 1); }
+int main(void) { return mid(3); }
+`)
+	callees := names(g.CalleesOf(g.Info.Funcs["mid"]))
+	if !callees["leaf"] || len(callees) != 1 {
+		t.Errorf("mid callees = %v, want {leaf}", callees)
+	}
+	if len(g.Callers[g.Info.Funcs["leaf"]]) != 2 {
+		t.Errorf("leaf has %d call sites, want 2", len(g.Callers[g.Info.Funcs["leaf"]]))
+	}
+}
+
+func TestSpawnRoots(t *testing.T) {
+	g := build(t, `
+int gv;
+void worker(int x) { gv = x; }
+int main(void) {
+    int t = spawn(worker, 1);
+    join(t);
+    return 0;
+}
+`)
+	r := names(g.Roots)
+	if !r["main"] || !r["worker"] {
+		t.Errorf("roots = %v, want main and worker", r)
+	}
+	if !g.IsRoot(g.Info.Funcs["worker"]) {
+		t.Errorf("worker should be a root")
+	}
+}
+
+func TestIndirectSpawnRoots(t *testing.T) {
+	g := build(t, `
+int gv;
+void w1(int x) { gv = x; }
+void w2(int x) { gv = x + 1; }
+int sel;
+int main(void) {
+    int fp = w1;
+    if (sel) { fp = w2; }
+    int t = spawn(fp, 0);
+    join(t);
+    return 0;
+}
+`)
+	r := names(g.Roots)
+	if !r["w1"] || !r["w2"] {
+		t.Errorf("roots = %v, want w1 and w2 via points-to", r)
+	}
+}
+
+func TestBottomUpOrder(t *testing.T) {
+	g := build(t, `
+int leaf(int x) { return x; }
+int mid(int x) { return leaf(x); }
+int main(void) { return mid(1); }
+`)
+	order := g.BottomUp()
+	pos := make(map[string]int)
+	for i, fn := range order {
+		pos[fn.Name] = i
+	}
+	if !(pos["leaf"] < pos["mid"] && pos["mid"] < pos["main"]) {
+		t.Errorf("bottom-up order wrong: %v", pos)
+	}
+}
+
+func TestMutualRecursionDetected(t *testing.T) {
+	g := build(t, `
+int pong(int n) { if (n <= 0) { return 0; } return ping(n - 1); }
+int ping(int n) { if (n <= 0) { return 0; } return pong(n - 1); }
+int main(void) { return ping(4); }
+`)
+	ping := g.Info.Funcs["ping"]
+	pong := g.Info.Funcs["pong"]
+	if g.SCCOf(ping) != g.SCCOf(pong) {
+		t.Errorf("ping and pong should share an SCC")
+	}
+	if !g.InCycle(ping) {
+		t.Errorf("ping should be in a cycle")
+	}
+	if g.InCycle(g.Info.Funcs["main"]) {
+		t.Errorf("main is not recursive")
+	}
+}
+
+func TestSelfRecursion(t *testing.T) {
+	g := build(t, `
+int fact(int n) { if (n < 2) { return 1; } return n * fact(n - 1); }
+int main(void) { return fact(5); }
+`)
+	if !g.InCycle(g.Info.Funcs["fact"]) {
+		t.Errorf("fact should be in a cycle")
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g := build(t, `
+int gv;
+int helper(int x) { return x; }
+void worker(int x) { gv = helper(x); }
+int unused(int x) { return x; }
+int main(void) {
+    int t = spawn(worker, 1);
+    join(t);
+    return 0;
+}
+`)
+	fromWorker := g.ReachableFrom(g.Info.Funcs["worker"])
+	if !fromWorker[g.Info.Funcs["helper"]] {
+		t.Errorf("helper should be reachable from worker")
+	}
+	if fromWorker[g.Info.Funcs["unused"]] {
+		t.Errorf("unused should not be reachable from worker")
+	}
+	fromMain := g.ReachableFrom(g.Info.Funcs["main"])
+	if fromMain[g.Info.Funcs["worker"]] {
+		t.Errorf("spawn edges must not count as call reachability")
+	}
+}

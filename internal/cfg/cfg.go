@@ -1,0 +1,400 @@
+// Package cfg builds control-flow graphs for MiniC functions and computes
+// dominators and natural loops.
+//
+// MiniC is fully structured (no goto), so every natural loop corresponds to
+// a syntactic WhileStmt or ForStmt; the CFG records that correspondence.
+// The instrumenter uses CFG basic blocks to pick basic-block weak-lock
+// granularity, and the symbolic bounds analysis uses loop membership.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/minic/ast"
+)
+
+// Block is a basic block: a maximal straight-line sequence of simple
+// statements.
+type Block struct {
+	ID    int
+	Stmts []ast.Stmt // simple statements only (no control flow)
+	Succs []*Block
+	Preds []*Block
+
+	// Label describes the block's role for debugging ("entry", "exit",
+	// "loop.head", ...).
+	Label string
+
+	// LoopStmt is set on the head block of a loop to the syntactic loop
+	// statement (WhileStmt or ForStmt).
+	LoopStmt ast.Stmt
+}
+
+// Graph is the CFG of one function.
+type Graph struct {
+	Fn     *ast.FuncDecl
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// Loop is a natural loop: its head block, its body blocks, and the
+// syntactic loop statement it corresponds to.
+type Loop struct {
+	Head *Block
+	Body map[*Block]bool
+	Stmt ast.Stmt // the WhileStmt/ForStmt
+}
+
+type builder struct {
+	g *Graph
+
+	// break/continue targets of the innermost enclosing loop
+	breakTo []*Block
+	contTo  []*Block
+}
+
+// Build constructs the CFG for fn.
+func Build(fn *ast.FuncDecl) *Graph {
+	b := &builder{g: &Graph{Fn: fn}}
+	entry := b.newBlock("entry")
+	exit := b.newBlock("exit")
+	b.g.Entry, b.g.Exit = entry, exit
+
+	last := b.stmts(fn.Body.Stmts, entry)
+	if last != nil {
+		b.link(last, exit)
+	}
+	b.prune()
+	return b.g
+}
+
+func (b *builder) newBlock(label string) *Block {
+	blk := &Block{ID: len(b.g.Blocks), Label: label}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) link(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// stmts lowers a statement list starting in cur; it returns the block where
+// control continues, or nil if control cannot fall through.
+func (b *builder) stmts(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code still gets blocks so analyses see it.
+			cur = b.newBlock("unreachable")
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+func (b *builder) stmt(s ast.Stmt, cur *Block) *Block {
+	switch s := s.(type) {
+	case *ast.Block:
+		return b.stmts(s.Stmts, cur)
+
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.ExprStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		return cur
+
+	case *ast.ReturnStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		b.link(cur, b.g.Exit)
+		return nil
+
+	case *ast.BreakStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		if n := len(b.breakTo); n > 0 {
+			b.link(cur, b.breakTo[n-1])
+		} else {
+			b.link(cur, b.g.Exit)
+		}
+		return nil
+
+	case *ast.ContinueStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		if n := len(b.contTo); n > 0 {
+			b.link(cur, b.contTo[n-1])
+		} else {
+			b.link(cur, b.g.Exit)
+		}
+		return nil
+
+	case *ast.IfStmt:
+		// cur evaluates the condition (kept in cur's statements implicitly;
+		// conditions are expressions, not statements).
+		thenB := b.newBlock("if.then")
+		b.link(cur, thenB)
+		afterB := b.newBlock("if.after")
+		thenEnd := b.stmts(s.Then.Stmts, thenB)
+		if thenEnd != nil {
+			b.link(thenEnd, afterB)
+		}
+		if s.Else != nil {
+			elseB := b.newBlock("if.else")
+			b.link(cur, elseB)
+			elseEnd := b.stmt(s.Else, elseB)
+			if elseEnd != nil {
+				b.link(elseEnd, afterB)
+			}
+		} else {
+			b.link(cur, afterB)
+		}
+		return afterB
+
+	case *ast.WhileStmt:
+		head := b.newBlock("loop.head")
+		head.LoopStmt = s
+		b.link(cur, head)
+		body := b.newBlock("loop.body")
+		after := b.newBlock("loop.after")
+		b.link(head, body)
+		b.link(head, after)
+		b.breakTo = append(b.breakTo, after)
+		b.contTo = append(b.contTo, head)
+		bodyEnd := b.stmts(s.Body.Stmts, body)
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.contTo = b.contTo[:len(b.contTo)-1]
+		if bodyEnd != nil {
+			b.link(bodyEnd, head)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		head := b.newBlock("loop.head")
+		head.LoopStmt = s
+		b.link(cur, head)
+		body := b.newBlock("loop.body")
+		after := b.newBlock("loop.after")
+		post := b.newBlock("loop.post")
+		b.link(head, body)
+		if s.CondE != nil {
+			b.link(head, after)
+		}
+		b.breakTo = append(b.breakTo, after)
+		b.contTo = append(b.contTo, post)
+		bodyEnd := b.stmts(s.Body.Stmts, body)
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.contTo = b.contTo[:len(b.contTo)-1]
+		if bodyEnd != nil {
+			b.link(bodyEnd, post)
+		}
+		if s.Post != nil {
+			post.Stmts = append(post.Stmts, s.Post)
+		}
+		b.link(post, head)
+		return after
+	}
+	panic(fmt.Sprintf("cfg: unknown statement %T", s))
+}
+
+// prune removes blocks that are empty, unreachable from entry and have no
+// role (artifacts of lowering). It preserves IDs' relative order.
+func (b *builder) prune() {
+	reach := make(map[*Block]bool)
+	var dfs func(*Block)
+	dfs = func(x *Block) {
+		if reach[x] {
+			return
+		}
+		reach[x] = true
+		for _, s := range x.Succs {
+			dfs(s)
+		}
+	}
+	dfs(b.g.Entry)
+	var kept []*Block
+	for _, blk := range b.g.Blocks {
+		if reach[blk] || len(blk.Stmts) > 0 {
+			kept = append(kept, blk)
+		}
+	}
+	for i, blk := range kept {
+		blk.ID = i
+		// Drop edges to pruned blocks.
+		var succs []*Block
+		for _, s := range blk.Succs {
+			if reach[s] || len(s.Stmts) > 0 {
+				succs = append(succs, s)
+			}
+		}
+		blk.Succs = succs
+		var preds []*Block
+		for _, p := range blk.Preds {
+			if reach[p] || len(p.Stmts) > 0 {
+				preds = append(preds, p)
+			}
+		}
+		blk.Preds = preds
+	}
+	b.g.Blocks = kept
+}
+
+// Dominators computes the immediate dominator of every block reachable from
+// entry, using the Cooper–Harvey–Kennedy iterative algorithm. The result
+// maps block ID to immediate-dominator block ID; the entry maps to itself
+// and unreachable blocks map to -1.
+func (g *Graph) Dominators() []int {
+	// Reverse post-order.
+	order := g.ReversePostOrder()
+	rpoIdx := make([]int, len(g.Blocks))
+	for i := range rpoIdx {
+		rpoIdx[i] = -1
+	}
+	for i, blk := range order {
+		rpoIdx[blk.ID] = i
+	}
+
+	idom := make([]int, len(g.Blocks))
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[g.Entry.ID] = g.Entry.ID
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoIdx[a] > rpoIdx[b] {
+				a = idom[a]
+			}
+			for rpoIdx[b] > rpoIdx[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range order {
+			if blk == g.Entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range blk.Preds {
+				if idom[p.ID] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p.ID
+				} else {
+					newIdom = intersect(p.ID, newIdom)
+				}
+			}
+			if newIdom != -1 && idom[blk.ID] != newIdom {
+				idom[blk.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// ReversePostOrder returns the blocks reachable from entry in reverse
+// post-order.
+func (g *Graph) ReversePostOrder() []*Block {
+	seen := make(map[*Block]bool)
+	var post []*Block
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominates reports whether block a dominates block b under idom.
+func Dominates(idom []int, a, b int) bool {
+	for {
+		if b == a {
+			return true
+		}
+		next := idom[b]
+		if next == -1 || next == b {
+			return b == a
+		}
+		b = next
+	}
+}
+
+// NaturalLoops finds natural loops via back edges (edge t->h where h
+// dominates t) and returns them with their syntactic loop statements.
+func (g *Graph) NaturalLoops() []*Loop {
+	idom := g.Dominators()
+	var loops []*Loop
+	byHead := make(map[*Block]*Loop)
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			if idom[blk.ID] == -1 || idom[s.ID] == -1 {
+				continue
+			}
+			if !Dominates(idom, s.ID, blk.ID) {
+				continue
+			}
+			// Back edge blk -> s; collect the natural loop body.
+			l := byHead[s]
+			if l == nil {
+				l = &Loop{Head: s, Body: map[*Block]bool{s: true}, Stmt: s.LoopStmt}
+				byHead[s] = l
+				loops = append(loops, l)
+			}
+			var stack []*Block
+			if !l.Body[blk] {
+				l.Body[blk] = true
+				stack = append(stack, blk)
+			}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, p := range x.Preds {
+					if !l.Body[p] {
+						l.Body[p] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	return loops
+}
+
+// String renders the graph for debugging.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cfg %s:\n", g.Fn.Name)
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "  b%d [%s]", b.ID, b.Label)
+		if len(b.Stmts) > 0 {
+			fmt.Fprintf(&sb, " %d stmts", len(b.Stmts))
+		}
+		fmt.Fprintf(&sb, " ->")
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, " b%d", s.ID)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

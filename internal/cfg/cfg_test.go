@@ -1,0 +1,265 @@
+package cfg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/parser"
+)
+
+func build(t *testing.T, src, fn string) *Graph {
+	t.Helper()
+	f := parser.MustParse("t.mc", src)
+	fd := f.Func(fn)
+	if fd == nil {
+		t.Fatalf("no function %s", fn)
+	}
+	return Build(fd)
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, `
+int f(void) {
+    int a = 1;
+    int b = 2;
+    return a + b;
+}`, "f")
+	// Everything lands in the entry block, which flows to exit.
+	if len(g.Entry.Stmts) != 3 {
+		t.Errorf("entry has %d stmts, want 3", len(g.Entry.Stmts))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Errorf("entry should flow straight to exit")
+	}
+}
+
+func TestIfDiamond(t *testing.T) {
+	g := build(t, `
+int f(int x) {
+    int r = 0;
+    if (x > 0) {
+        r = 1;
+    } else {
+        r = 2;
+    }
+    return r;
+}`, "f")
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("entry succs = %d, want 2 (then/else)", len(g.Entry.Succs))
+	}
+	idom := g.Dominators()
+	// The join block is dominated by the entry.
+	for _, b := range g.Blocks {
+		if b.Label == "if.after" {
+			if !Dominates(idom, g.Entry.ID, b.ID) {
+				t.Errorf("entry should dominate join")
+			}
+			if len(b.Preds) != 2 {
+				t.Errorf("join preds = %d, want 2", len(b.Preds))
+			}
+		}
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	g := build(t, `
+int f(int n) {
+    int s = 0;
+    int i = 0;
+    while (i < n) {
+        s += i;
+        i++;
+    }
+    return s;
+}`, "f")
+	loops := g.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	if _, ok := l.Stmt.(*ast.WhileStmt); !ok {
+		t.Errorf("loop stmt is %T, want *ast.WhileStmt", l.Stmt)
+	}
+	if len(l.Body) < 2 {
+		t.Errorf("loop body has %d blocks, want >= 2", len(l.Body))
+	}
+}
+
+func TestForLoopWithBreakContinue(t *testing.T) {
+	g := build(t, `
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        if (i == 3) { continue; }
+        if (i == 7) { break; }
+        s += i;
+    }
+    return s;
+}`, "f")
+	loops := g.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	if _, ok := loops[0].Stmt.(*ast.ForStmt); !ok {
+		t.Errorf("loop stmt is %T, want *ast.ForStmt", loops[0].Stmt)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	g := build(t, `
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            s += i * j;
+        }
+    }
+    return s;
+}`, "f")
+	loops := g.NaturalLoops()
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	// One loop body must be contained in the other.
+	a, b := loops[0], loops[1]
+	if len(a.Body) < len(b.Body) {
+		a, b = b, a
+	}
+	for blk := range b.Body {
+		if !a.Body[blk] {
+			t.Errorf("inner loop block b%d not inside outer loop", blk.ID)
+		}
+	}
+}
+
+func TestInfiniteForHasNoExitEdgeFromHead(t *testing.T) {
+	g := build(t, `
+int f(void) {
+    for (;;) {
+        int x = 1;
+        if (x) { break; }
+    }
+    return 0;
+}`, "f")
+	loops := g.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	head := loops[0].Head
+	if len(head.Succs) != 1 {
+		t.Errorf("infinite-loop head should have exactly one successor, got %d", len(head.Succs))
+	}
+}
+
+func TestDominatorsChain(t *testing.T) {
+	g := build(t, `
+int f(int x) {
+    int a = 1;
+    if (x) { a = 2; }
+    int b = a;
+    if (b) { a = 3; }
+    return a;
+}`, "f")
+	idom := g.Dominators()
+	// Entry dominates everything reachable.
+	for _, b := range g.Blocks {
+		if idom[b.ID] == -1 {
+			continue
+		}
+		if !Dominates(idom, g.Entry.ID, b.ID) {
+			t.Errorf("entry does not dominate b%d", b.ID)
+		}
+	}
+}
+
+func TestReturnTerminates(t *testing.T) {
+	g := build(t, `
+int f(int x) {
+    if (x) { return 1; }
+    return 2;
+}`, "f")
+	// Exit should have two predecessors (both returns).
+	if len(g.Exit.Preds) != 2 {
+		t.Errorf("exit preds = %d, want 2", len(g.Exit.Preds))
+	}
+}
+
+func TestRPOStartsAtEntry(t *testing.T) {
+	g := build(t, `
+int f(int n) {
+    int s = 0;
+    while (n > 0) { n--; s++; }
+    return s;
+}`, "f")
+	order := g.ReversePostOrder()
+	if len(order) == 0 || order[0] != g.Entry {
+		t.Errorf("RPO must start at entry")
+	}
+}
+
+// TestPropertyDominators: on randomly generated structured functions, the
+// entry dominates every reachable block and every immediate dominator is
+// itself dominated by the entry.
+func TestPropertyDominators(t *testing.T) {
+	gen := func(seed int64) string {
+		r := rand.New(rand.NewSource(seed))
+		var body func(depth int) string
+		body = func(depth int) string {
+			if depth <= 0 {
+				return fmt.Sprintf("s = s + %d;\n", r.Intn(9))
+			}
+			switch r.Intn(5) {
+			case 0:
+				return fmt.Sprintf("if (s > %d) {\n%s}\n", r.Intn(20), body(depth-1))
+			case 1:
+				return fmt.Sprintf("if (s > %d) {\n%s} else {\n%s}\n",
+					r.Intn(20), body(depth-1), body(depth-1))
+			case 2:
+				return fmt.Sprintf("for (int i = 0; i < %d; i++) {\n%s}\n",
+					2+r.Intn(5), body(depth-1))
+			case 3:
+				return fmt.Sprintf("while (s < %d) {\ns++;\n%s}\n", r.Intn(30)+30, body(depth-1))
+			default:
+				return body(depth-1) + body(depth-1)
+			}
+		}
+		return "int f(int x) {\nint s = x;\n" + body(3) + "return s;\n}\n"
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		src := gen(seed)
+		f, err := parser.Parse("p.mc", src)
+		if err != nil {
+			t.Fatalf("seed %d parse: %v\n%s", seed, err, src)
+		}
+		g := Build(f.Func("f"))
+		idom := g.Dominators()
+		for _, b := range g.Blocks {
+			if idom[b.ID] == -1 {
+				continue // unreachable
+			}
+			if !Dominates(idom, g.Entry.ID, b.ID) {
+				t.Fatalf("seed %d: entry does not dominate b%d\n%s", seed, b.ID, g.String())
+			}
+			if b != g.Entry {
+				parent := idom[b.ID]
+				if !Dominates(idom, g.Entry.ID, parent) {
+					t.Fatalf("seed %d: idom(b%d)=b%d not dominated by entry", seed, b.ID, parent)
+				}
+			}
+		}
+		// Natural loops: each loop head dominates its body.
+		for _, l := range g.NaturalLoops() {
+			for blk := range l.Body {
+				if idom[blk.ID] == -1 {
+					continue
+				}
+				if !Dominates(idom, l.Head.ID, blk.ID) {
+					t.Fatalf("seed %d: loop head b%d does not dominate body b%d",
+						seed, l.Head.ID, blk.ID)
+				}
+			}
+		}
+	}
+}

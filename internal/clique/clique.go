@@ -1,0 +1,215 @@
+// Package clique implements Chimera's clique analysis (paper §4.2): racy
+// function pairs that profiling found non-concurrent are grouped so that
+// one function-level weak-lock can guard many race pairs.
+//
+// Nodes are racy functions; an edge connects two functions observed
+// non-concurrent in every profile run. Greedy maximal cliques are carved
+// out of this graph; each clique gets one function-lock. A racy function
+// pair contained in several cliques is assigned the clique holding the
+// most racy pairs (the paper's greedy tie-break), so e.g. alice needs only
+// clique0's lock for both of its races rather than two pairwise locks
+// (paper Fig. 3).
+package clique
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pair is an unordered racy function pair, stored canonically (A <= B).
+type Pair [2]string
+
+// MakePair canonicalizes a pair.
+func MakePair(a, b string) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{a, b}
+}
+
+// Result is the clique assignment.
+type Result struct {
+	// Cliques lists each clique's member functions, sorted.
+	Cliques [][]string
+
+	// CliqueOfPair maps each non-concurrent racy pair to the index of the
+	// clique whose function-lock guards it. Pairs that are concurrent (or
+	// involve a function concurrent with itself) are absent.
+	CliqueOfPair map[Pair]int
+
+	// FuncCliques maps each function to the sorted set of clique indices
+	// whose locks it must acquire (the cliques assigned to its pairs).
+	FuncCliques map[string][]int
+}
+
+// Build computes the clique assignment.
+//
+//   - racyPairs: the racy-function-pairs from RELAY (may contain self
+//     pairs f==f for functions racing with another instance of themselves).
+//   - concurrent: the profiler's observation; concurrent(f, g) true means
+//     the pair was seen overlapping in some run and cannot use
+//     function-locks.
+func Build(racyPairs []Pair, concurrent func(a, b string) bool) *Result {
+	res := &Result{
+		CliqueOfPair: make(map[Pair]int),
+		FuncCliques:  make(map[string][]int),
+	}
+
+	// Candidate pairs: non-concurrent, distinct functions, and neither
+	// function concurrent with itself... actually a function concurrent
+	// with itself can still take a function-lock against a *different*
+	// non-concurrent function; what matters is the pair. Self-pairs
+	// (f racing f across two instances of f) can use a function-lock only
+	// if f is never concurrent with itself — in which case the two
+	// instances are serialized anyway, but the lock still records order.
+	seen := make(map[Pair]bool)
+	var cand []Pair
+	for _, p := range racyPairs {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if concurrent(p[0], p[1]) {
+			continue
+		}
+		cand = append(cand, p)
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i][0] != cand[j][0] {
+			return cand[i][0] < cand[j][0]
+		}
+		return cand[i][1] < cand[j][1]
+	})
+	if len(cand) == 0 {
+		return res
+	}
+
+	// Node set and non-concurrency adjacency (over all candidate-involved
+	// functions; edges exist whenever the profiler never saw the two
+	// concurrent, not only for racy pairs — sharing needs the full graph,
+	// see Fig. 3 where bob and carol are non-concurrent but race-free).
+	nodeSet := make(map[string]bool)
+	for _, p := range cand {
+		nodeSet[p[0]] = true
+		nodeSet[p[1]] = true
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	adj := func(a, b string) bool {
+		if a == b {
+			// Self-loop: f joins a clique with itself only if f is never
+			// concurrent with itself.
+			return !concurrent(a, a)
+		}
+		return !concurrent(a, b)
+	}
+
+	// Greedy maximal cliques seeded from uncovered candidate pairs.
+	covered := make(map[Pair]bool)
+	for _, p := range cand {
+		if covered[p] {
+			continue
+		}
+		cl := []string{p[0]}
+		if p[1] != p[0] {
+			cl = append(cl, p[1])
+		}
+		// Extend greedily with nodes adjacent to every member.
+		for _, n := range nodes {
+			if n == p[0] || n == p[1] {
+				continue
+			}
+			ok := true
+			for _, m := range cl {
+				if !adj(n, m) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cl = append(cl, n)
+			}
+		}
+		sort.Strings(cl)
+		res.Cliques = append(res.Cliques, cl)
+		// Mark candidate pairs inside this clique covered.
+		in := make(map[string]bool, len(cl))
+		for _, m := range cl {
+			in[m] = true
+		}
+		for _, q := range cand {
+			if in[q[0]] && in[q[1]] {
+				covered[q] = true
+			}
+		}
+	}
+
+	// Assign each candidate pair the containing clique with the most racy
+	// pairs (paper: "a greedy algorithm that chooses the weak-lock
+	// corresponding to the clique that contains the most number of
+	// racy-function-pairs").
+	pairsIn := make([]int, len(res.Cliques))
+	contains := func(ci int, p Pair) bool {
+		in := false
+		inB := false
+		for _, m := range res.Cliques[ci] {
+			if m == p[0] {
+				in = true
+			}
+			if m == p[1] {
+				inB = true
+			}
+		}
+		return in && inB
+	}
+	for ci := range res.Cliques {
+		for _, p := range cand {
+			if contains(ci, p) {
+				pairsIn[ci]++
+			}
+		}
+	}
+	for _, p := range cand {
+		best := -1
+		for ci := range res.Cliques {
+			if !contains(ci, p) {
+				continue
+			}
+			if best == -1 || pairsIn[ci] > pairsIn[best] {
+				best = ci
+			}
+		}
+		if best >= 0 {
+			res.CliqueOfPair[p] = best
+		}
+	}
+
+	// Function → needed clique locks.
+	fc := make(map[string]map[int]bool)
+	for p, ci := range res.CliqueOfPair {
+		for _, f := range []string{p[0], p[1]} {
+			if fc[f] == nil {
+				fc[f] = make(map[int]bool)
+			}
+			fc[f][ci] = true
+		}
+	}
+	for f, set := range fc {
+		var ids []int
+		for ci := range set {
+			ids = append(ids, ci)
+		}
+		sort.Ints(ids)
+		res.FuncCliques[f] = ids
+	}
+	return res
+}
+
+// String summarizes the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("cliques{%d cliques, %d pairs assigned}", len(r.Cliques), len(r.CliqueOfPair))
+}

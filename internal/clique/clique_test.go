@@ -1,0 +1,135 @@
+package clique
+
+import (
+	"testing"
+)
+
+// concFrom builds a concurrency oracle from a list of concurrent pairs.
+func concFrom(pairs ...[2]string) func(a, b string) bool {
+	set := make(map[Pair]bool)
+	for _, p := range pairs {
+		set[MakePair(p[0], p[1])] = true
+	}
+	return func(a, b string) bool { return set[MakePair(a, b)] }
+}
+
+func TestPaperFigure3(t *testing.T) {
+	// Paper Fig. 3: alice races with bob and carol (all mutually
+	// non-concurrent); bob and dave race but are concurrent; carol and
+	// dave are non-concurrent.
+	racy := []Pair{
+		MakePair("alice", "bob"),
+		MakePair("alice", "carol"),
+		MakePair("bob", "dave"),
+	}
+	concurrent := concFrom([2]string{"bob", "dave"}, [2]string{"alice", "dave"})
+	r := Build(racy, concurrent)
+
+	// bob-dave is concurrent: no function lock.
+	if _, ok := r.CliqueOfPair[MakePair("bob", "dave")]; ok {
+		t.Errorf("concurrent pair bob-dave must not get a function-lock")
+	}
+	// alice-bob and alice-carol share one clique ({alice,bob,carol}).
+	cAB, okAB := r.CliqueOfPair[MakePair("alice", "bob")]
+	cAC, okAC := r.CliqueOfPair[MakePair("alice", "carol")]
+	if !okAB || !okAC {
+		t.Fatalf("non-concurrent racy pairs not assigned: %+v", r.CliqueOfPair)
+	}
+	if cAB != cAC {
+		t.Errorf("alice's two pairs should share one clique (got %d and %d)", cAB, cAC)
+	}
+	// alice needs exactly one function-lock.
+	if got := r.FuncCliques["alice"]; len(got) != 1 {
+		t.Errorf("alice needs %d locks, want 1", len(got))
+	}
+	// The chosen clique contains alice, bob, carol.
+	members := r.Cliques[cAB]
+	want := map[string]bool{"alice": true, "bob": true, "carol": true}
+	for _, m := range members {
+		delete(want, m)
+	}
+	if len(want) != 0 {
+		t.Errorf("clique %v missing members %v", members, want)
+	}
+}
+
+func TestAllConcurrentNothingAssigned(t *testing.T) {
+	racy := []Pair{MakePair("f", "g")}
+	r := Build(racy, func(a, b string) bool { return true })
+	if len(r.CliqueOfPair) != 0 || len(r.Cliques) != 0 {
+		t.Errorf("nothing should be assigned when everything is concurrent")
+	}
+}
+
+func TestSelfPair(t *testing.T) {
+	// f races with itself; if f is never concurrent with itself (e.g.
+	// serialized by a pipeline), a function-lock applies.
+	racy := []Pair{MakePair("f", "f")}
+	r := Build(racy, func(a, b string) bool { return false })
+	if _, ok := r.CliqueOfPair[MakePair("f", "f")]; !ok {
+		t.Errorf("self pair of a never-self-concurrent function should get a lock")
+	}
+
+	r2 := Build(racy, func(a, b string) bool { return a == "f" && b == "f" })
+	if _, ok := r2.CliqueOfPair[MakePair("f", "f")]; ok {
+		t.Errorf("self-concurrent function must not get a function lock for its self pair")
+	}
+}
+
+func TestDisjointCliques(t *testing.T) {
+	// Two independent non-concurrent pairs, where cross pairs are
+	// concurrent: two cliques.
+	racy := []Pair{MakePair("a", "b"), MakePair("c", "d")}
+	concurrent := concFrom(
+		[2]string{"a", "c"}, [2]string{"a", "d"},
+		[2]string{"b", "c"}, [2]string{"b", "d"},
+	)
+	r := Build(racy, concurrent)
+	if len(r.Cliques) != 2 {
+		t.Fatalf("got %d cliques, want 2: %v", len(r.Cliques), r.Cliques)
+	}
+	if r.CliqueOfPair[MakePair("a", "b")] == r.CliqueOfPair[MakePair("c", "d")] {
+		t.Errorf("independent pairs must get distinct cliques")
+	}
+}
+
+func TestPairInTwoCliquesPicksBigger(t *testing.T) {
+	// carol-dave is in cliques {alice,bob,carol,dave}? Construct: pairs
+	// (a,b),(a,c),(b,c) all non-concurrent → big clique; pair (c,d) also
+	// non-concurrent but d concurrent with a and b → small clique {c,d}.
+	racy := []Pair{
+		MakePair("a", "b"), MakePair("a", "c"), MakePair("b", "c"),
+		MakePair("c", "d"),
+	}
+	concurrent := concFrom([2]string{"a", "d"}, [2]string{"b", "d"})
+	r := Build(racy, concurrent)
+	big := r.CliqueOfPair[MakePair("a", "b")]
+	if r.CliqueOfPair[MakePair("a", "c")] != big || r.CliqueOfPair[MakePair("b", "c")] != big {
+		t.Errorf("triangle pairs should share the big clique")
+	}
+	small := r.CliqueOfPair[MakePair("c", "d")]
+	if small == big {
+		t.Errorf("c-d cannot use the big clique (d is concurrent with a and b)")
+	}
+	// c participates in both cliques.
+	if got := r.FuncCliques["c"]; len(got) != 2 {
+		t.Errorf("c needs %d locks, want 2 (both cliques)", len(got))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	racy := []Pair{
+		MakePair("w3", "w1"), MakePair("w2", "w1"), MakePair("w3", "w2"),
+	}
+	conc := func(a, b string) bool { return false }
+	r1 := Build(racy, conc)
+	r2 := Build([]Pair{racy[2], racy[0], racy[1]}, conc)
+	if len(r1.Cliques) != len(r2.Cliques) {
+		t.Fatalf("clique count differs across orderings")
+	}
+	for p, c1 := range r1.CliqueOfPair {
+		if c2, ok := r2.CliqueOfPair[p]; !ok || r1.Cliques[c1][0] != r2.Cliques[c2][0] {
+			t.Errorf("assignment for %v differs across input orderings", p)
+		}
+	}
+}

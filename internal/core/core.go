@@ -1,0 +1,265 @@
+// Package core orchestrates the Chimera pipeline (paper Fig. 1):
+//
+//	parse → type-check → points-to → call graph → RELAY race detection
+//	  → profile non-concurrent functions → clique analysis
+//	  → symbolic bounds → weak-lock instrumentation
+//	  → record on the simulated multicore → replay → verify determinism
+//
+// It is the programmatic API behind the root chimera package, the CLI
+// tools, and the benchmark harness.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/callgraph"
+	"repro/internal/instrument"
+	"repro/internal/minic/ast"
+	"repro/internal/minic/parser"
+	"repro/internal/minic/types"
+	"repro/internal/oskit"
+	"repro/internal/pointsto"
+	"repro/internal/profile"
+	"repro/internal/relay"
+	"repro/internal/replay"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/weaklock"
+)
+
+// Program is a fully analyzed MiniC program.
+type Program struct {
+	Name   string
+	Source string
+	File   *ast.File
+	Info   *types.Info
+	PTA    *pointsto.Analysis
+	CG     *callgraph.Graph
+	Races  *relay.Report
+	Code   *vm.Program
+}
+
+// Load parses, checks, analyzes and compiles a program.
+func Load(name, src string) (*Program, error) {
+	file, err := parser.Parse(name, src)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", name, err)
+	}
+	info, err := types.Check(file)
+	if err != nil {
+		return nil, fmt.Errorf("check %s: %w", name, err)
+	}
+	code, err := vm.Compile(info)
+	if err != nil {
+		return nil, fmt.Errorf("compile %s: %w", name, err)
+	}
+	pta := pointsto.Analyze(info)
+	cg := callgraph.Build(info, pta)
+	races := relay.Analyze(info, pta, cg)
+	return &Program{
+		Name: name, Source: src, File: file, Info: info,
+		PTA: pta, CG: cg, Races: races, Code: code,
+	}, nil
+}
+
+// MustLoad loads or panics; for tests and embedded benchmarks.
+func MustLoad(name, src string) *Program {
+	p, err := Load(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// RunConfig parameterizes one execution of a program.
+type RunConfig struct {
+	World *oskit.World
+	Seed  uint64
+	Cost  vm.CostModel
+	// Table is the weak-lock table for instrumented programs.
+	Table *weaklock.Table
+	// MaxSteps overrides the default instruction budget if nonzero.
+	MaxSteps int64
+	// HeapWords overrides the default VM heap size if nonzero.
+	HeapWords int64
+	// CheckLockOrder enables the weak-lock discipline assertion.
+	CheckLockOrder bool
+	// MaxThreads overrides the thread limit if nonzero.
+	MaxThreads int
+}
+
+func (rc RunConfig) vmConfig() vm.Config {
+	return vm.Config{
+		Inputs:         vm.LiveInputs{OS: rc.World},
+		Cost:           rc.Cost,
+		Seed:           rc.Seed,
+		WL:             rc.Table,
+		MaxSteps:       rc.MaxSteps,
+		HeapWords:      rc.HeapWords,
+		CheckLockOrder: rc.CheckLockOrder,
+		MaxThreads:     rc.MaxThreads,
+	}
+}
+
+// RunNative executes the program with no recording (the paper's baseline
+// "original time").
+func (p *Program) RunNative(rc RunConfig) *vm.Result {
+	return vm.Run(p.Code, rc.vmConfig())
+}
+
+// ProfileNonConcurrency runs the program multiple times over profile
+// worlds and accumulates the set of concurrent function pairs (paper §4.1:
+// "we profiled each program 20 times with various inputs").
+func (p *Program) ProfileNonConcurrency(mkWorld func(run int) *oskit.World, runs int, seedBase uint64) *profile.Concurrency {
+	names := make([]string, len(p.Code.Funcs))
+	for i, fn := range p.Code.Funcs {
+		names[i] = fn.Name
+	}
+	conc := profile.NewConcurrency()
+	for i := 0; i < runs; i++ {
+		col := profile.NewCollector()
+		cfg := vm.Config{
+			Inputs: vm.LiveInputs{OS: mkWorld(i)},
+			Seed:   seedBase + uint64(i)*1000003,
+			Funcs:  col,
+		}
+		r := vm.Run(p.Code, cfg)
+		if r.Err != nil {
+			// Profile runs on racy programs can fail (e.g. a check
+			// tripped by a manifested race); the partial profile is
+			// still usable — observed concurrency stands.
+			_ = r.Err
+		}
+		conc.AddRun(col, names)
+	}
+	return conc
+}
+
+// Instrumented is a Chimera-transformed program ready to record.
+type Instrumented struct {
+	Orig   *Program
+	Prog   *Program // the reparsed, recompiled instrumented program
+	Table  *weaklock.Table
+	Report *instrument.Result
+}
+
+// Instrument applies the weak-lock transformation and recompiles.
+func (p *Program) Instrument(conc *profile.Concurrency, opts instrument.Options) (*Instrumented, error) {
+	res, err := instrument.Instrument(p.Races, conc, opts)
+	if err != nil {
+		return nil, fmt.Errorf("instrument %s: %w", p.Name, err)
+	}
+	ip, err := Load(p.Name+".chimera", res.Source)
+	if err != nil {
+		return nil, fmt.Errorf("reload instrumented %s: %w\n--- source ---\n%s", p.Name, err, res.Source)
+	}
+	return &Instrumented{Orig: p, Prog: ip, Table: res.Table, Report: res}, nil
+}
+
+// Record executes the instrumented program while logging inputs and sync
+// order; it returns the run result and the log.
+func (ip *Instrumented) Record(rc RunConfig) (*vm.Result, *replay.Log) {
+	rec := replay.NewRecorder(rc.World, rc.Cost)
+	cfg := rc.vmConfig()
+	cfg.Inputs = rec
+	cfg.Monitor = rec
+	cfg.WL = ip.Table
+	r := vm.Run(ip.Prog.Code, cfg)
+	return r, rec.Log()
+}
+
+// RecordProgram records an arbitrary program (e.g. the DRF-only baseline
+// on an uninstrumented program).
+func RecordProgram(p *Program, table *weaklock.Table, rc RunConfig) (*vm.Result, *replay.Log) {
+	rec := replay.NewRecorder(rc.World, rc.Cost)
+	cfg := rc.vmConfig()
+	cfg.Inputs = rec
+	cfg.Monitor = rec
+	cfg.WL = table
+	r := vm.Run(p.Code, cfg)
+	return r, rec.Log()
+}
+
+// ReplayProgram re-executes a program against a recording; the seed may
+// differ from the recording seed — determinism must come from the log.
+//
+// Recordings containing forced weak-lock preemptions (timeouts) replay
+// too: each preemption was logged with a deterministic anchor (the owner's
+// retired-instruction and committed-sync counts — the role DoublePlay's
+// instruction-pointer/branch-count pair plays in §2.3), and the VM injects
+// it at exactly that point. This goes beyond the paper, which left the
+// replay side unported. Organic timeouts are disabled during replay so the
+// only preemptions are the recorded ones.
+func ReplayProgram(p *Program, table *weaklock.Table, log *replay.Log, rc RunConfig) (*vm.Result, error) {
+	rep := replay.NewReplayer(log, rc.Cost)
+	cfg := rc.vmConfig()
+	cfg.Inputs = rep
+	cfg.Monitor = rep
+	cfg.WL = table
+	cfg.DisableTimeouts = true
+	r := vm.Run(p.Code, cfg)
+	if rep.Err() != nil {
+		return r, rep.Err()
+	}
+	if r.Err != nil {
+		return r, r.Err
+	}
+	if !rep.Drained() {
+		return r, fmt.Errorf("replay divergence: order log not fully consumed")
+	}
+	return r, nil
+}
+
+// Replay re-executes the instrumented program against a recording.
+func (ip *Instrumented) Replay(log *replay.Log, rc RunConfig) (*vm.Result, error) {
+	return ReplayProgram(ip.Prog, ip.Table, log, rc)
+}
+
+// VerifyDeterministicReplay records with one seed and replays with another;
+// it returns an error unless the replay bit-matches the recording.
+func (ip *Instrumented) VerifyDeterministicReplay(world func() *oskit.World, recSeed, repSeed uint64) error {
+	rc := RunConfig{World: world(), Seed: recSeed, Table: ip.Table}
+	recRes, log := ip.Record(rc)
+	if recRes.Err != nil {
+		return fmt.Errorf("record failed: %w", recRes.Err)
+	}
+	repRes, err := ip.Replay(log, RunConfig{World: world(), Seed: repSeed, Table: ip.Table})
+	if err != nil {
+		return fmt.Errorf("replay failed: %w", err)
+	}
+	if recRes.Hash64() != repRes.Hash64() {
+		return fmt.Errorf("replay diverged: recorded hash %x, replayed hash %x\nrecorded output: %q\nreplayed output: %q",
+			recRes.Hash64(), repRes.Hash64(), recRes.Output, repRes.Output)
+	}
+	return nil
+}
+
+// RunDeterministic executes an instrumented program under the
+// deterministic-execution arbiter (the paper's §9 vision: "future work may
+// be able to leverage the data-race-freedom provided by Chimera to provide
+// stronger guarantees such as ... deterministic execution"). The result is
+// a pure function of the program and its input world: independent of the
+// schedule seed and of the cost model, with no recording involved.
+// Organic weak-lock timeouts are disabled — time-based preemption would
+// reintroduce timing dependence — so programs that block while holding a
+// weak-lock deadlock visibly instead.
+func (ip *Instrumented) RunDeterministic(rc RunConfig) *vm.Result {
+	cfg := rc.vmConfig()
+	cfg.WL = ip.Table
+	cfg.Deterministic = true
+	cfg.DisableTimeouts = true
+	return vm.Run(ip.Prog.Code, cfg)
+}
+
+// CheckDynamicRaces runs the program under the vector-clock checker and
+// returns the distinct races observed. For instrumented programs pass the
+// weak-lock table so weak-lock edges count as synchronization.
+func CheckDynamicRaces(p *Program, table *weaklock.Table, rc RunConfig) ([]trace.Race, *vm.Result) {
+	chk := trace.NewChecker(0)
+	cfg := rc.vmConfig()
+	cfg.WL = table
+	cfg.Trace = chk
+	cfg.SyncEvents = chk
+	r := vm.Run(p.Code, cfg)
+	return chk.Races(), r
+}

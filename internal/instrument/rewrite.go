@@ -1,0 +1,770 @@
+package instrument
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/token"
+	"repro/internal/minic/types"
+	"repro/internal/symbolic"
+	"repro/internal/weaklock"
+)
+
+// The rewriter produces the transformed tree. All emission is *flat*: a
+// guarded statement becomes [acquire..., stmt, release...] spliced into the
+// parent statement list, never a nested block — so declarations keep their
+// scope. Control transfers that leave a guarded region (return, break,
+// continue) are rewritten to release the locks they cross; loop-body entry
+// pushes a boundary marker so break/continue release exactly the brackets
+// opened inside the loop body.
+type rewriter struct {
+	ins *instrumenter
+
+	curFn      *types.FuncInfo
+	curFnLocks []weaklock.ID
+	brackets   []bracket
+	tempN      int
+}
+
+type bracket struct {
+	boundary bool // loop-body boundary marker
+	kind     weaklock.Kind
+	id       weaklock.ID
+}
+
+// stmtBreaksRegion reports whether the statement cannot live inside a
+// basic-block weak-lock region: it calls a user function (paper §2.2: such
+// blocks degrade to instruction granularity) or performs an operation that
+// can block or wait on a device (sync ops, thread ops, I/O) — holding a
+// weak-lock across those invites the timeout path.
+func stmtBreaksRegion(info *types.Info, s ast.Stmt) bool {
+	breaks := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		call, ok := n.(*ast.Call)
+		if !ok {
+			return true
+		}
+		target := info.CallTargets[call.ID()]
+		if target == nil || target.Kind == types.ObjFunc {
+			breaks = true
+			return false
+		}
+		switch target.Builtin {
+		case types.BMalloc, types.BFree, types.BNow, types.BRnd,
+			types.BPrint, types.BPrints, types.BCheck,
+			types.BWlAcquire, types.BWlRelease:
+			// Non-blocking: fine inside a region.
+		default:
+			breaks = true
+			return false
+		}
+		return true
+	})
+	return breaks
+}
+
+// rewrite produces the instrumented source text.
+func (ins *instrumenter) rewrite() (string, error) {
+	ins.normalizeRegions()
+	ins.computeWLUsers()
+	clone := ast.CloneFile(ins.rep.Info.File)
+	rw := &rewriter{ins: ins}
+	for _, fn := range clone.Funcs {
+		rw.curFn = ins.rep.Info.Funcs[fn.Name]
+		rw.brackets = rw.brackets[:0]
+		locks := ins.pl.funcLocks[fn.Name]
+		rw.curFnLocks = locks
+		for _, id := range locks {
+			rw.push(weaklock.KindFunc, id)
+		}
+		body := rw.block(fn.Body)
+		if len(locks) > 0 {
+			var stmts []ast.Stmt
+			for _, id := range locks {
+				stmts = append(stmts, acquireStmt(weaklock.KindFunc, id, nil, nil))
+				ins.res.StaticCounts[weaklock.KindFunc]++
+			}
+			stmts = append(stmts, body.Stmts...)
+			for i := len(locks) - 1; i >= 0; i-- {
+				stmts = append(stmts, releaseStmt(weaklock.KindFunc, locks[i]))
+			}
+			body = &ast.Block{Stmts: stmts}
+		}
+		for range locks {
+			rw.pop()
+		}
+		fn.Body = body
+	}
+	return ast.Print(clone), nil
+}
+
+// normalizeRegions merges overlapping bb regions per block (late
+// expansions can bridge previously separate regions).
+func (ins *instrumenter) normalizeRegions() {
+	for blk, regions := range ins.pl.bbSites {
+		sort.Slice(regions, func(i, j int) bool { return regions[i].start < regions[j].start })
+		var merged []*region
+		for _, r := range regions {
+			if n := len(merged); n > 0 && r.start <= merged[n-1].end+0 {
+				last := merged[n-1]
+				if r.end > last.end {
+					last.end = r.end
+				}
+				for id := range r.locks {
+					last.locks[id] = true
+				}
+				continue
+			}
+			merged = append(merged, r)
+		}
+		ins.pl.bbSites[blk] = merged
+	}
+}
+
+func (rw *rewriter) push(kind weaklock.Kind, id weaklock.ID) {
+	rw.brackets = append(rw.brackets, bracket{kind: kind, id: id})
+}
+
+func (rw *rewriter) pushBoundary() {
+	rw.brackets = append(rw.brackets, bracket{boundary: true})
+}
+
+func (rw *rewriter) pop() {
+	rw.brackets = rw.brackets[:len(rw.brackets)-1]
+}
+
+// releasesAbove emits releases for brackets above the innermost boundary
+// (for break/continue) or for all brackets (for return), innermost first.
+func (rw *rewriter) releasesAbove(toBoundary bool) []ast.Stmt {
+	var out []ast.Stmt
+	for i := len(rw.brackets) - 1; i >= 0; i-- {
+		b := rw.brackets[i]
+		if b.boundary {
+			if toBoundary {
+				break
+			}
+			continue
+		}
+		out = append(out, releaseStmt(b.kind, b.id))
+	}
+	return out
+}
+
+// block rewrites a block, applying bb regions.
+func (rw *rewriter) block(b *ast.Block) *ast.Block {
+	regions := rw.ins.pl.bbSites[b.ID()]
+	regionAt := func(i int) *region {
+		for _, r := range regions {
+			if r.start == i {
+				return r
+			}
+		}
+		return nil
+	}
+	out := &ast.Block{}
+	out.SetMeta(b.Pos(), b.ID())
+	for i := 0; i < len(b.Stmts); {
+		if r := regionAt(i); r != nil {
+			locks := sortedLocks(r.locks)
+			for _, id := range locks {
+				out.Stmts = append(out.Stmts, acquireStmt(weaklock.KindBB, id, nil, nil))
+				rw.push(weaklock.KindBB, id)
+			}
+			for j := r.start; j <= r.end && j < len(b.Stmts); j++ {
+				out.Stmts = append(out.Stmts, rw.stmt(b.Stmts[j])...)
+			}
+			for k := len(locks) - 1; k >= 0; k-- {
+				out.Stmts = append(out.Stmts, releaseStmt(weaklock.KindBB, locks[k]))
+				rw.pop()
+			}
+			i = r.end + 1
+			continue
+		}
+		out.Stmts = append(out.Stmts, rw.stmt(b.Stmts[i])...)
+		i++
+	}
+	return out
+}
+
+// stmt rewrites one statement into a flat statement list.
+func (rw *rewriter) stmt(s ast.Stmt) []ast.Stmt {
+	instrLocks := sortedLocks(rw.ins.pl.instrSites[s.ID()])
+
+	switch s := s.(type) {
+	case *ast.Block:
+		nb := rw.block(s)
+		return rw.wrapFlat(instrLocks, []ast.Stmt{nb})
+
+	case *ast.IfStmt:
+		if len(instrLocks) > 0 && stmtBreaksRegion(rw.ins.rep.Info, s) {
+			// The branches can block: evaluate the racy condition under
+			// the lock, then branch without holding it.
+			tmp := fmt.Sprintf("__wlc%d", rw.tempN)
+			rw.tempN++
+			out := rw.wrapFlat(instrLocks, []ast.Stmt{intTempDecl(tmp, ast.CloneExpr(s.CondE))})
+			ni := &ast.IfStmt{CondE: identExpr(tmp), Then: rw.block(s.Then)}
+			ni.SetMeta(s.Pos(), s.ID())
+			if s.Else != nil {
+				elseStmts := rw.stmt(s.Else)
+				if len(elseStmts) == 1 {
+					ni.Else = elseStmts[0]
+				} else {
+					ni.Else = &ast.Block{Stmts: elseStmts}
+				}
+			}
+			return append(out, ni)
+		}
+		return rw.wrapControl(instrLocks, func() ast.Stmt {
+			ni := &ast.IfStmt{CondE: ast.CloneExpr(s.CondE), Then: rw.block(s.Then)}
+			ni.SetMeta(s.Pos(), s.ID())
+			if s.Else != nil {
+				elseStmts := rw.stmt(s.Else)
+				if len(elseStmts) == 1 {
+					ni.Else = elseStmts[0]
+				} else {
+					eb := &ast.Block{Stmts: elseStmts}
+					ni.Else = eb
+				}
+			}
+			return ni
+		})
+
+	case *ast.WhileStmt, *ast.ForStmt:
+		return rw.loop(s, instrLocks)
+
+	case *ast.ReturnStmt:
+		return rw.ret(s, instrLocks)
+
+	case *ast.BreakStmt:
+		rel := rw.releasesAbove(true)
+		return append(rel, cloneS(s))
+
+	case *ast.ContinueStmt:
+		rel := rw.releasesAbove(true)
+		return append(rel, cloneS(s))
+
+	default:
+		// Simple statements. Before wrapping with instruction locks,
+		// hoist race-free user-function calls out of the statement (the
+		// three-address normalization CIL performed): otherwise the lock
+		// is held across the entire callee.
+		ns := cloneS(s)
+		var pre []ast.Stmt
+		if len(instrLocks) > 0 {
+			pre, ns = rw.hoistCalls(ns)
+			return append(pre, rw.wrapFlat(instrLocks, []ast.Stmt{ns})...)
+		}
+		// Paper §2.3: a function-lock holder releases its weak-locks
+		// around inner regions — calls into functions that themselves use
+		// weak-locks. The call is hoisted to its own statement first so
+		// the release window contains nothing else.
+		if len(rw.curFnLocks) > 0 && rw.stmtCallsWLUser(ns) {
+			return rw.releaseAroundCalls(ns)
+		}
+		return []ast.Stmt{ns}
+	}
+}
+
+// stmtCallsWLUser reports whether the statement calls a function whose
+// subtree uses weak-locks.
+func (rw *rewriter) stmtCallsWLUser(s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if call, ok := n.(*ast.Call); ok {
+			if t := rw.ins.rep.Info.CallTargets[call.ID()]; t != nil && t.Kind == types.ObjFunc {
+				if rw.ins.wlUsers[t.Name] {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// releaseAroundCalls rewrites a statement calling weak-lock-using functions
+// so the caller's function-locks are released across each such call:
+//
+//	rel(F...); int __wlh = callee(args); acq(F...); rest-of-statement
+//
+// A call that touches racy nodes (its reads must stay protected) or that
+// cannot be hoisted stays in place; the reentrant runtime plus the timeout
+// mechanism then remain the backstop.
+func (rw *rewriter) releaseAroundCalls(s ast.Stmt) []ast.Stmt {
+	pre, ns := rw.hoistCalls(s)
+	var out []ast.Stmt
+	rel := func() {
+		for i := len(rw.curFnLocks) - 1; i >= 0; i-- {
+			out = append(out, releaseStmt(weaklock.KindFunc, rw.curFnLocks[i]))
+		}
+	}
+	acq := func() {
+		for _, id := range rw.curFnLocks {
+			out = append(out, acquireStmt(weaklock.KindFunc, id, nil, nil))
+		}
+	}
+	for _, p := range pre {
+		if rw.stmtCallsWLUser(p) {
+			rel()
+			out = append(out, p)
+			acq()
+		} else {
+			out = append(out, p)
+		}
+	}
+	// A residual void call (g(x);) could not be hoisted; if the whole
+	// statement is exactly that call and it is race-free, bracket it too.
+	if es, ok := ns.(*ast.ExprStmt); ok && rw.stmtCallsWLUser(ns) && !rw.stmtHasRacyNode(es) {
+		rel()
+		out = append(out, ns)
+		acq()
+		return out
+	}
+	out = append(out, ns)
+	return out
+}
+
+// stmtHasRacyNode reports whether the statement contains any racy lvalue.
+func (rw *rewriter) stmtHasRacyNode(s ast.Stmt) bool {
+	racy := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok {
+			if _, isRacy := rw.ins.rep.RacyNodes[e.ID()]; isRacy {
+				racy = true
+				return false
+			}
+		}
+		return true
+	})
+	return racy
+}
+
+// hoistCalls extracts user-function calls that are unconditionally
+// evaluated and contain no racy access into temporaries emitted before the
+// statement. Calls under short-circuit right operands or conditional
+// branches stay (hoisting would change evaluation), as do calls whose
+// subtree touches a racy node (their reads must stay under the lock).
+func (rw *rewriter) hoistCalls(s ast.Stmt) ([]ast.Stmt, ast.Stmt) {
+	var pre []ast.Stmt
+
+	isHoistable := func(call *ast.Call) bool {
+		target := rw.ins.rep.Info.CallTargets[call.ID()]
+		if target != nil && target.Kind != types.ObjFunc {
+			return false // builtins stay
+		}
+		racy := false
+		ast.Inspect(call, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				if _, isRacy := rw.ins.rep.RacyNodes[e.ID()]; isRacy {
+					racy = true
+					return false
+				}
+			}
+			return true
+		})
+		return !racy
+	}
+
+	var rewriteExpr func(e ast.Expr) ast.Expr
+	rewriteExpr = func(e ast.Expr) ast.Expr {
+		switch e := e.(type) {
+		case *ast.Call:
+			// Rewrite arguments first (inner calls hoist before outer).
+			for i, a := range e.Args {
+				e.Args[i] = rewriteExpr(a)
+			}
+			if !isHoistable(e) {
+				return e
+			}
+			// Void calls cannot be hoisted into a value temp.
+			if t := rw.ins.rep.Info.Types[e.ID()]; t != nil && t.Kind == types.Void {
+				return e
+			}
+			tmp := fmt.Sprintf("__wlh%d", rw.tempN)
+			rw.tempN++
+			pre = append(pre, intTempDecl(tmp, e))
+			return identExpr(tmp)
+		case *ast.Unary:
+			e.X = rewriteExpr(e.X)
+		case *ast.Binary:
+			// Only the left operand of && and || evaluates
+			// unconditionally.
+			e.X = rewriteExpr(e.X)
+			if e.Op != token.LAND && e.Op != token.LOR {
+				e.Y = rewriteExpr(e.Y)
+			}
+		case *ast.Cond:
+			e.CondE = rewriteExpr(e.CondE)
+		case *ast.Index:
+			e.X = rewriteExpr(e.X)
+			e.Index = rewriteExpr(e.Index)
+		case *ast.Field:
+			e.X = rewriteExpr(e.X)
+		}
+		return e
+	}
+
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		s.RHS = rewriteExpr(s.RHS)
+		s.LHS = rewriteExpr(s.LHS)
+	case *ast.DeclStmt:
+		if s.Decl.Init != nil {
+			s.Decl.Init = rewriteExpr(s.Decl.Init)
+		}
+	case *ast.ExprStmt:
+		// An ExprStmt that IS a user call stays in place (the call is the
+		// statement); only nested calls in its arguments hoist.
+		if call, ok := s.X.(*ast.Call); ok {
+			for i, a := range call.Args {
+				call.Args[i] = rewriteExpr(a)
+			}
+		} else {
+			s.X = rewriteExpr(s.X)
+		}
+	case *ast.IncDecStmt:
+		s.X = rewriteExpr(s.X)
+	}
+	return pre, s
+}
+
+// wrapFlat surrounds stmts with instruction-granularity acquire/release
+// pairs (flat emission, no scoping block).
+func (rw *rewriter) wrapFlat(locks []weaklock.ID, stmts []ast.Stmt) []ast.Stmt {
+	if len(locks) == 0 {
+		return stmts
+	}
+	var out []ast.Stmt
+	for _, id := range locks {
+		out = append(out, acquireStmt(weaklock.KindInstr, id, nil, nil))
+	}
+	out = append(out, stmts...)
+	for i := len(locks) - 1; i >= 0; i-- {
+		out = append(out, releaseStmt(weaklock.KindInstr, locks[i]))
+	}
+	return out
+}
+
+// wrapControl wraps a control statement whose interior may return/break;
+// the brackets are pushed while rewriting the interior.
+func (rw *rewriter) wrapControl(locks []weaklock.ID, build func() ast.Stmt) []ast.Stmt {
+	for _, id := range locks {
+		rw.push(weaklock.KindInstr, id)
+	}
+	inner := build()
+	for range locks {
+		rw.pop()
+	}
+	return rw.wrapFlat(locks, []ast.Stmt{inner})
+}
+
+// loop rewrites a loop statement, attaching loop-lock acquires and any
+// instruction locks for header accesses.
+//
+// When the loop body can block (barriers, locks, joins, I/O, calls) a
+// header instruction-lock must NOT wrap the whole loop — holding a
+// weak-lock across a barrier wait is the forced-preemption storm the
+// timeout mechanism exists for, and two such holders ping-pong forever.
+// Those loops are lowered so the condition is evaluated under the lock
+// inside the loop:
+//
+//	for (init; cond; post) body  =>  init; while (1) {
+//	    acquire; int __wlc = cond; release;
+//	    if (!__wlc) { break; }
+//	    body
+//	    post
+//	}
+func (rw *rewriter) loop(s ast.Stmt, instrLocks []weaklock.ID) []ast.Stmt {
+	if len(instrLocks) > 0 && stmtBreaksRegion(rw.ins.rep.Info, s) && rw.canLowerLoop(s) {
+		return rw.lowerLoop(s, instrLocks)
+	}
+	acqs := append([]loopAcq{}, rw.ins.pl.loopSites[s.ID()]...)
+	sort.Slice(acqs, func(i, j int) bool { return acqs[i].lock < acqs[j].lock })
+
+	var pre, post []ast.Stmt
+
+	// Instruction locks (header accesses) wrap outermost.
+	for _, id := range instrLocks {
+		pre = append(pre, acquireStmt(weaklock.KindInstr, id, nil, nil))
+		rw.push(weaklock.KindInstr, id)
+	}
+	// Loop locks with optional ranges.
+	for _, a := range acqs {
+		if a.precise {
+			baseName := fmt.Sprintf("__wlb%d", rw.tempN)
+			rw.tempN++
+			pre = append(pre, ptrTempDecl(baseName, rw.baseAddrExpr(a.base)))
+			lo := addExpr(identExpr(baseName), linExprAst(a.lo))
+			hi := addExpr(identExpr(baseName), linExprAst(a.hi))
+			pre = append(pre, acquireStmt(weaklock.KindLoop, a.lock, lo, hi))
+		} else {
+			pre = append(pre, acquireStmt(weaklock.KindLoop, a.lock, nil, nil))
+		}
+		rw.push(weaklock.KindLoop, a.lock)
+	}
+
+	// Rewrite the loop body with a boundary marker so break/continue
+	// inside do not release the loop/instr brackets (they stay inside).
+	rw.pushBoundary()
+	var nl ast.Stmt
+	switch l := s.(type) {
+	case *ast.WhileStmt:
+		nw := &ast.WhileStmt{CondE: ast.CloneExpr(l.CondE), Body: rw.block(l.Body)}
+		nw.SetMeta(l.Pos(), l.ID())
+		nl = nw
+	case *ast.ForStmt:
+		nf := &ast.ForStmt{Body: rw.block(l.Body)}
+		nf.SetMeta(l.Pos(), l.ID())
+		if l.Init != nil {
+			nf.Init = ast.CloneStmt(l.Init)
+		}
+		if l.CondE != nil {
+			nf.CondE = ast.CloneExpr(l.CondE)
+		}
+		if l.Post != nil {
+			nf.Post = ast.CloneStmt(l.Post)
+		}
+		nl = nf
+	}
+	rw.pop() // boundary
+
+	for i := len(acqs) - 1; i >= 0; i-- {
+		post = append(post, releaseStmt(weaklock.KindLoop, acqs[i].lock))
+		rw.pop()
+	}
+	for i := len(instrLocks) - 1; i >= 0; i-- {
+		post = append(post, releaseStmt(weaklock.KindInstr, instrLocks[i]))
+		rw.pop()
+	}
+
+	out := append(pre, nl)
+	return append(out, post...)
+}
+
+// canLowerLoop reports whether the condition-inside lowering preserves
+// semantics: a for-loop whose body contains a `continue` would skip the
+// post statement in lowered form, so such (rare) loops keep the whole-loop
+// wrap and rely on the timeout backstop.
+func (rw *rewriter) canLowerLoop(s ast.Stmt) bool {
+	fs, isFor := s.(*ast.ForStmt)
+	if !isFor || fs.Post == nil {
+		return true
+	}
+	hasContinue := false
+	depth := 0
+	var walk func(st ast.Stmt)
+	walk = func(st ast.Stmt) {
+		switch st := st.(type) {
+		case *ast.Block:
+			for _, x := range st.Stmts {
+				walk(x)
+			}
+		case *ast.IfStmt:
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *ast.WhileStmt:
+			depth++
+			walk(st.Body)
+			depth--
+		case *ast.ForStmt:
+			depth++
+			walk(st.Body)
+			depth--
+		case *ast.ContinueStmt:
+			if depth == 0 {
+				hasContinue = true
+			}
+		}
+	}
+	walk(fs.Body)
+	return !hasContinue
+}
+
+// lowerLoop emits the condition-inside form for a loop whose header
+// carries instruction locks and whose body can block.
+func (rw *rewriter) lowerLoop(s ast.Stmt, locks []weaklock.ID) []ast.Stmt {
+	var out []ast.Stmt
+	var condE ast.Expr
+	var post ast.Stmt
+	var body *ast.Block
+
+	switch l := s.(type) {
+	case *ast.WhileStmt:
+		condE = l.CondE
+		body = l.Body
+	case *ast.ForStmt:
+		if l.Init != nil {
+			out = append(out, rw.wrapFlat(locks, []ast.Stmt{ast.CloneStmt(l.Init)})...)
+		}
+		condE = l.CondE
+		post = l.Post
+		body = l.Body
+	}
+
+	inner := &ast.Block{}
+	if condE != nil {
+		tmp := fmt.Sprintf("__wlc%d", rw.tempN)
+		rw.tempN++
+		inner.Stmts = append(inner.Stmts,
+			rw.wrapFlat(locks, []ast.Stmt{intTempDecl(tmp, ast.CloneExpr(condE))})...)
+		brk := &ast.Block{Stmts: []ast.Stmt{&ast.BreakStmt{}}}
+		inner.Stmts = append(inner.Stmts, &ast.IfStmt{
+			CondE: &ast.Unary{Op: token.NOT, X: identExpr(tmp)},
+			Then:  brk,
+		})
+	}
+	rw.pushBoundary()
+	rewritten := rw.block(body)
+	rw.pop()
+	inner.Stmts = append(inner.Stmts, rewritten.Stmts...)
+	if post != nil {
+		inner.Stmts = append(inner.Stmts, rw.wrapFlat(locks, []ast.Stmt{ast.CloneStmt(post)})...)
+	}
+
+	one := &ast.IntLit{Value: 1}
+	nw := &ast.WhileStmt{CondE: one, Body: inner}
+	nw.SetMeta(s.Pos(), s.ID())
+	out = append(out, nw)
+	return out
+}
+
+// ret rewrites a return statement, releasing every open bracket first; a
+// value expression is captured into a temp *before* the releases so its
+// evaluation stays protected.
+func (rw *rewriter) ret(s *ast.ReturnStmt, instrLocks []weaklock.ID) []ast.Stmt {
+	var out []ast.Stmt
+	for _, id := range instrLocks {
+		out = append(out, acquireStmt(weaklock.KindInstr, id, nil, nil))
+		rw.push(weaklock.KindInstr, id)
+	}
+	rel := rw.releasesAbove(false)
+	for range instrLocks {
+		rw.pop()
+	}
+	if len(rel) == 0 {
+		out = append(out, cloneS(s))
+		return out
+	}
+	if s.X == nil {
+		out = append(out, rel...)
+		nr := &ast.ReturnStmt{}
+		nr.SetMeta(s.Pos(), s.ID())
+		out = append(out, nr)
+		return out
+	}
+	tmp := fmt.Sprintf("__wlr%d", rw.tempN)
+	rw.tempN++
+	out = append(out, intTempDecl(tmp, ast.CloneExpr(s.X)))
+	out = append(out, rel...)
+	nr := &ast.ReturnStmt{X: identExpr(tmp)}
+	nr.SetMeta(s.Pos(), s.ID())
+	out = append(out, nr)
+	return out
+}
+
+func sortedLocks(m map[weaklock.ID]bool) []weaklock.ID {
+	out := make([]weaklock.ID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func cloneS(s ast.Stmt) ast.Stmt { return ast.CloneStmt(s) }
+
+// ---------------------------------------------------------------------------
+// AST emission helpers. Synthesized nodes carry zero metadata; the caller
+// reparses the printed source, which assigns fresh IDs.
+
+func identExpr(name string) *ast.Ident {
+	return &ast.Ident{Name: name}
+}
+
+func intExpr(v int64) *ast.IntLit {
+	return &ast.IntLit{Value: v}
+}
+
+func addExpr(x, y ast.Expr) ast.Expr {
+	return &ast.Binary{Op: token.PLUS, X: x, Y: y}
+}
+
+// linExprAst converts a symbolic linear expression to a MiniC expression.
+func linExprAst(l *symbolic.LinExpr) ast.Expr {
+	var e ast.Expr = intExpr(l.Const)
+	var vars []*types.Object
+	for v := range l.Terms {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Name < vars[j].Name })
+	for _, v := range vars {
+		c := l.Terms[v]
+		var term ast.Expr = identExpr(v.Name)
+		switch {
+		case c == 1:
+		case c == -1:
+			term = &ast.Unary{Op: token.MINUS, X: term}
+		default:
+			term = &ast.Binary{Op: token.STAR, X: intExpr(c), Y: term}
+		}
+		e = &ast.Binary{Op: token.PLUS, X: e, Y: term}
+	}
+	return e
+}
+
+// acquireStmt builds wl_acquire(kind, id, lo, hi); nil bounds emit the
+// infinite-range sentinels.
+func acquireStmt(kind weaklock.Kind, id weaklock.ID, lo, hi ast.Expr) ast.Stmt {
+	if lo == nil {
+		lo = intExpr(weaklock.NegInf)
+	}
+	if hi == nil {
+		hi = intExpr(weaklock.PosInf)
+	}
+	call := &ast.Call{
+		Fun:  identExpr("wl_acquire"),
+		Args: []ast.Expr{intExpr(int64(kind)), intExpr(int64(id)), lo, hi},
+	}
+	return &ast.ExprStmt{X: call}
+}
+
+func releaseStmt(kind weaklock.Kind, id weaklock.ID) ast.Stmt {
+	call := &ast.Call{
+		Fun:  identExpr("wl_release"),
+		Args: []ast.Expr{intExpr(int64(kind)), intExpr(int64(id))},
+	}
+	return &ast.ExprStmt{X: call}
+}
+
+// baseAddrExpr converts a bounds base lvalue into an address expression:
+// arrays decay and pointers are already addresses, but a scalar variable
+// base (a racy access to the variable itself) needs an explicit &.
+func (rw *rewriter) baseAddrExpr(base ast.Expr) ast.Expr {
+	t := rw.ins.rep.Info.Types[base.ID()]
+	if t != nil && t.Kind == types.Int {
+		return &ast.Unary{Op: token.AMP, X: ast.CloneExpr(base)}
+	}
+	return ast.CloneExpr(base)
+}
+
+// ptrTempDecl builds `int *name = init;` capturing a loop-lock base.
+func ptrTempDecl(name string, init ast.Expr) ast.Stmt {
+	return &ast.DeclStmt{Decl: &ast.VarDecl{
+		Name: name,
+		Type: ast.TypeName{Kind: ast.TypeInt, Stars: 1},
+		Init: init,
+	}}
+}
+
+// intTempDecl builds `int name = init;` capturing a return value.
+func intTempDecl(name string, init ast.Expr) ast.Stmt {
+	return &ast.DeclStmt{Decl: &ast.VarDecl{
+		Name: name,
+		Type: ast.TypeName{Kind: ast.TypeInt},
+		Init: init,
+	}}
+}

@@ -1,0 +1,189 @@
+package lp
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func ratEq(t *testing.T, got *big.Rat, num, den int64) {
+	t.Helper()
+	want := big.NewRat(num, den)
+	if got == nil || got.Cmp(want) != 0 {
+		t.Fatalf("got %v, want %s", got, want.RatString())
+	}
+}
+
+func TestSimpleMax(t *testing.T) {
+	// max x+y st x<=4, y<=3, x+y<=5 → 5
+	p := New(2)
+	p.AddConstraintInts([]int64{1, 0}, LE, 4)
+	p.AddConstraintInts([]int64{0, 1}, LE, 3)
+	p.AddConstraintInts([]int64{1, 1}, LE, 5)
+	p.AddConstraintInts([]int64{1, 0}, GE, 0)
+	p.AddConstraintInts([]int64{0, 1}, GE, 0)
+	v, _, st := p.MaximizeInts([]int64{1, 1})
+	if st != Optimal {
+		t.Fatalf("status %v", st)
+	}
+	ratEq(t, v, 5, 1)
+}
+
+func TestSimpleMin(t *testing.T) {
+	// min x st x >= 2, x <= 9 → 2
+	p := New(1)
+	p.AddConstraintInts([]int64{1}, GE, 2)
+	p.AddConstraintInts([]int64{1}, LE, 9)
+	v, _, st := p.MinimizeInts([]int64{1})
+	if st != Optimal {
+		t.Fatalf("status %v", st)
+	}
+	ratEq(t, v, 2, 1)
+}
+
+func TestFreeVariables(t *testing.T) {
+	// Free vars may be negative: min x st x >= -7 → -7
+	p := New(1)
+	p.AddConstraintInts([]int64{1}, GE, -7)
+	v, _, st := p.MinimizeInts([]int64{1})
+	if st != Optimal {
+		t.Fatalf("status %v", st)
+	}
+	ratEq(t, v, -7, 1)
+}
+
+func TestEquality(t *testing.T) {
+	// max 2x+y st x+y == 10, x <= 6, y >= 0, x >= 0 → x=6, y=4 → 16
+	p := New(2)
+	p.AddConstraintInts([]int64{1, 1}, EQ, 10)
+	p.AddConstraintInts([]int64{1, 0}, LE, 6)
+	p.AddConstraintInts([]int64{0, 1}, GE, 0)
+	p.AddConstraintInts([]int64{1, 0}, GE, 0)
+	v, xs, st := p.MaximizeInts([]int64{2, 1})
+	if st != Optimal {
+		t.Fatalf("status %v", st)
+	}
+	ratEq(t, v, 16, 1)
+	ratEq(t, xs[0], 6, 1)
+	ratEq(t, xs[1], 4, 1)
+}
+
+func TestUnbounded(t *testing.T) {
+	p := New(1)
+	p.AddConstraintInts([]int64{1}, GE, 0)
+	_, _, st := p.MaximizeInts([]int64{1})
+	if st != Unbounded {
+		t.Fatalf("status %v, want unbounded", st)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := New(1)
+	p.AddConstraintInts([]int64{1}, GE, 5)
+	p.AddConstraintInts([]int64{1}, LE, 3)
+	_, _, st := p.MaximizeInts([]int64{1})
+	if st != Infeasible {
+		t.Fatalf("status %v, want infeasible", st)
+	}
+}
+
+func TestRationalAnswer(t *testing.T) {
+	// max x st 3x <= 7 → 7/3
+	p := New(1)
+	p.AddConstraintInts([]int64{3}, LE, 7)
+	p.AddConstraintInts([]int64{1}, GE, 0)
+	v, _, st := p.MaximizeInts([]int64{1})
+	if st != Optimal {
+		t.Fatalf("status %v", st)
+	}
+	ratEq(t, v, 7, 3)
+}
+
+func TestLoopBoundsElimination(t *testing.T) {
+	// The symbolic-bounds use case: address = base + 4*i, 0 <= i <= n-1
+	// with n = 16: min/max of address-offset 4i is [0, 60].
+	p := New(1)
+	p.AddConstraintInts([]int64{1}, GE, 0)
+	p.AddConstraintInts([]int64{1}, LE, 15)
+	vmax, _, st := p.MaximizeInts([]int64{4})
+	if st != Optimal {
+		t.Fatalf("status %v", st)
+	}
+	ratEq(t, vmax, 60, 1)
+	vmin, _, st := p.MinimizeInts([]int64{4})
+	if st != Optimal {
+		t.Fatalf("status %v", st)
+	}
+	ratEq(t, vmin, 0, 1)
+}
+
+func TestTwoIndexElimination(t *testing.T) {
+	// addr = 8*i + j, 0<=i<=9, 0<=j<=7 → [0, 79].
+	p := New(2)
+	p.AddConstraintInts([]int64{1, 0}, GE, 0)
+	p.AddConstraintInts([]int64{1, 0}, LE, 9)
+	p.AddConstraintInts([]int64{0, 1}, GE, 0)
+	p.AddConstraintInts([]int64{0, 1}, LE, 7)
+	vmax, _, st := p.MaximizeInts([]int64{8, 1})
+	if st != Optimal {
+		t.Fatalf("%v", st)
+	}
+	ratEq(t, vmax, 79, 1)
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// A classically degenerate problem; Bland's rule must terminate.
+	p := New(2)
+	p.AddConstraintInts([]int64{1, 1}, LE, 0)
+	p.AddConstraintInts([]int64{1, -1}, LE, 0)
+	p.AddConstraintInts([]int64{1, 0}, GE, 0)
+	p.AddConstraintInts([]int64{0, 1}, GE, 0)
+	v, _, st := p.MaximizeInts([]int64{1, 0})
+	if st != Optimal {
+		t.Fatalf("%v", st)
+	}
+	ratEq(t, v, 0, 1)
+}
+
+func TestNegativeRhs(t *testing.T) {
+	// x <= -2, x >= -5: max x = -2.
+	p := New(1)
+	p.AddConstraintInts([]int64{1}, LE, -2)
+	p.AddConstraintInts([]int64{1}, GE, -5)
+	v, _, st := p.MaximizeInts([]int64{1})
+	if st != Optimal {
+		t.Fatalf("%v", st)
+	}
+	ratEq(t, v, -2, 1)
+}
+
+// TestPropertyBoxBounds checks, with random boxes, that maximizing a linear
+// function over a box equals the corner evaluation.
+func TestPropertyBoxBounds(t *testing.T) {
+	f := func(lo1, w1, lo2, w2 int8, c1, c2 int8) bool {
+		l1, l2 := int64(lo1), int64(lo2)
+		h1 := l1 + int64(w1&0x1f)
+		h2 := l2 + int64(w2&0x1f)
+		p := New(2)
+		p.AddConstraintInts([]int64{1, 0}, GE, l1)
+		p.AddConstraintInts([]int64{1, 0}, LE, h1)
+		p.AddConstraintInts([]int64{0, 1}, GE, l2)
+		p.AddConstraintInts([]int64{0, 1}, LE, h2)
+		v, _, st := p.MaximizeInts([]int64{int64(c1), int64(c2)})
+		if st != Optimal {
+			return false
+		}
+		want := big.NewRat(0, 1)
+		pick := func(c, lo, hi int64) *big.Rat {
+			if c >= 0 {
+				return big.NewRat(c*hi, 1)
+			}
+			return big.NewRat(c*lo, 1)
+		}
+		want.Add(pick(int64(c1), l1, h1), pick(int64(c2), l2, h2))
+		return v.Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package ast_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/parser"
+)
+
+// genStmts produces a random but always-valid MiniC function body.
+func genStmts(r *rand.Rand, depth, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		out += genStmt(r, depth) + "\n"
+	}
+	return out
+}
+
+func genStmt(r *rand.Rand, depth int) string {
+	if depth <= 0 {
+		return fmt.Sprintf("g = g + %d;", r.Intn(100))
+	}
+	switch r.Intn(8) {
+	case 0:
+		return fmt.Sprintf("g = %s;", genE(r, 2))
+	case 1:
+		return fmt.Sprintf("arr[%d] = %s;", r.Intn(8), genE(r, 2))
+	case 2:
+		return fmt.Sprintf("if (%s) {\n%s}", genE(r, 1), genStmts(r, depth-1, 1+r.Intn(2)))
+	case 3:
+		return fmt.Sprintf("if (%s) {\n%s} else {\n%s}",
+			genE(r, 1), genStmts(r, depth-1, 1), genStmts(r, depth-1, 1))
+	case 4:
+		v := fmt.Sprintf("i%d", r.Intn(1000))
+		return fmt.Sprintf("for (int %s = 0; %s < %d; %s++) {\n%s}",
+			v, v, 2+r.Intn(5), v, genStmts(r, depth-1, 1))
+	case 5:
+		return "g++;"
+	case 6:
+		return fmt.Sprintf("g += %s;", genE(r, 1))
+	default:
+		return fmt.Sprintf("p = &arr[%d];\n*p = %s;", r.Intn(8), genE(r, 1))
+	}
+}
+
+func genE(r *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", r.Intn(50))
+		case 1:
+			return "g"
+		case 2:
+			return fmt.Sprintf("arr[%d]", r.Intn(8))
+		default:
+			return "x"
+		}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^", "<", "==", "<=", ">>", "<<"}
+	op := ops[r.Intn(len(ops))]
+	return fmt.Sprintf("(%s %s %s)", genE(r, depth-1), op, genE(r, depth-1))
+}
+
+// TestPropertyPrintParseRoundTrip: for random programs, print∘parse is a
+// fixed point of the printer.
+func TestPropertyPrintParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 60; trial++ {
+		src := fmt.Sprintf(`
+int g;
+int arr[8];
+int *p;
+void f(int x) {
+%s}
+int main(void) { f(1); return g; }
+`, genStmts(r, 3, 3))
+		f1, err := parser.Parse("r.mc", src)
+		if err != nil {
+			t.Fatalf("trial %d parse: %v\n%s", trial, err, src)
+		}
+		s1 := ast.Print(f1)
+		f2, err := parser.Parse("r2.mc", s1)
+		if err != nil {
+			t.Fatalf("trial %d reparse: %v\n%s", trial, err, s1)
+		}
+		s2 := ast.Print(f2)
+		if s1 != s2 {
+			t.Fatalf("trial %d: print not a fixed point\n--- s1 ---\n%s\n--- s2 ---\n%s", trial, s1, s2)
+		}
+	}
+}
+
+// TestPropertyCloneIsDeepAndIDPreserving: clones print identically, share
+// node IDs, and are structurally independent.
+func TestPropertyCloneIsDeepAndIDPreserving(t *testing.T) {
+	r := rand.New(rand.NewSource(31337))
+	for trial := 0; trial < 40; trial++ {
+		src := fmt.Sprintf(`
+int g;
+int arr[8];
+int *p;
+void f(int x) {
+%s}
+`, genStmts(r, 3, 2))
+		f1, err := parser.Parse("c.mc", src)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, src)
+		}
+		cl := ast.CloneFile(f1)
+		if ast.Print(f1) != ast.Print(cl) {
+			t.Fatalf("clone prints differently")
+		}
+		ids1 := collectIDs(f1)
+		ids2 := collectIDs(cl)
+		if len(ids1) != len(ids2) {
+			t.Fatalf("node counts differ: %d vs %d", len(ids1), len(ids2))
+		}
+		for i := range ids1 {
+			if ids1[i] != ids2[i] {
+				t.Fatalf("IDs not preserved at %d", i)
+			}
+		}
+		// Mutate the clone: original must not change.
+		before := ast.Print(f1)
+		cl.Funcs[0].Body.Stmts = nil
+		if ast.Print(f1) != before {
+			t.Fatalf("clone aliases original")
+		}
+	}
+}
+
+func collectIDs(f *ast.File) []ast.NodeID {
+	var ids []ast.NodeID
+	ast.InspectFile(f, func(n ast.Node) bool {
+		ids = append(ids, n.ID())
+		return true
+	})
+	return ids
+}

@@ -1,0 +1,261 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the file back to MiniC source text. The output parses to an
+// equivalent tree (modulo node IDs/positions) and is used to display
+// instrumented programs and in round-trip tests.
+func Print(f *File) string {
+	var p printer
+	for i, d := range f.Decls {
+		if i > 0 {
+			p.ws("\n")
+		}
+		p.decl(d)
+	}
+	return p.sb.String()
+}
+
+// PrintStmt renders one statement at the given indent level.
+func PrintStmt(s Stmt, indent int) string {
+	p := printer{indent: indent}
+	p.stmt(s)
+	return p.sb.String()
+}
+
+// PrintExpr renders one expression.
+func PrintExpr(e Expr) string {
+	var p printer
+	p.expr(e, 0)
+	return p.sb.String()
+}
+
+// TypeString renders a syntactic type together with a declarator name, e.g.
+// TypeString(t, "x") => "int *x[10]".
+func TypeString(t TypeName, name string) string {
+	var sb strings.Builder
+	switch t.Kind {
+	case TypeInt:
+		sb.WriteString("int")
+	case TypeVoid:
+		sb.WriteString("void")
+	case TypeStruct:
+		sb.WriteString("struct ")
+		sb.WriteString(t.StructName)
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(strings.Repeat("*", t.Stars))
+	sb.WriteString(name)
+	for _, n := range t.ArrayLens {
+		fmt.Fprintf(&sb, "[%d]", n)
+	}
+	return sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) ws(s string)              { p.sb.WriteString(s) }
+func (p *printer) wf(f string, args ...any) { fmt.Fprintf(&p.sb, f, args...) }
+func (p *printer) nl()                      { p.sb.WriteByte('\n') }
+func (p *printer) tab()                     { p.ws(strings.Repeat("    ", p.indent)) }
+
+func (p *printer) decl(d Decl) {
+	switch d := d.(type) {
+	case *VarDecl:
+		p.ws(TypeString(d.Type, d.Name))
+		if d.Init != nil {
+			p.ws(" = ")
+			p.expr(d.Init, 0)
+		}
+		p.ws(";\n")
+	case *StructDecl:
+		p.wf("struct %s {\n", d.Name)
+		for _, fd := range d.Fields {
+			p.ws("    ")
+			p.ws(TypeString(fd.Type, fd.Name))
+			p.ws(";\n")
+		}
+		p.ws("};\n")
+	case *FuncDecl:
+		p.ws(TypeString(d.Ret, d.Name))
+		p.ws("(")
+		for i, par := range d.Params {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.ws(TypeString(par.Type, par.Name))
+		}
+		if len(d.Params) == 0 {
+			p.ws("void")
+		}
+		p.ws(") ")
+		p.block(d.Body)
+		p.nl()
+	}
+}
+
+func (p *printer) block(b *Block) {
+	p.ws("{\n")
+	p.indent++
+	for _, s := range b.Stmts {
+		p.tab()
+		p.stmt(s)
+		p.nl()
+	}
+	p.indent--
+	p.tab()
+	p.ws("}")
+}
+
+// stmt prints a statement without a trailing newline.
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		p.block(s)
+	case *DeclStmt:
+		p.ws(TypeString(s.Decl.Type, s.Decl.Name))
+		if s.Decl.Init != nil {
+			p.ws(" = ")
+			p.expr(s.Decl.Init, 0)
+		}
+		p.ws(";")
+	case *AssignStmt:
+		p.expr(s.LHS, 0)
+		p.wf(" %s ", s.Op)
+		p.expr(s.RHS, 0)
+		p.ws(";")
+	case *IncDecStmt:
+		p.expr(s.X, 0)
+		p.ws(s.Op.String())
+		p.ws(";")
+	case *ExprStmt:
+		p.expr(s.X, 0)
+		p.ws(";")
+	case *IfStmt:
+		p.ws("if (")
+		p.expr(s.CondE, 0)
+		p.ws(") ")
+		p.block(s.Then)
+		if s.Else != nil {
+			p.ws(" else ")
+			p.stmt(s.Else)
+		}
+	case *WhileStmt:
+		p.ws("while (")
+		p.expr(s.CondE, 0)
+		p.ws(") ")
+		p.block(s.Body)
+	case *ForStmt:
+		p.ws("for (")
+		if s.Init != nil {
+			p.stmtNoSemi(s.Init)
+		}
+		p.ws("; ")
+		if s.CondE != nil {
+			p.expr(s.CondE, 0)
+		}
+		p.ws("; ")
+		if s.Post != nil {
+			p.stmtNoSemi(s.Post)
+		}
+		p.ws(") ")
+		p.block(s.Body)
+	case *ReturnStmt:
+		p.ws("return")
+		if s.X != nil {
+			p.ws(" ")
+			p.expr(s.X, 0)
+		}
+		p.ws(";")
+	case *BreakStmt:
+		p.ws("break;")
+	case *ContinueStmt:
+		p.ws("continue;")
+	}
+}
+
+// stmtNoSemi prints a simple statement without its trailing semicolon, for
+// use inside for-headers.
+func (p *printer) stmtNoSemi(s Stmt) {
+	var tmp printer
+	tmp.stmt(s)
+	p.ws(strings.TrimSuffix(tmp.sb.String(), ";"))
+}
+
+// expr prints e, parenthesizing when the context precedence demands it.
+func (p *printer) expr(e Expr, prec int) {
+	switch e := e.(type) {
+	case *IntLit:
+		p.wf("%d", e.Value)
+	case *StringLit:
+		p.wf("%q", e.Value)
+	case *Ident:
+		p.ws(e.Name)
+	case *Unary:
+		const unaryPrec = 11
+		if prec > unaryPrec {
+			p.ws("(")
+		}
+		p.ws(e.Op.String())
+		p.expr(e.X, unaryPrec+1)
+		if prec > unaryPrec {
+			p.ws(")")
+		}
+	case *Binary:
+		bp := e.Op.Precedence()
+		if prec > bp {
+			p.ws("(")
+		}
+		p.expr(e.X, bp)
+		p.wf(" %s ", e.Op)
+		p.expr(e.Y, bp+1)
+		if prec > bp {
+			p.ws(")")
+		}
+	case *Cond:
+		if prec > 0 {
+			p.ws("(")
+		}
+		p.expr(e.CondE, 1)
+		p.ws(" ? ")
+		p.expr(e.Then, 1)
+		p.ws(" : ")
+		p.expr(e.Else, 0)
+		if prec > 0 {
+			p.ws(")")
+		}
+	case *Index:
+		p.expr(e.X, 12)
+		p.ws("[")
+		p.expr(e.Index, 0)
+		p.ws("]")
+	case *Field:
+		p.expr(e.X, 12)
+		if e.Arrow {
+			p.ws("->")
+		} else {
+			p.ws(".")
+		}
+		p.ws(e.Name)
+	case *Call:
+		p.expr(e.Fun, 12)
+		p.ws("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.expr(a, 0)
+		}
+		p.ws(")")
+	case *Sizeof:
+		p.ws("sizeof(")
+		p.ws(strings.TrimSuffix(TypeString(e.Type, ""), " "))
+		p.ws(")")
+	}
+}

@@ -1,0 +1,233 @@
+package ast
+
+// Inspect traverses the subtree rooted at n in depth-first pre-order,
+// calling f for each non-nil node. If f returns false for a node, its
+// children are not visited.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch n := n.(type) {
+	case *IntLit, *StringLit, *Ident, *Sizeof,
+		*BreakStmt, *ContinueStmt, *FieldDecl, *ParamDecl:
+		// leaves
+
+	case *Unary:
+		Inspect(n.X, f)
+	case *Binary:
+		Inspect(n.X, f)
+		Inspect(n.Y, f)
+	case *Cond:
+		Inspect(n.CondE, f)
+		Inspect(n.Then, f)
+		Inspect(n.Else, f)
+	case *Index:
+		Inspect(n.X, f)
+		Inspect(n.Index, f)
+	case *Field:
+		Inspect(n.X, f)
+	case *Call:
+		Inspect(n.Fun, f)
+		for _, a := range n.Args {
+			Inspect(a, f)
+		}
+
+	case *Block:
+		for _, s := range n.Stmts {
+			Inspect(s, f)
+		}
+	case *DeclStmt:
+		Inspect(n.Decl, f)
+	case *AssignStmt:
+		Inspect(n.LHS, f)
+		Inspect(n.RHS, f)
+	case *IncDecStmt:
+		Inspect(n.X, f)
+	case *ExprStmt:
+		Inspect(n.X, f)
+	case *IfStmt:
+		Inspect(n.CondE, f)
+		Inspect(n.Then, f)
+		if n.Else != nil {
+			Inspect(n.Else, f)
+		}
+	case *WhileStmt:
+		Inspect(n.CondE, f)
+		Inspect(n.Body, f)
+	case *ForStmt:
+		if n.Init != nil {
+			Inspect(n.Init, f)
+		}
+		if n.CondE != nil {
+			Inspect(n.CondE, f)
+		}
+		if n.Post != nil {
+			Inspect(n.Post, f)
+		}
+		Inspect(n.Body, f)
+	case *ReturnStmt:
+		if n.X != nil {
+			Inspect(n.X, f)
+		}
+
+	case *VarDecl:
+		if n.Init != nil {
+			Inspect(n.Init, f)
+		}
+	case *StructDecl:
+		for _, fd := range n.Fields {
+			Inspect(fd, f)
+		}
+	case *FuncDecl:
+		for _, p := range n.Params {
+			Inspect(p, f)
+		}
+		Inspect(n.Body, f)
+	}
+}
+
+// InspectFile applies Inspect to every declaration in the file.
+func InspectFile(file *File, f func(Node) bool) {
+	for _, d := range file.Decls {
+		Inspect(d, f)
+	}
+}
+
+// CloneFile returns a deep copy of the file. Node IDs and positions are
+// preserved, so analysis results keyed by NodeID computed on the original
+// remain valid on the clone. The instrumenter clones before transforming.
+func CloneFile(f *File) *File {
+	nf := &File{Name: f.Name, MaxID: f.MaxID}
+	for _, d := range f.Decls {
+		nd := cloneDecl(d)
+		nf.Decls = append(nf.Decls, nd)
+		switch nd := nd.(type) {
+		case *StructDecl:
+			nf.Structs = append(nf.Structs, nd)
+		case *VarDecl:
+			nf.Globals = append(nf.Globals, nd)
+		case *FuncDecl:
+			nf.Funcs = append(nf.Funcs, nd)
+		}
+	}
+	return nf
+}
+
+func cloneDecl(d Decl) Decl {
+	switch d := d.(type) {
+	case *VarDecl:
+		return cloneVarDecl(d)
+	case *StructDecl:
+		nd := &StructDecl{base: d.base, Name: d.Name}
+		for _, fd := range d.Fields {
+			c := *fd
+			nd.Fields = append(nd.Fields, &c)
+		}
+		return nd
+	case *FuncDecl:
+		nd := &FuncDecl{base: d.base, Name: d.Name, Ret: d.Ret}
+		for _, p := range d.Params {
+			c := *p
+			nd.Params = append(nd.Params, &c)
+		}
+		nd.Body = CloneStmt(d.Body).(*Block)
+		return nd
+	}
+	panic("ast: unknown decl type")
+}
+
+func cloneVarDecl(d *VarDecl) *VarDecl {
+	nd := &VarDecl{base: d.base, Name: d.Name, Type: d.Type}
+	if d.Init != nil {
+		nd.Init = CloneExpr(d.Init)
+	}
+	return nd
+}
+
+// CloneExpr returns a deep copy of an expression, preserving IDs.
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case *IntLit:
+		c := *e
+		return &c
+	case *StringLit:
+		c := *e
+		return &c
+	case *Ident:
+		c := *e
+		return &c
+	case *Unary:
+		return &Unary{base: e.base, Op: e.Op, X: CloneExpr(e.X)}
+	case *Binary:
+		return &Binary{base: e.base, Op: e.Op, X: CloneExpr(e.X), Y: CloneExpr(e.Y)}
+	case *Cond:
+		return &Cond{base: e.base, CondE: CloneExpr(e.CondE), Then: CloneExpr(e.Then), Else: CloneExpr(e.Else)}
+	case *Index:
+		return &Index{base: e.base, X: CloneExpr(e.X), Index: CloneExpr(e.Index)}
+	case *Field:
+		return &Field{base: e.base, X: CloneExpr(e.X), Name: e.Name, Arrow: e.Arrow}
+	case *Call:
+		nc := &Call{base: e.base, Fun: CloneExpr(e.Fun)}
+		for _, a := range e.Args {
+			nc.Args = append(nc.Args, CloneExpr(a))
+		}
+		return nc
+	case *Sizeof:
+		c := *e
+		return &c
+	}
+	panic("ast: unknown expr type")
+}
+
+// CloneStmt returns a deep copy of a statement, preserving IDs.
+func CloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *Block:
+		nb := &Block{base: s.base}
+		for _, st := range s.Stmts {
+			nb.Stmts = append(nb.Stmts, CloneStmt(st))
+		}
+		return nb
+	case *DeclStmt:
+		return &DeclStmt{base: s.base, Decl: cloneVarDecl(s.Decl)}
+	case *AssignStmt:
+		return &AssignStmt{base: s.base, Op: s.Op, LHS: CloneExpr(s.LHS), RHS: CloneExpr(s.RHS)}
+	case *IncDecStmt:
+		return &IncDecStmt{base: s.base, Op: s.Op, X: CloneExpr(s.X)}
+	case *ExprStmt:
+		return &ExprStmt{base: s.base, X: CloneExpr(s.X)}
+	case *IfStmt:
+		ni := &IfStmt{base: s.base, CondE: CloneExpr(s.CondE), Then: CloneStmt(s.Then).(*Block)}
+		if s.Else != nil {
+			ni.Else = CloneStmt(s.Else)
+		}
+		return ni
+	case *WhileStmt:
+		return &WhileStmt{base: s.base, CondE: CloneExpr(s.CondE), Body: CloneStmt(s.Body).(*Block)}
+	case *ForStmt:
+		nf := &ForStmt{base: s.base, Body: CloneStmt(s.Body).(*Block)}
+		if s.Init != nil {
+			nf.Init = CloneStmt(s.Init)
+		}
+		if s.CondE != nil {
+			nf.CondE = CloneExpr(s.CondE)
+		}
+		if s.Post != nil {
+			nf.Post = CloneStmt(s.Post)
+		}
+		return nf
+	case *ReturnStmt:
+		nr := &ReturnStmt{base: s.base}
+		if s.X != nil {
+			nr.X = CloneExpr(s.X)
+		}
+		return nr
+	case *BreakStmt:
+		c := *s
+		return &c
+	case *ContinueStmt:
+		c := *s
+		return &c
+	}
+	panic("ast: unknown stmt type")
+}

@@ -1,0 +1,343 @@
+// Package lexer implements the MiniC scanner. It converts source text into
+// a token stream consumed by the parser, tracking line/column positions and
+// supporting C-style line and block comments.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/minic/token"
+)
+
+// Error is a lexical error at a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans MiniC source text.
+type Lexer struct {
+	src  string
+	off  int // current byte offset
+	line int
+	col  int
+
+	errs []*Error
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{Offset: l.off, Line: l.line, Col: l.col}
+}
+
+// peek returns the byte at offset+n without consuming, or 0 at EOF.
+func (l *Lexer) peek(n int) byte {
+	if l.off+n < len(l.src) {
+		return l.src[l.off+n]
+	}
+	return 0
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool  { return '0' <= c && c <= '9' }
+func isLetter(c byte) bool { return c == '_' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' }
+func isIdent(c byte) bool  { return isLetter(c) || isDigit(c) }
+func isSpace(c byte) bool  { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+
+// Next scans and returns the next token, skipping whitespace and comments.
+// At end of input it returns an EOF token (repeatedly, if called again).
+func (l *Lexer) Next() token.Token {
+	for {
+		tok := l.scan()
+		if tok.Kind != token.COMMENT {
+			return tok
+		}
+	}
+}
+
+// All scans the entire input and returns every non-comment token including
+// the trailing EOF token.
+func (l *Lexer) All() []token.Token {
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+func (l *Lexer) scan() token.Token {
+	for l.off < len(l.src) && isSpace(l.peek(0)) {
+		l.advance()
+	}
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: start}
+	}
+
+	c := l.peek(0)
+	switch {
+	case isLetter(c):
+		return l.scanIdent(start)
+	case isDigit(c):
+		return l.scanNumber(start)
+	case c == '"':
+		return l.scanString(start)
+	case c == '\'':
+		return l.scanChar(start)
+	}
+
+	l.advance()
+	two := func(next byte, ifTwo, ifOne token.Kind) token.Token {
+		if l.peek(0) == next {
+			l.advance()
+			return token.Token{Kind: ifTwo, Pos: start}
+		}
+		return token.Token{Kind: ifOne, Pos: start}
+	}
+
+	switch c {
+	case '+':
+		if l.peek(0) == '+' {
+			l.advance()
+			return token.Token{Kind: token.INC, Pos: start}
+		}
+		return two('=', token.ADD_ASSIGN, token.PLUS)
+	case '-':
+		switch l.peek(0) {
+		case '-':
+			l.advance()
+			return token.Token{Kind: token.DEC, Pos: start}
+		case '>':
+			l.advance()
+			return token.Token{Kind: token.ARROW, Pos: start}
+		}
+		return two('=', token.SUB_ASSIGN, token.MINUS)
+	case '*':
+		return two('=', token.MUL_ASSIGN, token.STAR)
+	case '/':
+		switch l.peek(0) {
+		case '/':
+			return l.scanLineComment(start)
+		case '*':
+			return l.scanBlockComment(start)
+		}
+		return two('=', token.DIV_ASSIGN, token.SLASH)
+	case '%':
+		return two('=', token.MOD_ASSIGN, token.PERCENT)
+	case '&':
+		return two('&', token.LAND, token.AMP)
+	case '|':
+		return two('|', token.LOR, token.PIPE)
+	case '^':
+		return token.Token{Kind: token.CARET, Pos: start}
+	case '!':
+		return two('=', token.NEQ, token.NOT)
+	case '=':
+		return two('=', token.EQ, token.ASSIGN)
+	case '<':
+		if l.peek(0) == '<' {
+			l.advance()
+			return token.Token{Kind: token.SHL, Pos: start}
+		}
+		return two('=', token.LE, token.LT)
+	case '>':
+		if l.peek(0) == '>' {
+			l.advance()
+			return token.Token{Kind: token.SHR, Pos: start}
+		}
+		return two('=', token.GE, token.GT)
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: start}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: start}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: start}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: start}
+	case '[':
+		return token.Token{Kind: token.LBRACKET, Pos: start}
+	case ']':
+		return token.Token{Kind: token.RBRACKET, Pos: start}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: start}
+	case ';':
+		return token.Token{Kind: token.SEMI, Pos: start}
+	case '.':
+		return token.Token{Kind: token.DOT, Pos: start}
+	case '?':
+		return token.Token{Kind: token.QUESTION, Pos: start}
+	case ':':
+		return token.Token{Kind: token.COLON, Pos: start}
+	}
+	l.errorf(start, "illegal character %q", c)
+	return token.Token{Kind: token.ILLEGAL, Pos: start, Lit: string(c)}
+}
+
+func (l *Lexer) scanIdent(start token.Pos) token.Token {
+	for l.off < len(l.src) && isIdent(l.peek(0)) {
+		l.advance()
+	}
+	lit := l.src[start.Offset:l.off]
+	kind := token.Lookup(lit)
+	if kind != token.IDENT {
+		return token.Token{Kind: kind, Pos: start}
+	}
+	return token.Token{Kind: token.IDENT, Pos: start, Lit: lit}
+}
+
+func (l *Lexer) scanNumber(start token.Pos) token.Token {
+	// Hex literals: 0x...
+	if l.peek(0) == '0' && (l.peek(1) == 'x' || l.peek(1) == 'X') {
+		l.advance()
+		l.advance()
+		n := 0
+		for l.off < len(l.src) && isHex(l.peek(0)) {
+			l.advance()
+			n++
+		}
+		if n == 0 {
+			l.errorf(start, "malformed hex literal")
+		}
+		return token.Token{Kind: token.INT, Pos: start, Lit: l.src[start.Offset:l.off]}
+	}
+	for l.off < len(l.src) && isDigit(l.peek(0)) {
+		l.advance()
+	}
+	return token.Token{Kind: token.INT, Pos: start, Lit: l.src[start.Offset:l.off]}
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F'
+}
+
+// scanString scans a double-quoted string literal, handling the escapes
+// \n \t \r \\ \" \0. The returned Lit is the unescaped contents.
+func (l *Lexer) scanString(start token.Pos) token.Token {
+	l.advance() // consume opening quote
+	var sb strings.Builder
+	for {
+		if l.off >= len(l.src) || l.peek(0) == '\n' {
+			l.errorf(start, "unterminated string literal")
+			return token.Token{Kind: token.ILLEGAL, Pos: start, Lit: sb.String()}
+		}
+		c := l.advance()
+		if c == '"' {
+			return token.Token{Kind: token.STRING, Pos: start, Lit: sb.String()}
+		}
+		if c == '\\' {
+			if l.off >= len(l.src) {
+				l.errorf(start, "unterminated escape in string literal")
+				return token.Token{Kind: token.ILLEGAL, Pos: start, Lit: sb.String()}
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			case '0':
+				sb.WriteByte(0)
+			default:
+				l.errorf(start, "unknown escape \\%c in string literal", e)
+			}
+			continue
+		}
+		sb.WriteByte(c)
+	}
+}
+
+// scanChar scans a character literal such as 'a' or '\n'. Lit holds the
+// single unescaped character.
+func (l *Lexer) scanChar(start token.Pos) token.Token {
+	l.advance() // consume opening quote
+	if l.off >= len(l.src) {
+		l.errorf(start, "unterminated character literal")
+		return token.Token{Kind: token.ILLEGAL, Pos: start}
+	}
+	c := l.advance()
+	if c == '\\' {
+		if l.off >= len(l.src) {
+			l.errorf(start, "unterminated character literal")
+			return token.Token{Kind: token.ILLEGAL, Pos: start}
+		}
+		switch e := l.advance(); e {
+		case 'n':
+			c = '\n'
+		case 't':
+			c = '\t'
+		case 'r':
+			c = '\r'
+		case '\\':
+			c = '\\'
+		case '\'':
+			c = '\''
+		case '0':
+			c = 0
+		default:
+			l.errorf(start, "unknown escape \\%c in character literal", e)
+		}
+	}
+	if l.off >= len(l.src) || l.advance() != '\'' {
+		l.errorf(start, "unterminated character literal")
+		return token.Token{Kind: token.ILLEGAL, Pos: start, Lit: string(c)}
+	}
+	return token.Token{Kind: token.CHAR, Pos: start, Lit: string(c)}
+}
+
+func (l *Lexer) scanLineComment(start token.Pos) token.Token {
+	for l.off < len(l.src) && l.peek(0) != '\n' {
+		l.advance()
+	}
+	return token.Token{Kind: token.COMMENT, Pos: start, Lit: l.src[start.Offset:l.off]}
+}
+
+func (l *Lexer) scanBlockComment(start token.Pos) token.Token {
+	l.advance() // consume '*'
+	for {
+		if l.off >= len(l.src) {
+			l.errorf(start, "unterminated block comment")
+			return token.Token{Kind: token.COMMENT, Pos: start, Lit: l.src[start.Offset:l.off]}
+		}
+		if l.peek(0) == '*' && l.peek(1) == '/' {
+			l.advance()
+			l.advance()
+			return token.Token{Kind: token.COMMENT, Pos: start, Lit: l.src[start.Offset:l.off]}
+		}
+		l.advance()
+	}
+}

@@ -1,0 +1,136 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/minic/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	l := New(src)
+	var ks []token.Kind
+	for {
+		tok := l.Next()
+		if tok.Kind == token.EOF {
+			return ks
+		}
+		ks = append(ks, tok.Kind)
+	}
+}
+
+func TestOperators(t *testing.T) {
+	src := "+ - * / % & | ^ << >> && || ! == != < > <= >= = += -= *= /= %= ++ -- -> . ? :"
+	want := []token.Kind{
+		token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT,
+		token.AMP, token.PIPE, token.CARET, token.SHL, token.SHR,
+		token.LAND, token.LOR, token.NOT,
+		token.EQ, token.NEQ, token.LT, token.GT, token.LE, token.GE,
+		token.ASSIGN, token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.DIV_ASSIGN, token.MOD_ASSIGN, token.INC, token.DEC,
+		token.ARROW, token.DOT, token.QUESTION, token.COLON,
+	}
+	got := kinds(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	l := New("int void struct if else while for return break continue sizeof foo _bar x9")
+	want := []token.Kind{
+		token.KW_INT, token.KW_VOID, token.KW_STRUCT, token.KW_IF, token.KW_ELSE,
+		token.KW_WHILE, token.KW_FOR, token.KW_RETURN, token.KW_BREAK,
+		token.KW_CONTINUE, token.KW_SIZEOF, token.IDENT, token.IDENT, token.IDENT,
+	}
+	for i, w := range want {
+		got := l.Next()
+		if got.Kind != w {
+			t.Errorf("token %d: got %s, want %s", i, got.Kind, w)
+		}
+	}
+	if len(l.Errors()) != 0 {
+		t.Errorf("unexpected errors: %v", l.Errors())
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	l := New("0 42 0x1f 0XFF")
+	lits := []string{"0", "42", "0x1f", "0XFF"}
+	for i, w := range lits {
+		tok := l.Next()
+		if tok.Kind != token.INT || tok.Lit != w {
+			t.Errorf("number %d: got %s %q, want INT %q", i, tok.Kind, tok.Lit, w)
+		}
+	}
+}
+
+func TestStringsAndChars(t *testing.T) {
+	l := New(`"hi\n" "a\"b" 'x' '\n' '\0'`)
+	s1 := l.Next()
+	if s1.Kind != token.STRING || s1.Lit != "hi\n" {
+		t.Errorf("got %s %q", s1.Kind, s1.Lit)
+	}
+	s2 := l.Next()
+	if s2.Kind != token.STRING || s2.Lit != `a"b` {
+		t.Errorf("got %s %q", s2.Kind, s2.Lit)
+	}
+	c1 := l.Next()
+	if c1.Kind != token.CHAR || c1.Lit != "x" {
+		t.Errorf("got %s %q", c1.Kind, c1.Lit)
+	}
+	c2 := l.Next()
+	if c2.Kind != token.CHAR || c2.Lit != "\n" {
+		t.Errorf("got %s %q", c2.Kind, c2.Lit)
+	}
+	c3 := l.Next()
+	if c3.Kind != token.CHAR || c3.Lit != "\x00" {
+		t.Errorf("got %s %q", c3.Kind, c3.Lit)
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, "a // line comment\nb /* block\ncomment */ c")
+	want := []token.Kind{token.IDENT, token.IDENT, token.IDENT}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	l := New("a\n  bb\n")
+	a := l.Next()
+	if a.Pos.Line != 1 || a.Pos.Col != 1 {
+		t.Errorf("a at %v, want 1:1", a.Pos)
+	}
+	b := l.Next()
+	if b.Pos.Line != 2 || b.Pos.Col != 3 {
+		t.Errorf("bb at %v, want 2:3", b.Pos)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{"\"unterminated", "'a", "@", "/* open", "\"bad \\q esc\""}
+	for _, src := range cases {
+		l := New(src)
+		l.All()
+		if len(l.Errors()) == 0 {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestEOFIdempotent(t *testing.T) {
+	l := New("x")
+	l.Next()
+	for i := 0; i < 3; i++ {
+		if got := l.Next(); got.Kind != token.EOF {
+			t.Fatalf("call %d after end: got %s, want EOF", i, got.Kind)
+		}
+	}
+}

@@ -1,0 +1,637 @@
+// Package parser implements a recursive-descent parser for MiniC.
+//
+// The grammar is a restricted C: struct declarations, global variables, and
+// function definitions at top level; structured statements (no goto, so all
+// loops are syntactic — a property the symbolic bounds analysis relies on);
+// C expression syntax with standard precedence, the ternary operator,
+// pointer/array/field access and calls through function pointers.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/lexer"
+	"repro/internal/minic/token"
+)
+
+// Error is a syntax error at a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList is a list of syntax errors; it implements error.
+type ErrorList []*Error
+
+// Error returns the first error plus a count of the rest.
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+}
+
+// Parse parses src into a File. name labels diagnostics.
+func Parse(name, src string) (*ast.File, error) {
+	lx := lexer.New(src)
+	toks := lx.All()
+	p := &parser{name: name, toks: toks}
+	for _, le := range lx.Errors() {
+		p.errs = append(p.errs, &Error{Pos: le.Pos, Msg: le.Msg})
+	}
+	file := p.parseFile()
+	if len(p.errs) > 0 {
+		return nil, p.errs
+	}
+	return file, nil
+}
+
+// MustParse parses src and panics on error; for tests and builtin programs.
+func MustParse(name, src string) *ast.File {
+	f, err := Parse(name, src)
+	if err != nil {
+		panic(fmt.Sprintf("parser.MustParse(%s): %v", name, err))
+	}
+	return f
+}
+
+type parser struct {
+	name string
+	toks []token.Token
+	i    int
+	errs ErrorList
+
+	nextID ast.NodeID
+}
+
+func (p *parser) cur() token.Token { return p.toks[p.i] }
+func (p *parser) peek() token.Token {
+	if p.i+1 < len(p.toks) {
+		return p.toks[p.i+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf("expected %s, found %s", k, p.cur())
+	return token.Token{Kind: k, Pos: p.cur().Pos}
+}
+
+func (p *parser) errorf(format string, args ...any) {
+	p.errs = append(p.errs, &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)})
+	if len(p.errs) > 50 {
+		panic(bailout{})
+	}
+}
+
+type bailout struct{}
+
+// meta stamps a node with a position and fresh ID; it is how every node is
+// finalized.
+func (p *parser) meta(n interface {
+	SetMeta(token.Pos, ast.NodeID)
+}, pos token.Pos) {
+	n.SetMeta(pos, p.nextID)
+	p.nextID++
+}
+
+func (p *parser) parseFile() *ast.File {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(bailout); !ok {
+				panic(r)
+			}
+		}
+	}()
+	f := &ast.File{Name: p.name}
+	for !p.at(token.EOF) {
+		d := p.parseTopDecl()
+		if d == nil {
+			// Error recovery: skip a token and try again.
+			p.next()
+			continue
+		}
+		f.Decls = append(f.Decls, d)
+		switch d := d.(type) {
+		case *ast.StructDecl:
+			f.Structs = append(f.Structs, d)
+		case *ast.VarDecl:
+			f.Globals = append(f.Globals, d)
+		case *ast.FuncDecl:
+			f.Funcs = append(f.Funcs, d)
+		}
+	}
+	f.MaxID = p.nextID
+	return f
+}
+
+func (p *parser) parseTopDecl() ast.Decl {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case token.KW_STRUCT:
+		// Either a struct definition `struct S { ... };` or a declaration
+		// with struct type `struct S x;` / `struct S *f(...) {...}`.
+		if p.peek().Kind == token.IDENT && p.toks[p.i+2].Kind == token.LBRACE {
+			return p.parseStructDecl()
+		}
+		fallthrough
+	case token.KW_INT, token.KW_VOID:
+		base := p.parseBaseType()
+		stars := 0
+		for p.accept(token.STAR) {
+			stars++
+		}
+		nameTok := p.expect(token.IDENT)
+		t := base
+		t.Stars = stars
+		if p.at(token.LPAREN) {
+			return p.parseFuncRest(pos, t, nameTok.Lit)
+		}
+		return p.parseVarRest(pos, t, nameTok.Lit)
+	}
+	p.errorf("expected declaration, found %s", p.cur())
+	return nil
+}
+
+func (p *parser) parseBaseType() ast.TypeName {
+	switch p.cur().Kind {
+	case token.KW_INT:
+		p.next()
+		return ast.TypeName{Kind: ast.TypeInt}
+	case token.KW_VOID:
+		p.next()
+		return ast.TypeName{Kind: ast.TypeVoid}
+	case token.KW_STRUCT:
+		p.next()
+		name := p.expect(token.IDENT)
+		return ast.TypeName{Kind: ast.TypeStruct, StructName: name.Lit}
+	}
+	p.errorf("expected type, found %s", p.cur())
+	p.next()
+	return ast.TypeName{Kind: ast.TypeInt}
+}
+
+func (p *parser) parseStructDecl() *ast.StructDecl {
+	pos := p.cur().Pos
+	p.expect(token.KW_STRUCT)
+	name := p.expect(token.IDENT)
+	p.expect(token.LBRACE)
+	sd := &ast.StructDecl{Name: name.Lit}
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		fpos := p.cur().Pos
+		base := p.parseBaseType()
+		stars := 0
+		for p.accept(token.STAR) {
+			stars++
+		}
+		fname := p.expect(token.IDENT)
+		t := base
+		t.Stars = stars
+		for p.accept(token.LBRACKET) {
+			n := p.parseIntConst()
+			t.ArrayLens = append(t.ArrayLens, n)
+			p.expect(token.RBRACKET)
+		}
+		p.expect(token.SEMI)
+		fd := &ast.FieldDecl{Name: fname.Lit, Type: t}
+		p.meta(fd, fpos)
+		sd.Fields = append(sd.Fields, fd)
+	}
+	p.expect(token.RBRACE)
+	p.expect(token.SEMI)
+	p.meta(sd, pos)
+	return sd
+}
+
+func (p *parser) parseIntConst() int64 {
+	neg := p.accept(token.MINUS)
+	t := p.expect(token.INT)
+	v, err := strconv.ParseInt(t.Lit, 0, 64)
+	if err != nil {
+		p.errorf("bad integer literal %q", t.Lit)
+	}
+	if neg {
+		v = -v
+	}
+	return v
+}
+
+// parseVarRest parses the remainder of a variable declaration after the
+// type and name: optional array lengths, optional initializer, semicolon.
+func (p *parser) parseVarRest(pos token.Pos, t ast.TypeName, name string) *ast.VarDecl {
+	for p.accept(token.LBRACKET) {
+		n := p.parseIntConst()
+		t.ArrayLens = append(t.ArrayLens, n)
+		p.expect(token.RBRACKET)
+	}
+	vd := &ast.VarDecl{Name: name, Type: t}
+	if p.accept(token.ASSIGN) {
+		vd.Init = p.parseExpr()
+	}
+	p.expect(token.SEMI)
+	p.meta(vd, pos)
+	return vd
+}
+
+func (p *parser) parseFuncRest(pos token.Pos, ret ast.TypeName, name string) *ast.FuncDecl {
+	p.expect(token.LPAREN)
+	fd := &ast.FuncDecl{Name: name, Ret: ret}
+	if !p.at(token.RPAREN) {
+		if p.at(token.KW_VOID) && p.peek().Kind == token.RPAREN {
+			p.next() // f(void)
+		} else {
+			for {
+				ppos := p.cur().Pos
+				base := p.parseBaseType()
+				stars := 0
+				for p.accept(token.STAR) {
+					stars++
+				}
+				pname := p.expect(token.IDENT)
+				t := base
+				t.Stars = stars
+				// Array parameters decay to pointers, as in C.
+				for p.accept(token.LBRACKET) {
+					if !p.at(token.RBRACKET) {
+						p.parseIntConst()
+					}
+					p.expect(token.RBRACKET)
+					t.Stars++
+				}
+				pd := &ast.ParamDecl{Name: pname.Lit, Type: t}
+				p.meta(pd, ppos)
+				fd.Params = append(fd.Params, pd)
+				if !p.accept(token.COMMA) {
+					break
+				}
+			}
+		}
+	}
+	p.expect(token.RPAREN)
+	fd.Body = p.parseBlock()
+	p.meta(fd, pos)
+	return fd
+}
+
+func (p *parser) parseBlock() *ast.Block {
+	pos := p.cur().Pos
+	p.expect(token.LBRACE)
+	b := &ast.Block{}
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		b.Stmts = append(b.Stmts, p.parseStmt())
+	}
+	p.expect(token.RBRACE)
+	p.meta(b, pos)
+	return b
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case token.LBRACE:
+		return p.parseBlock()
+	case token.KW_INT, token.KW_VOID:
+		return p.parseDeclStmt()
+	case token.KW_STRUCT:
+		return p.parseDeclStmt()
+	case token.KW_IF:
+		return p.parseIf()
+	case token.KW_WHILE:
+		return p.parseWhile()
+	case token.KW_FOR:
+		return p.parseFor()
+	case token.KW_RETURN:
+		p.next()
+		rs := &ast.ReturnStmt{}
+		if !p.at(token.SEMI) {
+			rs.X = p.parseExpr()
+		}
+		p.expect(token.SEMI)
+		p.meta(rs, pos)
+		return rs
+	case token.KW_BREAK:
+		p.next()
+		p.expect(token.SEMI)
+		bs := &ast.BreakStmt{}
+		p.meta(bs, pos)
+		return bs
+	case token.KW_CONTINUE:
+		p.next()
+		p.expect(token.SEMI)
+		cs := &ast.ContinueStmt{}
+		p.meta(cs, pos)
+		return cs
+	case token.SEMI:
+		p.next()
+		// Empty statement: represent as an empty block.
+		b := &ast.Block{}
+		p.meta(b, pos)
+		return b
+	}
+	s := p.parseSimpleStmt()
+	p.expect(token.SEMI)
+	return s
+}
+
+func (p *parser) parseDeclStmt() ast.Stmt {
+	pos := p.cur().Pos
+	base := p.parseBaseType()
+	stars := 0
+	for p.accept(token.STAR) {
+		stars++
+	}
+	name := p.expect(token.IDENT)
+	t := base
+	t.Stars = stars
+	vd := p.parseVarRest(pos, t, name.Lit)
+	ds := &ast.DeclStmt{Decl: vd}
+	p.meta(ds, pos)
+	return ds
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	pos := p.cur().Pos
+	p.expect(token.KW_IF)
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	then := p.parseStmtAsBlock()
+	is := &ast.IfStmt{CondE: cond, Then: then}
+	if p.accept(token.KW_ELSE) {
+		if p.at(token.KW_IF) {
+			is.Else = p.parseIf()
+		} else {
+			is.Else = p.parseStmtAsBlock()
+		}
+	}
+	p.meta(is, pos)
+	return is
+}
+
+// parseStmtAsBlock parses a statement, wrapping a non-block body in a block
+// so downstream passes always see block-structured branches.
+func (p *parser) parseStmtAsBlock() *ast.Block {
+	if p.at(token.LBRACE) {
+		return p.parseBlock()
+	}
+	pos := p.cur().Pos
+	s := p.parseStmt()
+	b := &ast.Block{Stmts: []ast.Stmt{s}}
+	p.meta(b, pos)
+	return b
+}
+
+func (p *parser) parseWhile() ast.Stmt {
+	pos := p.cur().Pos
+	p.expect(token.KW_WHILE)
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	body := p.parseStmtAsBlock()
+	ws := &ast.WhileStmt{CondE: cond, Body: body}
+	p.meta(ws, pos)
+	return ws
+}
+
+func (p *parser) parseFor() ast.Stmt {
+	pos := p.cur().Pos
+	p.expect(token.KW_FOR)
+	p.expect(token.LPAREN)
+	fs := &ast.ForStmt{}
+	if !p.at(token.SEMI) {
+		if p.at(token.KW_INT) || p.at(token.KW_STRUCT) {
+			// Declaration initializer; parseVarRest consumes the semicolon.
+			dpos := p.cur().Pos
+			base := p.parseBaseType()
+			stars := 0
+			for p.accept(token.STAR) {
+				stars++
+			}
+			name := p.expect(token.IDENT)
+			t := base
+			t.Stars = stars
+			vd := p.parseVarRest(dpos, t, name.Lit)
+			ds := &ast.DeclStmt{Decl: vd}
+			p.meta(ds, dpos)
+			fs.Init = ds
+		} else {
+			fs.Init = p.parseSimpleStmt()
+			p.expect(token.SEMI)
+		}
+	} else {
+		p.expect(token.SEMI)
+	}
+	if !p.at(token.SEMI) {
+		fs.CondE = p.parseExpr()
+	}
+	p.expect(token.SEMI)
+	if !p.at(token.RPAREN) {
+		fs.Post = p.parseSimpleStmt()
+	}
+	p.expect(token.RPAREN)
+	fs.Body = p.parseStmtAsBlock()
+	p.meta(fs, pos)
+	return fs
+}
+
+// parseSimpleStmt parses an assignment, inc/dec, or expression statement
+// (without the trailing semicolon).
+func (p *parser) parseSimpleStmt() ast.Stmt {
+	pos := p.cur().Pos
+	lhs := p.parseExpr()
+	switch p.cur().Kind {
+	case token.ASSIGN, token.ADD_ASSIGN, token.SUB_ASSIGN,
+		token.MUL_ASSIGN, token.DIV_ASSIGN, token.MOD_ASSIGN:
+		op := p.next().Kind
+		rhs := p.parseExpr()
+		as := &ast.AssignStmt{Op: op, LHS: lhs, RHS: rhs}
+		p.meta(as, pos)
+		return as
+	case token.INC, token.DEC:
+		op := p.next().Kind
+		is := &ast.IncDecStmt{Op: op, X: lhs}
+		p.meta(is, pos)
+		return is
+	}
+	es := &ast.ExprStmt{X: lhs}
+	p.meta(es, pos)
+	return es
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (p *parser) parseExpr() ast.Expr { return p.parseCond() }
+
+func (p *parser) parseCond() ast.Expr {
+	pos := p.cur().Pos
+	c := p.parseBinary(1)
+	if p.accept(token.QUESTION) {
+		then := p.parseExpr()
+		p.expect(token.COLON)
+		els := p.parseCond()
+		ce := &ast.Cond{CondE: c, Then: then, Else: els}
+		p.meta(ce, pos)
+		return ce
+	}
+	return c
+}
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	pos := p.cur().Pos
+	x := p.parseUnary()
+	for {
+		op := p.cur().Kind
+		prec := op.Precedence()
+		if prec < minPrec {
+			return x
+		}
+		p.next()
+		y := p.parseBinary(prec + 1)
+		b := &ast.Binary{Op: op, X: x, Y: y}
+		p.meta(b, pos)
+		x = b
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case token.MINUS, token.NOT, token.STAR, token.AMP:
+		op := p.next().Kind
+		x := p.parseUnary()
+		u := &ast.Unary{Op: op, X: x}
+		p.meta(u, pos)
+		return u
+	case token.KW_SIZEOF:
+		p.next()
+		p.expect(token.LPAREN)
+		base := p.parseBaseType()
+		stars := 0
+		for p.accept(token.STAR) {
+			stars++
+		}
+		t := base
+		t.Stars = stars
+		p.expect(token.RPAREN)
+		sz := &ast.Sizeof{Type: t}
+		p.meta(sz, pos)
+		return sz
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() ast.Expr {
+	x := p.parsePrimary()
+	for {
+		pos := p.cur().Pos
+		switch p.cur().Kind {
+		case token.LBRACKET:
+			p.next()
+			idx := p.parseExpr()
+			p.expect(token.RBRACKET)
+			ix := &ast.Index{X: x, Index: idx}
+			p.meta(ix, pos)
+			x = ix
+		case token.DOT:
+			p.next()
+			name := p.expect(token.IDENT)
+			fe := &ast.Field{X: x, Name: name.Lit}
+			p.meta(fe, pos)
+			x = fe
+		case token.ARROW:
+			p.next()
+			name := p.expect(token.IDENT)
+			fe := &ast.Field{X: x, Name: name.Lit, Arrow: true}
+			p.meta(fe, pos)
+			x = fe
+		case token.LPAREN:
+			p.next()
+			call := &ast.Call{Fun: x}
+			for !p.at(token.RPAREN) && !p.at(token.EOF) {
+				call.Args = append(call.Args, p.parseExpr())
+				if !p.accept(token.COMMA) {
+					break
+				}
+			}
+			p.expect(token.RPAREN)
+			p.meta(call, pos)
+			x = call
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case token.INT:
+		t := p.next()
+		v, err := strconv.ParseInt(t.Lit, 0, 64)
+		if err != nil {
+			p.errorf("bad integer literal %q", t.Lit)
+		}
+		il := &ast.IntLit{Value: v}
+		p.meta(il, pos)
+		return il
+	case token.CHAR:
+		t := p.next()
+		var v int64
+		if len(t.Lit) > 0 {
+			v = int64(t.Lit[0])
+		}
+		il := &ast.IntLit{Value: v}
+		p.meta(il, pos)
+		return il
+	case token.STRING:
+		t := p.next()
+		sl := &ast.StringLit{Value: t.Lit}
+		p.meta(sl, pos)
+		return sl
+	case token.IDENT:
+		t := p.next()
+		id := &ast.Ident{Name: t.Lit}
+		p.meta(id, pos)
+		return id
+	case token.LPAREN:
+		p.next()
+		e := p.parseExpr()
+		p.expect(token.RPAREN)
+		return e
+	}
+	p.errorf("expected expression, found %s", p.cur())
+	p.next()
+	il := &ast.IntLit{}
+	p.meta(il, pos)
+	return il
+}

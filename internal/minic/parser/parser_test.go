@@ -1,0 +1,217 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic/ast"
+)
+
+const demo = `
+struct node {
+    int value;
+    struct node *next;
+    int pad[4];
+};
+
+int shared;
+int arr[100];
+int *ptr;
+
+int add(int a, int b) {
+    return a + b;
+}
+
+void worker(int id) {
+    int i;
+    for (i = 0; i < 100; i++) {
+        arr[i] = arr[i] + id;
+    }
+    while (shared < 10) {
+        shared++;
+    }
+    if (id == 0) {
+        shared = 0;
+    } else if (id == 1) {
+        shared = 1;
+    } else {
+        shared = 2;
+    }
+}
+
+int main(void) {
+    int t = spawn(worker, 1);
+    struct node n;
+    n.value = add(1, 2 * 3);
+    n.next = &n;
+    n.next->value = n.value;
+    ptr = &shared;
+    *ptr = arr[2] + 1;
+    join(t);
+    return shared ? 1 : 0;
+}
+`
+
+func TestParseDemo(t *testing.T) {
+	f, err := Parse("demo.mc", demo)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	if len(f.Structs) != 1 || f.Structs[0].Name != "node" {
+		t.Errorf("structs: got %v", f.Structs)
+	}
+	if len(f.Globals) != 3 {
+		t.Errorf("globals: got %d, want 3", len(f.Globals))
+	}
+	if len(f.Funcs) != 3 {
+		t.Errorf("funcs: got %d, want 3", len(f.Funcs))
+	}
+	if f.Func("main") == nil || f.Func("worker") == nil {
+		t.Errorf("missing functions")
+	}
+	if g := f.Global("arr"); g == nil || len(g.Type.ArrayLens) != 1 || g.Type.ArrayLens[0] != 100 {
+		t.Errorf("arr global wrong: %+v", g)
+	}
+}
+
+func TestNodeIDsUnique(t *testing.T) {
+	f := MustParse("demo.mc", demo)
+	seen := make(map[ast.NodeID]bool)
+	ast.InspectFile(f, func(n ast.Node) bool {
+		if seen[n.ID()] {
+			t.Errorf("duplicate node ID %d at %s", n.ID(), n.Pos())
+		}
+		seen[n.ID()] = true
+		if n.ID() >= f.MaxID {
+			t.Errorf("node ID %d >= MaxID %d", n.ID(), f.MaxID)
+		}
+		return true
+	})
+	if len(seen) < 50 {
+		t.Errorf("suspiciously few nodes: %d", len(seen))
+	}
+}
+
+// TestRoundTrip checks print→parse→print is a fixed point.
+func TestRoundTrip(t *testing.T) {
+	f1 := MustParse("demo.mc", demo)
+	s1 := ast.Print(f1)
+	f2, err := Parse("demo2.mc", s1)
+	if err != nil {
+		t.Fatalf("reparse error: %v\nsource:\n%s", err, s1)
+	}
+	s2 := ast.Print(f2)
+	if s1 != s2 {
+		t.Errorf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", s1, s2)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := MustParse("demo.mc", demo)
+	c := ast.CloneFile(f)
+	// Clone has identical print and IDs.
+	if ast.Print(f) != ast.Print(c) {
+		t.Fatalf("clone prints differently")
+	}
+	// Mutating the clone must not affect the original.
+	c.Funcs[0].Body.Stmts = nil
+	if ast.Print(f) == ast.Print(c) {
+		t.Errorf("mutating clone changed original")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"a = 1 + 2 * 3;", "a = 1 + 2 * 3;"},
+		{"a = (1 + 2) * 3;", "a = (1 + 2) * 3;"},
+		{"a = 1 << 2 + 3;", "a = 1 << 2 + 3;"},
+		{"a = x && y || z;", "a = x && y || z;"},
+		{"a = -b[2];", "a = -b[2];"},
+		{"a = *p + 1;", "a = *p + 1;"},
+		{"a = x & 7;", "a = x & 7;"},
+	}
+	for _, tc := range cases {
+		src := "int a; int b[4]; int *p; int x; int y; int z;\nvoid f(void) { " + tc.src + " }\n"
+		f, err := Parse("t.mc", src)
+		if err != nil {
+			t.Errorf("%q: %v", tc.src, err)
+			continue
+		}
+		body := f.Func("f").Body
+		got := ast.PrintStmt(body.Stmts[0], 0)
+		if got != tc.want {
+			t.Errorf("%q printed as %q, want %q", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestForVariants(t *testing.T) {
+	srcs := []string{
+		"void f(void) { for (;;) { break; } }",
+		"void f(void) { int i; for (i = 0; i < 10; i++) { continue; } }",
+		"void f(void) { for (int i = 0; i < 10; i += 2) { } }",
+		"void f(void) { int i = 9; while (i) { i--; } }",
+	}
+	for _, src := range srcs {
+		if _, err := Parse("t.mc", src); err != nil {
+			t.Errorf("%q: %v", src, err)
+		}
+	}
+}
+
+func TestDanglingElse(t *testing.T) {
+	f := MustParse("t.mc", "int a; void f(int x) { if (x) if (x > 1) a = 1; else a = 2; }")
+	fn := f.Func("f")
+	outer := fn.Body.Stmts[0].(*ast.IfStmt)
+	if outer.Else != nil {
+		t.Fatalf("else bound to outer if")
+	}
+	inner := outer.Then.Stmts[0].(*ast.IfStmt)
+	if inner.Else == nil {
+		t.Fatalf("else not bound to inner if")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int f( { }",
+		"void f(void) { x = ; }",
+		"void f(void) { if x { } }",
+		"int 3x;",
+		"struct S { int }; ",
+		"void f(void) { a[1 = 2; }",
+	}
+	for _, src := range cases {
+		if _, err := Parse("bad.mc", src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestErrorHasPosition(t *testing.T) {
+	_, err := Parse("bad.mc", "void f(void) {\n  x = ;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line info: %v", err)
+	}
+}
+
+func TestCommaInCallArgs(t *testing.T) {
+	f := MustParse("t.mc", "int g(int a, int b) { return a; } void f(void) { g(1, g(2, 3)); }")
+	call := f.Func("f").Body.Stmts[0].(*ast.ExprStmt).X.(*ast.Call)
+	if len(call.Args) != 2 {
+		t.Fatalf("got %d args, want 2", len(call.Args))
+	}
+}
+
+func TestArrayParamsDecay(t *testing.T) {
+	f := MustParse("t.mc", "void f(int buf[], int m[16]) { }")
+	fn := f.Func("f")
+	for _, p := range fn.Params {
+		if p.Type.Stars != 1 || len(p.Type.ArrayLens) != 0 {
+			t.Errorf("param %s: got %+v, want pointer", p.Name, p.Type)
+		}
+	}
+}

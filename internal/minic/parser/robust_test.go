@@ -1,0 +1,83 @@
+package parser
+
+// Robustness: the front end must never panic, whatever bytes it is fed —
+// it returns errors. Exercised with mutated valid programs and raw noise.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/minic/types"
+)
+
+func TestParserNeverPanicsOnMutations(t *testing.T) {
+	base := `
+struct s { int a; int b[4]; };
+int g;
+int *p;
+struct s gs;
+int f(int x, int *q) {
+    for (int i = 0; i < x; i++) {
+        gs.b[i & 3] += *q ? i : -i;
+    }
+    return g;
+}
+int main(void) {
+    int t = f(3, &g);
+    while (t > 0) { t--; }
+    return t;
+}
+`
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		b := []byte(base)
+		// Apply a few random mutations: delete, duplicate, or scramble.
+		for m := 0; m < 1+r.Intn(4); m++ {
+			if len(b) < 4 {
+				break
+			}
+			pos := r.Intn(len(b))
+			switch r.Intn(3) {
+			case 0:
+				b = append(b[:pos], b[pos+1:]...)
+			case 1:
+				b = append(b[:pos], append([]byte{b[pos]}, b[pos:]...)...)
+			default:
+				b[pos] = byte(r.Intn(128))
+			}
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("trial %d panicked: %v\ninput:\n%s", trial, rec, b)
+				}
+			}()
+			f, err := Parse("fuzz.mc", string(b))
+			if err == nil {
+				// Mutants that still parse must also survive the type
+				// checker without panicking.
+				_, _ = types.Check(f)
+			}
+		}()
+	}
+}
+
+func TestParserNeverPanicsOnNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	alphabet := []byte("{}()[];,*&|<>=+-/%!?:abcxyz0123456789 \n\t\"'_")
+	for trial := 0; trial < 300; trial++ {
+		n := r.Intn(200)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("trial %d panicked: %v\ninput: %q", trial, rec, b)
+				}
+			}()
+			_, _ = Parse("noise.mc", string(b))
+		}()
+	}
+}

@@ -1,0 +1,245 @@
+// Package token defines the lexical tokens of the MiniC language, the
+// C-like input language of the Chimera pipeline. MiniC plays the role that
+// CIL-processed C played in the original system: it has the constructs the
+// Chimera analyses reason about (pointers, arrays, structs, loops, function
+// pointers, threads and synchronization) and nothing more.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// The token kinds. Keywords and builtins are recognized by the lexer;
+// builtin calls (spawn, lock, barrier_wait, ...) lex as IDENT and are
+// resolved by the type checker.
+const (
+	ILLEGAL Kind = iota
+	EOF
+	COMMENT
+
+	// Literals and identifiers.
+	IDENT  // foo
+	INT    // 12345
+	STRING // "abc"
+	CHAR   // 'a'
+
+	// Operators and delimiters.
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+
+	AMP   // &
+	PIPE  // |
+	CARET // ^
+	SHL   // <<
+	SHR   // >>
+
+	LAND // &&
+	LOR  // ||
+	NOT  // !
+
+	EQ  // ==
+	NEQ // !=
+	LT  // <
+	GT  // >
+	LE  // <=
+	GE  // >=
+
+	ASSIGN     // =
+	ADD_ASSIGN // +=
+	SUB_ASSIGN // -=
+	MUL_ASSIGN // *=
+	DIV_ASSIGN // /=
+	MOD_ASSIGN // %=
+	INC        // ++
+	DEC        // --
+
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	COMMA    // ,
+	SEMI     // ;
+	DOT      // .
+	ARROW    // ->
+	QUESTION // ?
+	COLON    // :
+
+	// Keywords.
+	keywordBeg
+	KW_INT
+	KW_VOID
+	KW_STRUCT
+	KW_IF
+	KW_ELSE
+	KW_WHILE
+	KW_FOR
+	KW_RETURN
+	KW_BREAK
+	KW_CONTINUE
+	KW_SIZEOF
+	keywordEnd
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL",
+	EOF:     "EOF",
+	COMMENT: "COMMENT",
+
+	IDENT:  "IDENT",
+	INT:    "INT",
+	STRING: "STRING",
+	CHAR:   "CHAR",
+
+	PLUS:    "+",
+	MINUS:   "-",
+	STAR:    "*",
+	SLASH:   "/",
+	PERCENT: "%",
+
+	AMP:   "&",
+	PIPE:  "|",
+	CARET: "^",
+	SHL:   "<<",
+	SHR:   ">>",
+
+	LAND: "&&",
+	LOR:  "||",
+	NOT:  "!",
+
+	EQ:  "==",
+	NEQ: "!=",
+	LT:  "<",
+	GT:  ">",
+	LE:  "<=",
+	GE:  ">=",
+
+	ASSIGN:     "=",
+	ADD_ASSIGN: "+=",
+	SUB_ASSIGN: "-=",
+	MUL_ASSIGN: "*=",
+	DIV_ASSIGN: "/=",
+	MOD_ASSIGN: "%=",
+	INC:        "++",
+	DEC:        "--",
+
+	LPAREN:   "(",
+	RPAREN:   ")",
+	LBRACE:   "{",
+	RBRACE:   "}",
+	LBRACKET: "[",
+	RBRACKET: "]",
+	COMMA:    ",",
+	SEMI:     ";",
+	DOT:      ".",
+	ARROW:    "->",
+	QUESTION: "?",
+	COLON:    ":",
+
+	KW_INT:      "int",
+	KW_VOID:     "void",
+	KW_STRUCT:   "struct",
+	KW_IF:       "if",
+	KW_ELSE:     "else",
+	KW_WHILE:    "while",
+	KW_FOR:      "for",
+	KW_RETURN:   "return",
+	KW_BREAK:    "break",
+	KW_CONTINUE: "continue",
+	KW_SIZEOF:   "sizeof",
+}
+
+// String returns the textual form of the token kind: the operator or keyword
+// spelling for fixed tokens, the class name for variable ones.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		m[kindNames[k]] = k
+	}
+	return m
+}()
+
+// Lookup maps an identifier spelling to its keyword kind, or IDENT if the
+// spelling is not a keyword.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// IsKeyword reports whether k is a MiniC keyword.
+func (k Kind) IsKeyword() bool { return k > keywordBeg && k < keywordEnd }
+
+// Pos is a source position: byte offset, 1-based line and column.
+type Pos struct {
+	Offset int
+	Line   int
+	Col    int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position has been set (Line > 0).
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a single lexical token with its position and literal text.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Lit  string // literal text for IDENT, INT, STRING, CHAR, COMMENT
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, COMMENT:
+		return fmt.Sprintf("%s(%s)", t.Kind, t.Lit)
+	case STRING:
+		return fmt.Sprintf("STRING(%q)", t.Lit)
+	case CHAR:
+		return fmt.Sprintf("CHAR(%q)", t.Lit)
+	}
+	return t.Kind.String()
+}
+
+// Precedence returns the binary-operator precedence of k, higher binds
+// tighter, or 0 if k is not a binary operator. The table mirrors C.
+func (k Kind) Precedence() int {
+	switch k {
+	case LOR:
+		return 1
+	case LAND:
+		return 2
+	case PIPE:
+		return 3
+	case CARET:
+		return 4
+	case AMP:
+		return 5
+	case EQ, NEQ:
+		return 6
+	case LT, GT, LE, GE:
+		return 7
+	case SHL, SHR:
+		return 8
+	case PLUS, MINUS:
+		return 9
+	case STAR, SLASH, PERCENT:
+		return 10
+	}
+	return 0
+}

@@ -1,0 +1,83 @@
+package token
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	cases := map[string]Kind{
+		"int": KW_INT, "void": KW_VOID, "struct": KW_STRUCT,
+		"if": KW_IF, "else": KW_ELSE, "while": KW_WHILE, "for": KW_FOR,
+		"return": KW_RETURN, "break": KW_BREAK, "continue": KW_CONTINUE,
+		"sizeof": KW_SIZEOF,
+		"foo":    IDENT, "Int": IDENT, "IF": IDENT, "": IDENT,
+	}
+	for s, want := range cases {
+		if got := Lookup(s); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	if !KW_INT.IsKeyword() || !KW_SIZEOF.IsKeyword() {
+		t.Error("keywords not recognized")
+	}
+	if IDENT.IsKeyword() || PLUS.IsKeyword() || EOF.IsKeyword() {
+		t.Error("non-keywords recognized as keywords")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		PLUS: "+", SHL: "<<", ARROW: "->", EQ: "==",
+		KW_WHILE: "while", IDENT: "IDENT", EOF: "EOF",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// Multiplication binds tighter than addition, which binds tighter
+	// than comparison, which binds tighter than &&, which beats ||.
+	order := []Kind{LOR, LAND, PIPE, CARET, AMP, EQ, LT, SHL, PLUS, STAR}
+	for i := 1; i < len(order); i++ {
+		if !(order[i-1].Precedence() < order[i].Precedence()) {
+			t.Errorf("%v should bind looser than %v", order[i-1], order[i])
+		}
+	}
+	if ASSIGN.Precedence() != 0 || LPAREN.Precedence() != 0 {
+		t.Error("non-binary tokens must have precedence 0")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Kind: IDENT, Lit: "x"}, "IDENT(x)"},
+		{Token{Kind: INT, Lit: "42"}, "INT(42)"},
+		{Token{Kind: STRING, Lit: "hi"}, `STRING("hi")`},
+		{Token{Kind: PLUS}, "+"},
+	}
+	for _, c := range cases {
+		if got := c.tok.String(); got != c.want {
+			t.Errorf("got %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPos(t *testing.T) {
+	p := Pos{Offset: 10, Line: 3, Col: 7}
+	if p.String() != "3:7" {
+		t.Errorf("pos string %q", p.String())
+	}
+	if !p.IsValid() || (Pos{}).IsValid() {
+		t.Error("IsValid wrong")
+	}
+}

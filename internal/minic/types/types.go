@@ -1,0 +1,994 @@
+// Package types implements semantic analysis for MiniC: symbol resolution,
+// struct layout, expression typing, and recognition of the builtin
+// thread/synchronization/I-O operations that later Chimera stages key on.
+//
+// Memory in MiniC is word-addressed: every scalar (int, pointer) occupies
+// one word, arrays and structs occupy consecutive words, and pointer
+// arithmetic is scaled by element size in words. This matches the simulated
+// VM's flat address space and makes the symbolic address-bounds analysis
+// (paper §5) directly expressible in word units.
+package types
+
+import (
+	"fmt"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/token"
+)
+
+// Kind classifies semantic types.
+type Kind int
+
+// The semantic type kinds.
+const (
+	Invalid Kind = iota
+	Int
+	Void
+	Ptr
+	Array
+	StructT
+	FuncT
+)
+
+// Type is a semantic MiniC type.
+type Type struct {
+	Kind   Kind
+	Elem   *Type       // Ptr, Array
+	Len    int64       // Array
+	Struct *StructInfo // StructT
+	Sig    *Signature  // FuncT
+}
+
+// Signature is a function type.
+type Signature struct {
+	Params []*Type
+	Ret    *Type
+}
+
+// Basic singleton types.
+var (
+	IntType     = &Type{Kind: Int}
+	VoidType    = &Type{Kind: Void}
+	IntPtrType  = &Type{Kind: Ptr, Elem: IntType}
+	invalidType = &Type{Kind: Invalid}
+)
+
+// PointerTo returns the type *t.
+func PointerTo(t *Type) *Type { return &Type{Kind: Ptr, Elem: t} }
+
+// Size returns the type's size in words. Functions size as pointers.
+func (t *Type) Size() int64 {
+	switch t.Kind {
+	case Int, Ptr, FuncT:
+		return 1
+	case Array:
+		return t.Len * t.Elem.Size()
+	case StructT:
+		return t.Struct.Size
+	}
+	return 0
+}
+
+// IsScalar reports whether the type is word-sized (int, pointer, function).
+func (t *Type) IsScalar() bool {
+	return t.Kind == Int || t.Kind == Ptr || t.Kind == FuncT
+}
+
+// String renders the type for diagnostics.
+func (t *Type) String() string {
+	switch t.Kind {
+	case Int:
+		return "int"
+	case Void:
+		return "void"
+	case Ptr:
+		return t.Elem.String() + "*"
+	case Array:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case StructT:
+		return "struct " + t.Struct.Name
+	case FuncT:
+		s := "func("
+		for i, p := range t.Sig.Params {
+			if i > 0 {
+				s += ", "
+			}
+			s += p.String()
+		}
+		return s + ") " + t.Sig.Ret.String()
+	}
+	return "invalid"
+}
+
+// FieldInfo is one laid-out struct field.
+type FieldInfo struct {
+	Name   string
+	Type   *Type
+	Offset int64 // word offset within the struct
+}
+
+// StructInfo is a laid-out struct.
+type StructInfo struct {
+	Name   string
+	Fields []FieldInfo
+	Size   int64
+}
+
+// Field returns the field with the given name, or nil.
+func (s *StructInfo) Field(name string) *FieldInfo {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
+// ObjKind classifies resolved objects.
+type ObjKind int
+
+// The object kinds.
+const (
+	ObjGlobal ObjKind = iota
+	ObjLocal
+	ObjParam
+	ObjFunc
+	ObjBuiltin
+)
+
+// String names the object kind.
+func (k ObjKind) String() string {
+	switch k {
+	case ObjGlobal:
+		return "global"
+	case ObjLocal:
+		return "local"
+	case ObjParam:
+		return "param"
+	case ObjFunc:
+		return "func"
+	case ObjBuiltin:
+		return "builtin"
+	}
+	return "?"
+}
+
+// Object is a named program entity.
+type Object struct {
+	Name string
+	Kind ObjKind
+	Type *Type
+
+	// Decl is the declaring node: *ast.VarDecl, *ast.ParamDecl or
+	// *ast.FuncDecl. Nil for builtins.
+	Decl ast.Node
+
+	// Func is the enclosing function for locals and params.
+	Func *FuncInfo
+
+	// Index is the slot index: globals get a global index, params their
+	// position, locals a per-function slot number.
+	Index int
+
+	// AddrTaken is set when the object's address is taken with &, or when
+	// the object is an aggregate (whose uses are inherently by address).
+	// RELAY's local-escape filter (paper §6.2) keys on this.
+	AddrTaken bool
+
+	// Builtin identifies the builtin operation for ObjBuiltin objects.
+	Builtin BuiltinOp
+}
+
+// FuncInfo is the semantic view of a function.
+type FuncInfo struct {
+	Name   string
+	Decl   *ast.FuncDecl
+	Sig    *Signature
+	Obj    *Object
+	Params []*Object
+	Locals []*Object // declaration order, excluding params
+}
+
+// BuiltinOp enumerates the runtime builtins. These are the operations the
+// VM, the recorder, and the RELAY analysis each give special meaning to.
+type BuiltinOp int
+
+// The builtin operations.
+const (
+	BNone BuiltinOp = iota
+
+	// Threads.
+	BSpawn // spawn(fn, arg) -> tid
+	BJoin  // join(tid)
+
+	// Synchronization. Lock identity is the address argument.
+	BLock        // lock(&m)
+	BUnlock      // unlock(&m)
+	BBarrierInit // barrier_init(&b, n)
+	BBarrierWait // barrier_wait(&b)
+	BCondWait    // cond_wait(&c, &m)
+	BCondSignal  // cond_signal(&c)
+	BCondBcast   // cond_broadcast(&c)
+
+	// Memory.
+	BMalloc // malloc(nwords) -> ptr
+	BFree   // free(ptr)
+
+	// Simulated OS input (nondeterministic; recorded).
+	BOpen   // open(pathid) -> fd
+	BClose  // close(fd)
+	BRead   // read(fd, buf, n) -> count
+	BWrite  // write(fd, buf, n) -> count
+	BAccept // accept(lsock) -> sock or -1
+	BRecv   // recv(sock, buf, n) -> count
+	BSend   // send(sock, buf, n) -> count
+	BNow    // now() -> simulated time
+	BRnd    // rnd(n) -> pseudo-random in [0,n)
+
+	// Deterministic program output.
+	BPrint  // print(x): append int to output
+	BPrints // prints(p): append NUL-terminated word string
+	BExit   // exit(code)
+	BCheck  // check(cond): abort the run if cond == 0
+
+	// Weak-lock intrinsics inserted by the Chimera instrumenter
+	// (paper §2.2-2.3). kind and id are constants; lo/hi are the runtime
+	// address bounds for loop-locks (wlInf encodes ±infinity).
+	BWlAcquire // wl_acquire(kind, id, lo, hi)
+	BWlRelease // wl_release(kind, id)
+)
+
+// builtinSpec describes a builtin's arity and result.
+type builtinSpec struct {
+	name    string
+	op      BuiltinOp
+	arity   int
+	retsInt bool // result is int (or pointer-as-int); otherwise void
+}
+
+var builtinSpecs = []builtinSpec{
+	{"spawn", BSpawn, 2, true},
+	{"join", BJoin, 1, false},
+	{"lock", BLock, 1, false},
+	{"unlock", BUnlock, 1, false},
+	{"barrier_init", BBarrierInit, 2, false},
+	{"barrier_wait", BBarrierWait, 1, false},
+	{"cond_wait", BCondWait, 2, false},
+	{"cond_signal", BCondSignal, 1, false},
+	{"cond_broadcast", BCondBcast, 1, false},
+	{"malloc", BMalloc, 1, true},
+	{"free", BFree, 1, false},
+	{"open", BOpen, 1, true},
+	{"close", BClose, 1, false},
+	{"read", BRead, 3, true},
+	{"write", BWrite, 3, true},
+	{"accept", BAccept, 1, true},
+	{"recv", BRecv, 3, true},
+	{"send", BSend, 3, true},
+	{"now", BNow, 0, true},
+	{"rnd", BRnd, 1, true},
+	{"print", BPrint, 1, false},
+	{"prints", BPrints, 1, false},
+	{"exit", BExit, 1, false},
+	{"check", BCheck, 1, false},
+	{"wl_acquire", BWlAcquire, 4, false},
+	{"wl_release", BWlRelease, 2, false},
+}
+
+// BuiltinName returns the source-level name of op, or "".
+func BuiltinName(op BuiltinOp) string {
+	for _, s := range builtinSpecs {
+		if s.op == op {
+			return s.name
+		}
+	}
+	return ""
+}
+
+// IsSyncOp reports whether op is an original-program synchronization
+// operation whose happens-before order the recorder logs for DRF replay.
+func (op BuiltinOp) IsSyncOp() bool {
+	switch op {
+	case BLock, BUnlock, BBarrierWait, BCondWait, BCondSignal, BCondBcast,
+		BSpawn, BJoin:
+		return true
+	}
+	return false
+}
+
+// IsInputOp reports whether op produces nondeterministic input that the
+// recorder must log (paper §2.2: "records non-deterministic input").
+func (op BuiltinOp) IsInputOp() bool {
+	switch op {
+	case BOpen, BRead, BAccept, BRecv, BNow, BRnd:
+		return true
+	}
+	return false
+}
+
+// Info holds the results of type checking a file.
+type Info struct {
+	File *ast.File
+
+	// Types maps expression node IDs to their semantic type.
+	Types map[ast.NodeID]*Type
+
+	// Uses maps Ident node IDs to the object they denote.
+	Uses map[ast.NodeID]*Object
+
+	// Objects maps declaration node IDs (VarDecl/ParamDecl/FuncDecl) to
+	// their object.
+	Objects map[ast.NodeID]*Object
+
+	// Structs maps struct names to layout.
+	Structs map[string]*StructInfo
+
+	// Funcs maps function names to semantic info; FuncList preserves
+	// declaration order.
+	Funcs    map[string]*FuncInfo
+	FuncList []*FuncInfo
+
+	// Globals in declaration order.
+	Globals []*Object
+
+	// Strings collects string literals in first-appearance order; the VM
+	// materializes them as static word arrays.
+	Strings []*ast.StringLit
+
+	// CallTargets maps Call node IDs of *direct* calls to the callee
+	// object (function or builtin). Indirect calls through expressions are
+	// absent and resolved by the points-to analysis.
+	CallTargets map[ast.NodeID]*Object
+}
+
+// Error is a semantic error at a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList is a list of semantic errors; it implements error.
+type ErrorList []*Error
+
+// Error returns the first error plus a count of the rest.
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+}
+
+// Check type-checks the file and returns the semantic info.
+func Check(file *ast.File) (*Info, error) {
+	c := &checker{
+		info: &Info{
+			File:        file,
+			Types:       make(map[ast.NodeID]*Type),
+			Uses:        make(map[ast.NodeID]*Object),
+			Objects:     make(map[ast.NodeID]*Object),
+			Structs:     make(map[string]*StructInfo),
+			Funcs:       make(map[string]*FuncInfo),
+			CallTargets: make(map[ast.NodeID]*Object),
+		},
+		scope: newScope(nil),
+	}
+	c.seenStr = make(map[string]bool)
+	c.declareBuiltins()
+	c.collectStructs(file)
+	c.collectGlobalsAndFuncs(file)
+	c.checkGlobalInits(file)
+	c.checkFuncBodies(file)
+	if len(c.errs) > 0 {
+		return nil, c.errs
+	}
+	return c.info, nil
+}
+
+// MustCheck type-checks and panics on error; for tests and builtin programs.
+func MustCheck(file *ast.File) *Info {
+	info, err := Check(file)
+	if err != nil {
+		panic(fmt.Sprintf("types.MustCheck(%s): %v", file.Name, err))
+	}
+	return info
+}
+
+type scope struct {
+	parent *scope
+	names  map[string]*Object
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, names: make(map[string]*Object)}
+}
+
+func (s *scope) lookup(name string) *Object {
+	for sc := s; sc != nil; sc = sc.parent {
+		if o, ok := sc.names[name]; ok {
+			return o
+		}
+	}
+	return nil
+}
+
+func (s *scope) declare(o *Object) bool {
+	if _, ok := s.names[o.Name]; ok {
+		return false
+	}
+	s.names[o.Name] = o
+	return true
+}
+
+type checker struct {
+	info  *Info
+	errs  ErrorList
+	scope *scope // current scope; root holds builtins+globals+funcs
+
+	curFunc *FuncInfo
+	seenStr map[string]bool
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) declareBuiltins() {
+	for _, spec := range builtinSpecs {
+		ret := VoidType
+		if spec.retsInt {
+			ret = IntType
+		}
+		params := make([]*Type, spec.arity)
+		for i := range params {
+			params[i] = IntType
+		}
+		o := &Object{
+			Name:    spec.name,
+			Kind:    ObjBuiltin,
+			Type:    &Type{Kind: FuncT, Sig: &Signature{Params: params, Ret: ret}},
+			Builtin: spec.op,
+		}
+		c.scope.declare(o)
+	}
+}
+
+// collectStructs lays out all structs. Structs may reference earlier structs
+// by value and any struct by pointer.
+func (c *checker) collectStructs(file *ast.File) {
+	for _, sd := range file.Structs {
+		if _, dup := c.info.Structs[sd.Name]; dup {
+			c.errorf(sd.Pos(), "duplicate struct %s", sd.Name)
+			continue
+		}
+		si := &StructInfo{Name: sd.Name}
+		c.info.Structs[sd.Name] = si // visible to own pointer fields
+		off := int64(0)
+		for _, fd := range sd.Fields {
+			ft := c.resolveType(fd.Type, fd.Pos())
+			if ft.Kind == StructT && ft.Struct == si {
+				c.errorf(fd.Pos(), "struct %s embeds itself", sd.Name)
+				ft = invalidType
+			}
+			if ft.Kind == Void {
+				c.errorf(fd.Pos(), "field %s has void type", fd.Name)
+				ft = invalidType
+			}
+			if si.Field(fd.Name) != nil {
+				c.errorf(fd.Pos(), "duplicate field %s in struct %s", fd.Name, sd.Name)
+				continue
+			}
+			si.Fields = append(si.Fields, FieldInfo{Name: fd.Name, Type: ft, Offset: off})
+			off += ft.Size()
+		}
+		si.Size = off
+	}
+}
+
+// resolveType converts a syntactic type to a semantic one.
+func (c *checker) resolveType(t ast.TypeName, pos token.Pos) *Type {
+	var base *Type
+	switch t.Kind {
+	case ast.TypeInt:
+		base = IntType
+	case ast.TypeVoid:
+		base = VoidType
+	case ast.TypeStruct:
+		si, ok := c.info.Structs[t.StructName]
+		if !ok {
+			c.errorf(pos, "undefined struct %s", t.StructName)
+			return invalidType
+		}
+		base = &Type{Kind: StructT, Struct: si}
+	}
+	for i := 0; i < t.Stars; i++ {
+		if base.Kind == Void && i == 0 {
+			// void* is modeled as int* (a word pointer).
+			base = IntType
+		}
+		base = PointerTo(base)
+	}
+	// Apply array lengths outermost-first: int a[2][3] is [2][3]int.
+	for i := len(t.ArrayLens) - 1; i >= 0; i-- {
+		n := t.ArrayLens[i]
+		if n <= 0 {
+			c.errorf(pos, "array length must be positive, got %d", n)
+			n = 1
+		}
+		base = &Type{Kind: Array, Elem: base, Len: n}
+	}
+	return base
+}
+
+func (c *checker) collectGlobalsAndFuncs(file *ast.File) {
+	for _, d := range file.Decls {
+		switch d := d.(type) {
+		case *ast.VarDecl:
+			t := c.resolveType(d.Type, d.Pos())
+			if t.Kind == Void {
+				c.errorf(d.Pos(), "global %s has void type", d.Name)
+				t = invalidType
+			}
+			o := &Object{
+				Name: d.Name, Kind: ObjGlobal, Type: t, Decl: d,
+				Index:     len(c.info.Globals),
+				AddrTaken: !t.IsScalar(),
+			}
+			if !c.scope.declare(o) {
+				c.errorf(d.Pos(), "duplicate declaration of %s", d.Name)
+				continue
+			}
+			c.info.Globals = append(c.info.Globals, o)
+			c.info.Objects[d.ID()] = o
+		case *ast.FuncDecl:
+			sig := &Signature{Ret: c.resolveType(d.Ret, d.Pos())}
+			for _, p := range d.Params {
+				pt := c.resolveType(p.Type, p.Pos())
+				if !pt.IsScalar() {
+					c.errorf(p.Pos(), "parameter %s must be scalar (got %s)", p.Name, pt)
+					pt = IntType
+				}
+				sig.Params = append(sig.Params, pt)
+			}
+			fi := &FuncInfo{Name: d.Name, Decl: d, Sig: sig}
+			o := &Object{
+				Name: d.Name, Kind: ObjFunc,
+				Type: &Type{Kind: FuncT, Sig: sig},
+				Decl: d, Func: fi,
+			}
+			fi.Obj = o
+			if !c.scope.declare(o) {
+				c.errorf(d.Pos(), "duplicate declaration of %s", d.Name)
+				continue
+			}
+			c.info.Funcs[d.Name] = fi
+			c.info.FuncList = append(c.info.FuncList, fi)
+			c.info.Objects[d.ID()] = o
+		}
+	}
+}
+
+// checkGlobalInits types global initializer expressions (they must also be
+// compile-time constants, which the VM compiler enforces).
+func (c *checker) checkGlobalInits(file *ast.File) {
+	for _, g := range file.Globals {
+		if g.Init == nil {
+			continue
+		}
+		it := c.checkExpr(g.Init)
+		if it.Kind != Invalid && !it.IsScalar() && it.Kind != Array {
+			c.errorf(g.Pos(), "cannot initialize global %s from aggregate %s", g.Name, it)
+		}
+	}
+}
+
+func (c *checker) checkFuncBodies(file *ast.File) {
+	for _, fi := range c.info.FuncList {
+		c.curFunc = fi
+		fnScope := newScope(c.scope)
+		for i, p := range fi.Decl.Params {
+			po := &Object{
+				Name: p.Name, Kind: ObjParam, Type: fi.Sig.Params[i],
+				Decl: p, Func: fi, Index: i,
+			}
+			if !fnScope.declare(po) {
+				c.errorf(p.Pos(), "duplicate parameter %s", p.Name)
+			}
+			fi.Params = append(fi.Params, po)
+			c.info.Objects[p.ID()] = po
+		}
+		saved := c.scope
+		c.scope = fnScope
+		c.checkBlock(fi.Decl.Body)
+		c.scope = saved
+		c.curFunc = nil
+	}
+}
+
+func (c *checker) checkBlock(b *ast.Block) {
+	c.scope = newScope(c.scope)
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.scope = c.scope.parent
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		c.checkBlock(s)
+	case *ast.DeclStmt:
+		c.checkLocalDecl(s.Decl)
+	case *ast.AssignStmt:
+		lt := c.checkExpr(s.LHS)
+		rt := c.checkExpr(s.RHS)
+		if !c.isLvalue(s.LHS) {
+			c.errorf(s.LHS.Pos(), "cannot assign to %s", ast.PrintExpr(s.LHS))
+		}
+		if lt.Kind != Invalid && !lt.IsScalar() {
+			c.errorf(s.Pos(), "cannot assign aggregate %s", lt)
+		}
+		if rt.Kind != Invalid && !rt.IsScalar() && rt.Kind != Array {
+			c.errorf(s.Pos(), "cannot assign from aggregate %s", rt)
+		}
+		if s.Op != token.ASSIGN && lt.Kind == StructT {
+			c.errorf(s.Pos(), "compound assignment needs scalar operands")
+		}
+	case *ast.IncDecStmt:
+		t := c.checkExpr(s.X)
+		if !c.isLvalue(s.X) {
+			c.errorf(s.X.Pos(), "cannot modify %s", ast.PrintExpr(s.X))
+		}
+		if t.Kind != Invalid && !t.IsScalar() {
+			c.errorf(s.Pos(), "%s requires scalar operand", s.Op)
+		}
+	case *ast.ExprStmt:
+		c.checkExpr(s.X)
+	case *ast.IfStmt:
+		c.checkScalarExpr(s.CondE, "if condition")
+		c.checkBlock(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *ast.WhileStmt:
+		c.checkScalarExpr(s.CondE, "while condition")
+		c.checkBlock(s.Body)
+	case *ast.ForStmt:
+		// The for-header introduces a scope for a declared index variable.
+		c.scope = newScope(c.scope)
+		if s.Init != nil {
+			c.checkStmt(s.Init)
+		}
+		if s.CondE != nil {
+			c.checkScalarExpr(s.CondE, "for condition")
+		}
+		if s.Post != nil {
+			c.checkStmt(s.Post)
+		}
+		c.checkBlock(s.Body)
+		c.scope = c.scope.parent
+	case *ast.ReturnStmt:
+		want := c.curFunc.Sig.Ret
+		if s.X == nil {
+			if want.Kind != Void {
+				c.errorf(s.Pos(), "missing return value in %s", c.curFunc.Name)
+			}
+			return
+		}
+		got := c.checkExpr(s.X)
+		if want.Kind == Void {
+			c.errorf(s.Pos(), "unexpected return value in void function %s", c.curFunc.Name)
+		} else if got.Kind != Invalid && !got.IsScalar() && got.Kind != Array {
+			c.errorf(s.Pos(), "cannot return aggregate %s", got)
+		}
+	case *ast.BreakStmt, *ast.ContinueStmt:
+		// Loop nesting is validated by the compiler pass, which knows the
+		// enclosing loop structure.
+	}
+}
+
+func (c *checker) checkLocalDecl(d *ast.VarDecl) {
+	t := c.resolveType(d.Type, d.Pos())
+	if t.Kind == Void {
+		c.errorf(d.Pos(), "local %s has void type", d.Name)
+		t = invalidType
+	}
+	o := &Object{
+		Name: d.Name, Kind: ObjLocal, Type: t, Decl: d,
+		Func:      c.curFunc,
+		Index:     len(c.curFunc.Locals),
+		AddrTaken: !t.IsScalar(),
+	}
+	if !c.scope.declare(o) {
+		c.errorf(d.Pos(), "duplicate declaration of %s", d.Name)
+		return
+	}
+	c.curFunc.Locals = append(c.curFunc.Locals, o)
+	c.info.Objects[d.ID()] = o
+	if d.Init != nil {
+		it := c.checkExpr(d.Init)
+		if it.Kind != Invalid && !it.IsScalar() && it.Kind != Array {
+			c.errorf(d.Pos(), "cannot initialize from aggregate %s", it)
+		}
+		if !t.IsScalar() && t.Kind != Invalid {
+			c.errorf(d.Pos(), "cannot initialize aggregate %s with an expression", d.Name)
+		}
+	}
+}
+
+func (c *checker) checkScalarExpr(e ast.Expr, what string) {
+	t := c.checkExpr(e)
+	if t.Kind != Invalid && !t.IsScalar() && t.Kind != Array {
+		c.errorf(e.Pos(), "%s must be scalar, got %s", what, t)
+	}
+}
+
+// isLvalue reports whether e denotes a memory location.
+func (c *checker) isLvalue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		o := c.info.Uses[e.ID()]
+		return o != nil && (o.Kind == ObjGlobal || o.Kind == ObjLocal || o.Kind == ObjParam)
+	case *ast.Unary:
+		return e.Op == token.STAR
+	case *ast.Index, *ast.Field:
+		return true
+	}
+	return false
+}
+
+// checkExpr types e, records the type in Types, and returns it.
+func (c *checker) checkExpr(e ast.Expr) *Type {
+	t := c.exprType(e)
+	c.info.Types[e.ID()] = t
+	return t
+}
+
+func (c *checker) exprType(e ast.Expr) *Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return IntType
+
+	case *ast.StringLit:
+		if !c.seenStr[e.Value] {
+			c.seenStr[e.Value] = true
+		}
+		c.info.Strings = append(c.info.Strings, e)
+		return IntPtrType
+
+	case *ast.Ident:
+		o := c.scope.lookup(e.Name)
+		if o == nil {
+			c.errorf(e.Pos(), "undefined: %s", e.Name)
+			return invalidType
+		}
+		c.info.Uses[e.ID()] = o
+		// Arrays decay to pointers when used as values; the decay is
+		// applied at use sites (Index handles arrays directly).
+		return o.Type
+
+	case *ast.Unary:
+		switch e.Op {
+		case token.MINUS, token.NOT:
+			xt := c.checkExpr(e.X)
+			if xt.Kind != Invalid && !xt.IsScalar() {
+				c.errorf(e.Pos(), "operator %s requires scalar, got %s", e.Op, xt)
+			}
+			return IntType
+		case token.STAR:
+			xt := c.checkExpr(e.X)
+			switch xt.Kind {
+			case Ptr:
+				return xt.Elem
+			case Array:
+				return xt.Elem
+			case Int, FuncT:
+				// Dereferencing an int: a word pointer; *fp on a function
+				// pointer is the function itself, as in C.
+				if xt.Kind == FuncT {
+					return xt
+				}
+				return IntType
+			case Invalid:
+				return invalidType
+			}
+			c.errorf(e.Pos(), "cannot dereference %s", xt)
+			return invalidType
+		case token.AMP:
+			xt := c.checkExpr(e.X)
+			if id, ok := e.X.(*ast.Ident); ok {
+				if o := c.info.Uses[id.ID()]; o != nil {
+					if o.Kind == ObjFunc {
+						return o.Type // &f is the function value
+					}
+					o.AddrTaken = true
+				}
+			}
+			if !c.isLvalue(e.X) {
+				if _, isIdent := e.X.(*ast.Ident); !isIdent {
+					c.errorf(e.Pos(), "cannot take address of %s", ast.PrintExpr(e.X))
+					return invalidType
+				}
+			}
+			if xt.Kind == Invalid {
+				return invalidType
+			}
+			return PointerTo(xt)
+		}
+		c.errorf(e.Pos(), "bad unary operator %s", e.Op)
+		return invalidType
+
+	case *ast.Binary:
+		xt := c.checkExpr(e.X)
+		yt := c.checkExpr(e.Y)
+		if xt.Kind == Invalid || yt.Kind == Invalid {
+			return invalidType
+		}
+		okOperand := func(t *Type) bool { return t.IsScalar() || t.Kind == Array }
+		if !okOperand(xt) || !okOperand(yt) {
+			c.errorf(e.Pos(), "operator %s requires scalar operands, got %s and %s", e.Op, xt, yt)
+			return invalidType
+		}
+		switch e.Op {
+		case token.PLUS, token.MINUS:
+			// Pointer arithmetic keeps the pointer type; ptr-ptr is int.
+			xp := xt.Kind == Ptr || xt.Kind == Array
+			yp := yt.Kind == Ptr || yt.Kind == Array
+			switch {
+			case xp && yp && e.Op == token.MINUS:
+				return IntType
+			case xp:
+				return decay(xt)
+			case yp && e.Op == token.PLUS:
+				return decay(yt)
+			}
+			return IntType
+		default:
+			return IntType
+		}
+
+	case *ast.Cond:
+		c.checkScalarExpr(e.CondE, "conditional")
+		tt := c.checkExpr(e.Then)
+		et := c.checkExpr(e.Else)
+		if tt.Kind == Ptr || tt.Kind == Array {
+			return decay(tt)
+		}
+		if et.Kind == Ptr || et.Kind == Array {
+			return decay(et)
+		}
+		return IntType
+
+	case *ast.Index:
+		xt := c.checkExpr(e.X)
+		c.checkScalarExpr(e.Index, "index")
+		switch xt.Kind {
+		case Array, Ptr:
+			return xt.Elem
+		case Int:
+			return IntType // indexing through an int-as-pointer
+		case Invalid:
+			return invalidType
+		}
+		c.errorf(e.Pos(), "cannot index %s", xt)
+		return invalidType
+
+	case *ast.Field:
+		xt := c.checkExpr(e.X)
+		if xt.Kind == Invalid {
+			return invalidType
+		}
+		var si *StructInfo
+		if e.Arrow {
+			if xt.Kind != Ptr || xt.Elem.Kind != StructT {
+				c.errorf(e.Pos(), "-> requires struct pointer, got %s", xt)
+				return invalidType
+			}
+			si = xt.Elem.Struct
+		} else {
+			if xt.Kind != StructT {
+				c.errorf(e.Pos(), ". requires struct, got %s", xt)
+				return invalidType
+			}
+			si = xt.Struct
+		}
+		fi := si.Field(e.Name)
+		if fi == nil {
+			c.errorf(e.Pos(), "struct %s has no field %s", si.Name, e.Name)
+			return invalidType
+		}
+		return fi.Type
+
+	case *ast.Call:
+		return c.checkCall(e)
+
+	case *ast.Sizeof:
+		t := c.resolveType(e.Type, e.Pos())
+		_ = t
+		return IntType
+	}
+	c.errorf(e.Pos(), "unexpected expression")
+	return invalidType
+}
+
+// decay converts array types to pointers-to-element for value contexts.
+func decay(t *Type) *Type {
+	if t.Kind == Array {
+		return PointerTo(t.Elem)
+	}
+	return t
+}
+
+func (c *checker) checkCall(e *ast.Call) *Type {
+	// Direct call through a name?
+	if id, ok := e.Fun.(*ast.Ident); ok {
+		o := c.scope.lookup(id.Name)
+		if o == nil {
+			c.errorf(id.Pos(), "undefined function: %s", id.Name)
+			return invalidType
+		}
+		c.info.Uses[id.ID()] = o
+		c.info.Types[id.ID()] = o.Type
+		if o.Kind == ObjFunc || o.Kind == ObjBuiltin {
+			c.info.CallTargets[e.ID()] = o
+			return c.checkCallArgs(e, o.Type.Sig, o)
+		}
+		// Variable holding a function pointer.
+		if o.Type.Kind == FuncT {
+			return c.checkCallArgs(e, o.Type.Sig, nil)
+		}
+		if o.Type.Kind == Int || o.Type.Kind == Ptr {
+			// Untyped function pointer stored in an int; args unchecked.
+			for _, a := range e.Args {
+				c.checkExpr(a)
+			}
+			return IntType
+		}
+		c.errorf(e.Pos(), "%s is not callable (%s)", id.Name, o.Type)
+		return invalidType
+	}
+	// Indirect call through an arbitrary expression.
+	ft := c.checkExpr(e.Fun)
+	for _, a := range e.Args {
+		c.checkExpr(a)
+	}
+	if ft.Kind == FuncT {
+		return ft.Sig.Ret
+	}
+	if ft.Kind == Int || ft.Kind == Ptr || ft.Kind == Invalid {
+		return IntType
+	}
+	c.errorf(e.Pos(), "cannot call value of type %s", ft)
+	return invalidType
+}
+
+func (c *checker) checkCallArgs(e *ast.Call, sig *Signature, callee *Object) *Type {
+	if len(e.Args) != len(sig.Params) {
+		name := "function"
+		if callee != nil {
+			name = callee.Name
+		}
+		c.errorf(e.Pos(), "%s expects %d arguments, got %d", name, len(sig.Params), len(e.Args))
+	}
+	for _, a := range e.Args {
+		at := c.checkExpr(a)
+		if at.Kind != Invalid && !at.IsScalar() && at.Kind != Array {
+			c.errorf(a.Pos(), "cannot pass aggregate %s", at)
+		}
+	}
+	// spawn's first argument must be a function (pointer) taking one word.
+	if callee != nil && callee.Builtin == BSpawn && len(e.Args) == 2 {
+		ft := c.info.Types[e.Args[0].ID()]
+		if ft != nil && ft.Kind == FuncT {
+			if len(ft.Sig.Params) != 1 {
+				c.errorf(e.Args[0].Pos(), "spawn target must take exactly one argument")
+			}
+		}
+	}
+	return sig.Ret
+}

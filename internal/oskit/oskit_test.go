@@ -1,0 +1,156 @@
+package oskit
+
+import "testing"
+
+func TestFileReadSequential(t *testing.T) {
+	w := NewWorld(1)
+	w.AddFile(5, []int64{1, 2, 3, 4, 5})
+	fd, _ := w.Open(5, 0)
+	if fd < 3 {
+		t.Fatalf("fd %d", fd)
+	}
+	d1, r1 := w.Read(fd, 2, 100)
+	if len(d1) != 2 || d1[0] != 1 || r1 <= 100 {
+		t.Fatalf("read1 %v @%d", d1, r1)
+	}
+	d2, _ := w.Read(fd, 10, 200)
+	if len(d2) != 3 || d2[2] != 5 {
+		t.Fatalf("read2 %v", d2)
+	}
+	d3, _ := w.Read(fd, 10, 300)
+	if len(d3) != 0 {
+		t.Fatalf("expected EOF, got %v", d3)
+	}
+}
+
+func TestReadPipelining(t *testing.T) {
+	// A slow reader should find later chunks already buffered: the ready
+	// time tracks the device cursor, not the call time.
+	w := NewWorld(1)
+	data := make([]int64, 100)
+	w.AddFile(7, data)
+	fd, _ := w.Open(7, 0)
+	_, r1 := w.Read(fd, 10, 0)
+	// Caller dawdles far past the device cursor.
+	_, r2 := w.Read(fd, 10, r1+100*w.ReadLatency)
+	if r2 != r1+100*w.ReadLatency {
+		t.Errorf("slow reader should not wait: ready %d, call at %d", r2, r1+100*w.ReadLatency)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	w := NewWorld(1)
+	fd, _ := w.Open(42, 0)
+	if fd != -1 {
+		t.Fatalf("open of missing file: %d", fd)
+	}
+}
+
+func TestConnLifecycle(t *testing.T) {
+	w := NewWorld(1)
+	id := w.AddConn(1000, []int64{10, 20, 30})
+	conn, ready := w.Accept(0, 0)
+	if conn != id {
+		t.Fatalf("accept %d, want %d", conn, id)
+	}
+	if ready < 1000 {
+		t.Fatalf("accept before arrival: %d", ready)
+	}
+	d, _ := w.Recv(conn, 2, ready)
+	if len(d) != 2 || d[0] != 10 {
+		t.Fatalf("recv %v", d)
+	}
+	n, _ := w.Send(conn, []int64{7, 8}, ready)
+	if n != 2 {
+		t.Fatalf("send %d", n)
+	}
+	if got := w.Conns()[0].Sent; len(got) != 2 || got[1] != 8 {
+		t.Fatalf("sent %v", got)
+	}
+	// Listener closes after the last connection.
+	conn2, _ := w.Accept(0, 2000)
+	if conn2 != -1 {
+		t.Fatalf("expected -1, got %d", conn2)
+	}
+}
+
+func TestRecvPipelining(t *testing.T) {
+	w := NewWorld(1)
+	w.AddConn(100, make([]int64, 64))
+	conn, _ := w.Accept(0, 0)
+	_, r1 := w.Recv(conn, 16, 0)
+	if r1 != 100+w.NetLatency {
+		t.Fatalf("first chunk ready %d", r1)
+	}
+	// A caller arriving late gets buffered data immediately.
+	late := r1 + 50*w.NetLatency
+	_, r2 := w.Recv(conn, 16, late)
+	if r2 != late {
+		t.Errorf("late recv should not wait: %d vs %d", r2, late)
+	}
+}
+
+func TestWriteLog(t *testing.T) {
+	w := NewWorld(1)
+	w.AddFile(2, nil)
+	fd, _ := w.Open(2, 0)
+	w.Write(fd, []int64{1, 2}, 0)
+	w.Write(fd, []int64{3}, 0)
+	if got := w.Written(fd); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("written %v", got)
+	}
+}
+
+func TestResetReproducibility(t *testing.T) {
+	w := NewWorld(9)
+	w.AddFile(5, []int64{1, 2, 3})
+	w.AddConn(100, []int64{4, 5})
+
+	runOnce := func() []int64 {
+		fd, _ := w.Open(5, 0)
+		d, _ := w.Read(fd, 3, 0)
+		conn, _ := w.Accept(0, 0)
+		d2, _ := w.Recv(conn, 2, 0)
+		r := append(append([]int64{}, d...), d2...)
+		r = append(r, w.Rnd(100))
+		return r
+	}
+	a := runOnce()
+	w.Reset(9)
+	b := runOnce()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reset not reproducible at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestRndBounded(t *testing.T) {
+	w := NewWorld(3)
+	for i := 0; i < 1000; i++ {
+		v := w.Rnd(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("rnd out of range: %d", v)
+		}
+	}
+}
+
+func TestWordsOfAndSeqWords(t *testing.T) {
+	ws := WordsOf("ab")
+	if len(ws) != 2 || ws[0] != 'a' || ws[1] != 'b' {
+		t.Fatalf("WordsOf %v", ws)
+	}
+	s1 := SeqWords(16, 5)
+	s2 := SeqWords(16, 5)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("SeqWords not deterministic")
+		}
+		if s1[i] < 0 {
+			t.Fatalf("negative word")
+		}
+	}
+}

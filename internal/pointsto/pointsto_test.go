@@ -1,0 +1,408 @@
+package pointsto
+
+import (
+	"testing"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/parser"
+	"repro/internal/minic/types"
+)
+
+func analyze(t *testing.T, src string) *Analysis {
+	t.Helper()
+	f := parser.MustParse("t.mc", src)
+	info := types.MustCheck(f)
+	return Analyze(info)
+}
+
+// findLval locates the unique lvalue node printed as text within fn.
+func findLval(t *testing.T, a *Analysis, fnName, text string) ast.NodeID {
+	t.Helper()
+	fn := a.Info.Funcs[fnName]
+	if fn == nil {
+		t.Fatalf("no function %s", fnName)
+	}
+	var found ast.NodeID = -1
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && ast.PrintExpr(e) == text {
+			if _, ok := a.lvalSlot[e.ID()]; ok && found == -1 {
+				found = e.ID()
+			}
+		}
+		return true
+	})
+	if found == -1 {
+		t.Fatalf("lvalue %q not found in %s", text, fnName)
+	}
+	return found
+}
+
+func objNames(a *Analysis, ids []ObjID) map[string]bool {
+	out := make(map[string]bool)
+	for _, id := range ids {
+		out[a.Objects[id].Name] = true
+	}
+	return out
+}
+
+func TestDirectPointer(t *testing.T) {
+	a := analyze(t, `
+int g;
+int h;
+void f(void) {
+    int *p = &g;
+    *p = 1;
+    p = &h;
+    *p = 2;
+}
+`)
+	lv := findLval(t, a, "f", "*p")
+	names := objNames(a, a.ObjectsOf(lv))
+	if !names["g"] || !names["h"] {
+		t.Errorf("*p objects = %v, want g and h", names)
+	}
+}
+
+func TestArrayCollapse(t *testing.T) {
+	a := analyze(t, `
+int arr[100];
+void f(int i, int j) {
+    arr[i] = arr[j] + 1;
+}
+`)
+	wr := findLval(t, a, "f", "arr[i]")
+	rd := findLval(t, a, "f", "arr[j]")
+	if !a.SameClass(a.ObjectsOf(wr), a.ObjectsOf(rd)) {
+		t.Errorf("arr[i] and arr[j] should share an alias class (index-insensitive)")
+	}
+}
+
+func TestFieldBased(t *testing.T) {
+	a := analyze(t, `
+struct node { int val; int other; };
+struct node n1;
+struct node n2;
+void f(struct node *p, struct node *q) {
+    p->val = 1;
+    q->val = 2;
+    q->other = 3;
+}
+`)
+	pv := findLval(t, a, "f", "p->val")
+	qv := findLval(t, a, "f", "q->val")
+	qo := findLval(t, a, "f", "q->other")
+	if !a.SameClass(a.ObjectsOf(pv), a.ObjectsOf(qv)) {
+		t.Errorf("p->val and q->val should share a class (field-based)")
+	}
+	if a.SameClass(a.ObjectsOf(pv), a.ObjectsOf(qo)) {
+		t.Errorf("p->val and q->other should not share a class")
+	}
+}
+
+func TestHeapSites(t *testing.T) {
+	a := analyze(t, `
+int *pa;
+int *pb;
+void f(void) {
+    pa = malloc(4);
+    pb = malloc(4);
+    pa[0] = 1;
+    pb[0] = 2;
+}
+`)
+	la := findLval(t, a, "f", "pa[0]")
+	lb := findLval(t, a, "f", "pb[0]")
+	oa, ob := a.ObjectsOf(la), a.ObjectsOf(lb)
+	if len(oa) == 0 || len(ob) == 0 {
+		t.Fatalf("heap objects missing: %v %v", oa, ob)
+	}
+	if a.Objects[oa[0]].Kind != OHeap {
+		t.Errorf("pa[0] object kind = %v, want OHeap", a.Objects[oa[0]].Kind)
+	}
+	// Different sites: Andersen keeps them apart.
+	same := false
+	for _, x := range oa {
+		for _, y := range ob {
+			if x == y {
+				same = true
+			}
+		}
+	}
+	if same {
+		t.Errorf("distinct malloc sites collapsed by Andersen")
+	}
+}
+
+func TestFunctionPointerResolution(t *testing.T) {
+	a := analyze(t, `
+int inc(int x) { return x + 1; }
+int dec(int x) { return x - 1; }
+int apply(int op, int x) { return op(x); }
+int main(void) {
+    int r = apply(inc, 1);
+    r += apply(dec, 2);
+    return r;
+}
+`)
+	var resolved []*types.FuncInfo
+	for _, fns := range a.CallTargets {
+		resolved = append(resolved, fns...)
+	}
+	names := make(map[string]bool)
+	for _, fn := range resolved {
+		names[fn.Name] = true
+	}
+	if !names["inc"] || !names["dec"] {
+		t.Errorf("indirect call targets = %v, want inc and dec", names)
+	}
+}
+
+func TestSpawnTargets(t *testing.T) {
+	a := analyze(t, `
+int g;
+void worker(int x) { g = x; }
+void other(int x) { g = x + 1; }
+int pick;
+int main(void) {
+    int fp = worker;
+    if (pick) { fp = other; }
+    int t = spawn(fp, 1);
+    join(t);
+    return 0;
+}
+`)
+	var all []*types.FuncInfo
+	for _, fns := range a.SpawnTargets {
+		all = append(all, fns...)
+	}
+	names := make(map[string]bool)
+	for _, fn := range all {
+		names[fn.Name] = true
+	}
+	if !names["worker"] || !names["other"] {
+		t.Errorf("spawn targets = %v, want worker and other", names)
+	}
+}
+
+func TestEscape(t *testing.T) {
+	a := analyze(t, `
+int *shared;
+void w(int x) { }
+void f(void) {
+    int stays;
+    int leaks;
+    int *p = &stays;
+    *p = 1;
+    shared = &leaks;
+}
+`)
+	fn := a.Info.Funcs["f"]
+	var staysID, leaksID ObjID = -1, -1
+	for _, l := range fn.Locals {
+		switch l.Name {
+		case "stays":
+			if id, ok := a.objOfVar[l]; ok {
+				staysID = id
+			}
+		case "leaks":
+			if id, ok := a.objOfVar[l]; ok {
+				leaksID = id
+			}
+		}
+	}
+	if leaksID == -1 {
+		t.Fatalf("leaks object not created")
+	}
+	if !a.Escapes(leaksID) {
+		t.Errorf("leaks should escape (stored to global)")
+	}
+	if staysID != -1 && a.Escapes(staysID) {
+		t.Errorf("stays should not escape")
+	}
+}
+
+func TestPointerThroughStructField(t *testing.T) {
+	a := analyze(t, `
+struct box { int *ptr; };
+int target;
+struct box gb;
+void f(void) {
+    gb.ptr = &target;
+}
+void g(void) {
+    int *p = gb.ptr;
+    *p = 5;
+}
+`)
+	lv := findLval(t, a, "g", "*p")
+	names := objNames(a, a.ObjectsOf(lv))
+	if !names["target"] {
+		t.Errorf("*p objects = %v, want target (flow through field)", names)
+	}
+}
+
+func TestSteensgaardCoarserThanAndersen(t *testing.T) {
+	// x points to a or b depending on path; Steensgaard then unifies a and
+	// b into one class even though Andersen can keep callers apart.
+	a := analyze(t, `
+int a;
+int b;
+void f(int pick) {
+    int *x = &a;
+    if (pick) { x = &b; }
+    *x = 1;
+}
+`)
+	fn := a.Info.Funcs["f"]
+	_ = fn
+	var aID, bID ObjID = -1, -1
+	for _, g := range a.Info.Globals {
+		id := a.objOfVar[g]
+		if g.Name == "a" {
+			aID = id
+		}
+		if g.Name == "b" {
+			bID = id
+		}
+	}
+	if a.SteensClass(aID) != a.SteensClass(bID) {
+		t.Errorf("a and b should be unified by Steensgaard (both targets of x)")
+	}
+}
+
+func TestParamFlow(t *testing.T) {
+	a := analyze(t, `
+int g1;
+int g2;
+void sink(int *p) { *p = 1; }
+void f(void) {
+    sink(&g1);
+    sink(&g2);
+}
+`)
+	lv := findLval(t, a, "sink", "*p")
+	names := objNames(a, a.ObjectsOf(lv))
+	if !names["g1"] || !names["g2"] {
+		t.Errorf("*p objects = %v, want g1 and g2 (context-insensitive merge)", names)
+	}
+}
+
+func TestClassMembers(t *testing.T) {
+	a := analyze(t, `
+int a;
+int b;
+void f(int pick) {
+    int *x = &a;
+    if (pick) { x = &b; }
+    *x = 1;
+}
+`)
+	var aID ObjID = -1
+	for _, g := range a.Info.Globals {
+		if g.Name == "a" {
+			aID = a.objOfVar[g]
+		}
+	}
+	members := a.ClassMembers(aID)
+	names := objNames(a, members)
+	if !names["a"] || !names["b"] {
+		t.Errorf("class members %v should include a and b", names)
+	}
+}
+
+func TestSameClassEmptySets(t *testing.T) {
+	a := analyze(t, `int g; int main(void) { g = 1; return 0; }`)
+	if a.SameClass(nil, []ObjID{0}) || a.SameClass([]ObjID{0}, nil) {
+		t.Errorf("empty sets never share a class")
+	}
+}
+
+func TestStringObjects(t *testing.T) {
+	a := analyze(t, `
+int *msg;
+void f(void) {
+    msg = "hello";
+}
+void g(void) {
+    int c = msg[0];
+    c = c + 1;
+}
+int main(void) { f(); g(); return 0; }
+`)
+	lv := findLval(t, a, "g", "msg[0]")
+	objs := a.ObjectsOf(lv)
+	found := false
+	for _, o := range objs {
+		if a.Obj(o).Kind == OStr {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("msg[0] should reach a string object; got %v", objNames(a, objs))
+	}
+}
+
+func TestIndirectCallThroughStruct(t *testing.T) {
+	a := analyze(t, `
+struct ops { int handler; };
+struct ops tbl;
+int h1(int x) { return x; }
+int h2(int x) { return x + 1; }
+void install(int which) {
+    tbl.handler = h1;
+    if (which) { tbl.handler = h2; }
+}
+int dispatch(int x) {
+    int f = tbl.handler;
+    return f(x);
+}
+int main(void) {
+    install(1);
+    return dispatch(3);
+}
+`)
+	var all []string
+	for _, fns := range a.CallTargets {
+		for _, fn := range fns {
+			all = append(all, fn.Name)
+		}
+	}
+	names := make(map[string]bool)
+	for _, n := range all {
+		names[n] = true
+	}
+	if !names["h1"] || !names["h2"] {
+		t.Errorf("function pointers through struct fields unresolved: %v", names)
+	}
+}
+
+func TestEscapeViaSpawnArg(t *testing.T) {
+	a := analyze(t, `
+void worker(int p) {
+    int *q = p;
+    *q = 5;
+}
+int main(void) {
+    int shared_cell;
+    int t = spawn(worker, &shared_cell);
+    join(t);
+    return shared_cell;
+}
+`)
+	var cellID ObjID = -1
+	for _, fn := range a.Info.Funcs {
+		for _, l := range fn.Locals {
+			if l.Name == "shared_cell" {
+				if id, ok := a.objOfVar[l]; ok {
+					cellID = id
+				}
+			}
+		}
+	}
+	if cellID == -1 {
+		t.Fatalf("shared_cell not found")
+	}
+	if !a.Escapes(cellID) {
+		t.Errorf("a local passed to spawn escapes")
+	}
+}

@@ -1,0 +1,198 @@
+// Package profile implements Chimera's non-concurrency profiler
+// (paper §4): it observes function-level execution intervals across
+// profiling runs and reports which pairs of functions were ever observed
+// executing concurrently on different threads.
+//
+// The original system instrumented function entry/exit with CIL; here the
+// VM emits those events directly via its FuncHook, which is equivalent and
+// leaves the profiled program unmodified. Pairs never observed concurrent
+// across all profile runs are treated as "likely non-concurrent", which
+// licenses function-granularity weak-locks; profiling is a heuristic, not a
+// proof — the weak-lock still records the order, so replay stays sound even
+// if the heuristic is wrong (paper §4.1).
+package profile
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Collector gathers function entry/exit events from one VM run. It
+// implements vm.FuncHook structurally (Enter/Exit methods), without
+// importing the vm package.
+type Collector struct {
+	events []event
+	depth  map[int]int
+}
+
+type event struct {
+	tid   int
+	fn    int
+	enter bool
+	clock int64
+	seq   int // tie-break for identical clocks
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{depth: make(map[int]int)}
+}
+
+// Enter records a function entry.
+func (c *Collector) Enter(tid int, fn int, clock int64) {
+	c.events = append(c.events, event{tid: tid, fn: fn, enter: true, clock: clock, seq: len(c.events)})
+}
+
+// Exit records a function exit.
+func (c *Collector) Exit(tid int, fn int, clock int64) {
+	c.events = append(c.events, event{tid: tid, fn: fn, enter: false, clock: clock, seq: len(c.events)})
+}
+
+// interval is one function activation on one thread.
+type interval struct {
+	tid        int
+	fn         int
+	start, end int64
+}
+
+// intervals reconstructs per-thread activation intervals from the event
+// log. Activations still open at the end of the run are closed at the
+// maximum observed clock.
+func (c *Collector) intervals() []interval {
+	perThread := make(map[int][]event)
+	var maxClock int64
+	for _, e := range c.events {
+		perThread[e.tid] = append(perThread[e.tid], e)
+		if e.clock > maxClock {
+			maxClock = e.clock
+		}
+	}
+	var out []interval
+	for _, evs := range perThread {
+		// Events were appended in per-thread program order already (the
+		// scheduler runs one thread at a time), so a simple stack works.
+		type open struct {
+			fn    int
+			start int64
+		}
+		var stack []open
+		for _, e := range evs {
+			if e.enter {
+				stack = append(stack, open{fn: e.fn, start: e.clock})
+				continue
+			}
+			// Pop the matching activation (it must be on top).
+			if len(stack) == 0 {
+				continue
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			out = append(out, interval{tid: e.tid, fn: top.fn, start: top.start, end: e.clock})
+		}
+		for _, o := range stack {
+			out = append(out, interval{tid: evs[0].tid, fn: o.fn, start: o.start, end: maxClock})
+		}
+	}
+	return out
+}
+
+// Concurrency is the accumulated profile over one or more runs: the set of
+// function pairs observed running concurrently.
+type Concurrency struct {
+	pairs map[[2]string]bool
+	runs  int
+}
+
+// NewConcurrency returns an empty profile.
+func NewConcurrency() *Concurrency {
+	return &Concurrency{pairs: make(map[[2]string]bool)}
+}
+
+// key canonicalizes a function pair.
+func key(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Concurrent reports whether f and g were ever observed concurrent (a
+// function observed concurrent with another instance of itself reports
+// true for f == g).
+func (c *Concurrency) Concurrent(f, g string) bool { return c.pairs[key(f, g)] }
+
+// Runs returns how many profile runs were accumulated.
+func (c *Concurrency) Runs() int { return c.runs }
+
+// PairCount returns the number of distinct concurrent pairs observed.
+func (c *Concurrency) PairCount() int { return len(c.pairs) }
+
+// Pairs lists the concurrent pairs in sorted order.
+func (c *Concurrency) Pairs() [][2]string {
+	out := make([][2]string, 0, len(c.pairs))
+	for p := range c.pairs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Merge folds another profile into c.
+func (c *Concurrency) Merge(other *Concurrency) {
+	for p := range other.pairs {
+		c.pairs[p] = true
+	}
+	c.runs += other.runs
+}
+
+// AddRun incorporates one collector's observations. funcNames maps VM
+// function indices to names.
+func (c *Concurrency) AddRun(col *Collector, funcNames []string) {
+	c.runs++
+	ivs := col.intervals()
+
+	// Sweep over interval boundaries: at each interval start, pair its
+	// function with every active interval on other threads.
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].end < ivs[j].end
+	})
+	type active struct {
+		fn  int
+		end int64
+	}
+	perThread := make(map[int][]active)
+	for _, iv := range ivs {
+		// Expire finished activations lazily.
+		for tid, acts := range perThread {
+			keep := acts[:0]
+			for _, a := range acts {
+				if a.end > iv.start {
+					keep = append(keep, a)
+				}
+			}
+			perThread[tid] = keep
+		}
+		for tid, acts := range perThread {
+			if tid == iv.tid {
+				continue
+			}
+			for _, a := range acts {
+				c.pairs[key(funcNames[iv.fn], funcNames[a.fn])] = true
+			}
+		}
+		perThread[iv.tid] = append(perThread[iv.tid], active{fn: iv.fn, end: iv.end})
+	}
+}
+
+// String summarizes the profile.
+func (c *Concurrency) String() string {
+	return fmt.Sprintf("profile{runs:%d concurrent-pairs:%d}", c.runs, len(c.pairs))
+}

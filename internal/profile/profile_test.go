@@ -1,0 +1,183 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/minic/parser"
+	"repro/internal/minic/types"
+	"repro/internal/oskit"
+	"repro/internal/vm"
+)
+
+func profileRun(t *testing.T, src string, seed uint64) (*Concurrency, []string) {
+	t.Helper()
+	f := parser.MustParse("t.mc", src)
+	info := types.MustCheck(f)
+	p := vm.MustCompile(info)
+	names := make([]string, len(p.Funcs))
+	for i, fn := range p.Funcs {
+		names[i] = fn.Name
+	}
+	col := NewCollector()
+	w := oskit.NewWorld(seed)
+	r := vm.Run(p, vm.Config{Inputs: vm.LiveInputs{OS: w}, Seed: seed, Funcs: col})
+	if r.Err != nil {
+		t.Fatalf("run: %v", r.Err)
+	}
+	c := NewConcurrency()
+	c.AddRun(col, names)
+	return c, names
+}
+
+const barrierProg = `
+int bar;
+int a;
+int b;
+void phase_a(int id) {
+    int s = 0;
+    for (int i = 0; i < 500; i++) { s += i; }
+    a = s;
+}
+void phase_b(int id) {
+    int s = 0;
+    for (int i = 0; i < 500; i++) { s += i; }
+    b = s;
+}
+void worker(int id) {
+    phase_a(id);
+    barrier_wait(&bar);
+    phase_b(id);
+}
+int main(void) {
+    barrier_init(&bar, 2);
+    int t1 = spawn(worker, 1);
+    int t2 = spawn(worker, 2);
+    join(t1); join(t2);
+    return 0;
+}
+`
+
+func TestBarrierSeparatedPhasesNonConcurrent(t *testing.T) {
+	// The water pattern (paper Fig. 2): phase_a and phase_b are separated
+	// by a barrier, so profiling must never see them concurrent, while
+	// phase_a must be concurrent with itself across threads.
+	c := NewConcurrency()
+	for seed := uint64(0); seed < 5; seed++ {
+		run, _ := profileRun(t, barrierProg, seed)
+		c.Merge(run)
+	}
+	if c.Concurrent("phase_a", "phase_b") {
+		t.Errorf("barrier-separated phases observed concurrent")
+	}
+	if !c.Concurrent("phase_a", "phase_a") {
+		t.Errorf("phase_a should be concurrent with itself across workers")
+	}
+	if !c.Concurrent("phase_b", "phase_b") {
+		t.Errorf("phase_b should be concurrent with itself across workers")
+	}
+	if c.Runs() != 5 {
+		t.Errorf("runs = %d, want 5", c.Runs())
+	}
+}
+
+func TestInitNotConcurrentWithWorkers(t *testing.T) {
+	// Fork-join: initialization runs before any worker exists (paper §4.1
+	// false positives between init code and the rest).
+	src := `
+int table[64];
+int sink;
+void init_table(int n) {
+    for (int i = 0; i < n; i++) { table[i] = i; }
+}
+void worker(int id) {
+    int s = 0;
+    for (int i = 0; i < 64; i++) { s += table[i]; }
+    sink = s;
+}
+int main(void) {
+    init_table(64);
+    int t1 = spawn(worker, 1);
+    int t2 = spawn(worker, 2);
+    join(t1); join(t2);
+    return 0;
+}
+`
+	c := NewConcurrency()
+	for seed := uint64(0); seed < 3; seed++ {
+		run, _ := profileRun(t, src, seed)
+		c.Merge(run)
+	}
+	if c.Concurrent("init_table", "worker") {
+		t.Errorf("init code observed concurrent with workers")
+	}
+	if !c.Concurrent("worker", "worker") {
+		t.Errorf("workers should be concurrent with each other")
+	}
+}
+
+func TestSequentialSpawnsNonConcurrent(t *testing.T) {
+	// Threads spawned and joined one at a time never overlap.
+	src := `
+int g;
+void w1(int id) { for (int i = 0; i < 200; i++) { g = i; } }
+void w2(int id) { for (int i = 0; i < 200; i++) { g = i; } }
+int main(void) {
+    int t1 = spawn(w1, 1);
+    join(t1);
+    int t2 = spawn(w2, 2);
+    join(t2);
+    return 0;
+}
+`
+	c, _ := profileRun(t, src, 1)
+	if c.Concurrent("w1", "w2") {
+		t.Errorf("sequentially joined workers observed concurrent")
+	}
+}
+
+func TestNestedCallsAttributed(t *testing.T) {
+	// A helper called inside a worker is active while the other worker
+	// runs: helper must be concurrent with the other worker.
+	src := `
+int g;
+int helper(int x) {
+    int s = 0;
+    for (int i = 0; i < 300; i++) { s += i; }
+    return s + x;
+}
+void worker(int id) { g = helper(id); }
+int main(void) {
+    int t1 = spawn(worker, 1);
+    int t2 = spawn(worker, 2);
+    join(t1); join(t2);
+    return 0;
+}
+`
+	c := NewConcurrency()
+	for seed := uint64(0); seed < 3; seed++ {
+		run, _ := profileRun(t, src, seed)
+		c.Merge(run)
+	}
+	if !c.Concurrent("helper", "helper") {
+		t.Errorf("helper should be concurrent with itself")
+	}
+	if !c.Concurrent("helper", "worker") {
+		t.Errorf("helper should be concurrent with worker")
+	}
+}
+
+func TestPairsSortedAndMerge(t *testing.T) {
+	a := NewConcurrency()
+	a.pairs[key("b", "a")] = true
+	b := NewConcurrency()
+	b.pairs[key("c", "a")] = true
+	b.runs = 2
+	a.Merge(b)
+	ps := a.Pairs()
+	if len(ps) != 2 || ps[0] != [2]string{"a", "b"} || ps[1] != [2]string{"a", "c"} {
+		t.Errorf("pairs = %v", ps)
+	}
+	if a.Runs() != 2 {
+		t.Errorf("runs = %d", a.Runs())
+	}
+}

@@ -1,0 +1,252 @@
+package relay
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/token"
+	"repro/internal/minic/types"
+)
+
+// Lock representatives.
+//
+// A lockset analysis needs *must-alias* lock names: claiming two threads
+// hold "the same lock" when they hold different mutexes would hide real
+// races. Following RELAY, lock names are symbolic lvalue paths:
+//
+//	A(x)     = G#x | L#fn#x | P@i        (global / local / parameter cell)
+//	A(*e)    = V(e)
+//	A(e.f)   = A(e).f      A(e->f) = V(e).f     A(e[c]) = A(e)[c]
+//	V(&lv)   = A(lv)
+//	V(x)     = ld(A(x))                   (the value currently stored)
+//
+// The representative of lock(arg) is V(arg): the address value of the
+// mutex. Parameter-relative names (containing P@i) are substituted at call
+// sites: ld(P@i) becomes V(actual_i). Names that remain parameter-relative
+// after substitution, and lvalues the grammar cannot express (variable
+// array indices), are unresolvable; dropping them only shrinks locksets,
+// which is the sound direction.
+
+// lockRepOfArg computes the representative for the argument of
+// lock()/unlock(); ok is false when unresolvable.
+func (rl *analyzer) lockRepOfArg(e ast.Expr, fn *types.FuncInfo) (string, bool) {
+	return rl.valueRep(e, fn)
+}
+
+func (rl *analyzer) valueRep(e ast.Expr, fn *types.FuncInfo) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Unary:
+		if e.Op == token.AMP {
+			return rl.addrRep(e.X, fn)
+		}
+	case *ast.Ident:
+		a, ok := rl.addrRep(e, fn)
+		if !ok {
+			return "", false
+		}
+		// Arrays decay: their value is their address.
+		if t := rl.info.Types[e.ID()]; t != nil && t.Kind == types.Array {
+			return a, true
+		}
+		return "ld(" + a + ")", true
+	case *ast.Field:
+		a, ok := rl.addrRep(e, fn)
+		if !ok {
+			return "", false
+		}
+		return "ld(" + a + ")", true
+	}
+	return "", false
+}
+
+func (rl *analyzer) addrRep(e ast.Expr, fn *types.FuncInfo) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		o := rl.info.Uses[e.ID()]
+		if o == nil {
+			return "", false
+		}
+		switch o.Kind {
+		case types.ObjGlobal:
+			return "G#" + o.Name, true
+		case types.ObjLocal:
+			return fmt.Sprintf("L#%s#%s", fn.Name, o.Name), true
+		case types.ObjParam:
+			return fmt.Sprintf("P@%d", o.Index), true
+		}
+		return "", false
+	case *ast.Unary:
+		if e.Op == token.STAR {
+			return rl.valueRep(e.X, fn)
+		}
+	case *ast.Field:
+		if e.Arrow {
+			v, ok := rl.valueRep(e.X, fn)
+			if !ok {
+				return "", false
+			}
+			return v + "." + e.Name, true
+		}
+		a, ok := rl.addrRep(e.X, fn)
+		if !ok {
+			return "", false
+		}
+		return a + "." + e.Name, true
+	case *ast.Index:
+		c, isConst := e.Index.(*ast.IntLit)
+		if !isConst {
+			return "", false
+		}
+		t := rl.info.Types[e.X.ID()]
+		if t != nil && t.Kind == types.Array {
+			a, ok := rl.addrRep(e.X, fn)
+			if !ok {
+				return "", false
+			}
+			return fmt.Sprintf("%s[%d]", a, c.Value), true
+		}
+		v, ok := rl.valueRep(e.X, fn)
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("%s[%d]", v, c.Value), true
+	}
+	return "", false
+}
+
+// substRep rewrites a callee-relative representative into the caller's
+// naming given the call's actual arguments; ok is false when the name stays
+// parameter-relative.
+func (rl *analyzer) substRep(rep string, call *ast.Call, fn *types.FuncInfo) (string, bool) {
+	if !strings.Contains(rep, "P@") {
+		// L# names are function-local mutexes; they remain valid names
+		// (distinct per function) across composition.
+		return rep, true
+	}
+	out := rep
+	for i, arg := range call.Args {
+		ldName := fmt.Sprintf("ld(P@%d)", i)
+		if strings.Contains(out, ldName) {
+			v, ok := rl.valueRep(arg, fn)
+			if !ok {
+				return "", false
+			}
+			out = strings.ReplaceAll(out, ldName, v)
+		}
+	}
+	if strings.Contains(out, "P@") {
+		return "", false
+	}
+	return out, true
+}
+
+// ---------------------------------------------------------------------------
+// Calls
+
+// call handles a call expression: sync builtins mutate the lockstate;
+// direct and indirect function calls compose callee summaries.
+func (w *funcWalker) call(e *ast.Call, stmt ast.NodeID, ls *lockstate) {
+	// Argument evaluation reads happen regardless of the callee, except
+	// that &x arguments compute addresses.
+	for _, arg := range e.Args {
+		w.expr(arg, stmt, ls, false)
+	}
+
+	if target := w.rl.info.CallTargets[e.ID()]; target != nil {
+		if target.Kind == types.ObjBuiltin {
+			w.builtinCall(e, target.Builtin, ls)
+			return
+		}
+		w.compose(w.rl.info.Funcs[target.Name], e, ls)
+		return
+	}
+	// Indirect call: compose every possible callee.
+	for _, callee := range w.rl.pta.CallTargets[e.ID()] {
+		w.compose(callee, e, ls)
+	}
+}
+
+func (w *funcWalker) builtinCall(e *ast.Call, op types.BuiltinOp, ls *lockstate) {
+	switch op {
+	case types.BLock:
+		if rep, ok := w.rl.lockRepOfArg(e.Args[0], w.fn); ok {
+			ls.acquire(rep)
+		}
+		// An unresolvable lock argument acquires an unnameable lock:
+		// the lockset simply does not grow (sound).
+	case types.BUnlock:
+		if rep, ok := w.rl.lockRepOfArg(e.Args[0], w.fn); ok {
+			ls.release(rep)
+		} else {
+			ls.releaseUnknown()
+		}
+	case types.BCondWait:
+		// cond_wait releases and reacquires the mutex: the lockset is the
+		// same after the call, but RELAY (like ours) does not model the
+		// happens-before edge — a source of false positives (§3.3).
+	case types.BSpawn:
+		// The spawned function's accesses belong to the child thread
+		// root, not to this summary. Nothing composes here.
+	}
+}
+
+// compose plugs a callee summary into the current walk (paper §3.1:
+// "plugging in the summaries of the callee functions").
+func (w *funcWalker) compose(callee *types.FuncInfo, call *ast.Call, ls *lockstate) {
+	if callee == nil {
+		return
+	}
+	sum := w.rl.summaries[callee]
+	if sum == nil {
+		// Callee in a later SCC cannot happen (bottom-up order), but a
+		// not-yet-computed summary within this SCC iteration is possible;
+		// it converges on the next iteration.
+		return
+	}
+	// Each callee access: effective lockset = (ls.plus \ subst(minus)) ∪
+	// subst(plus); with unresolvable minus clearing the caller's locks.
+	for _, acc := range sum.Accesses {
+		eff := newLockstate()
+		for k := range ls.plus {
+			eff.plus[k] = true
+		}
+		for _, mrep := range acc.minus {
+			if sub, ok := w.rl.substRep(mrep, call, w.fn); ok {
+				delete(eff.plus, sub)
+			} else {
+				// Unknown released lock: drop everything (conservative).
+				eff.plus = make(map[string]bool)
+				break
+			}
+		}
+		for _, prep := range acc.plus {
+			if sub, ok := w.rl.substRep(prep, call, w.fn); ok {
+				eff.plus[sub] = true
+			}
+		}
+		w.addAccess(&summaryAccess{
+			fn:    acc.fn,
+			node:  acc.node,
+			stmt:  acc.stmt,
+			write: acc.write,
+			objs:  acc.objs,
+			plus:  sortedKeys(eff.plus),
+			minus: sortedKeys(ls.minus),
+			pos:   acc.pos,
+		})
+	}
+	// Net effect on the caller's lockstate.
+	for _, mrep := range sum.NetMinus {
+		if sub, ok := w.rl.substRep(mrep, call, w.fn); ok {
+			ls.release(sub)
+		} else {
+			ls.releaseUnknown()
+		}
+	}
+	for _, prep := range sum.NetPlus {
+		if sub, ok := w.rl.substRep(prep, call, w.fn); ok {
+			ls.acquire(sub)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package relay
+
+import (
+	"sort"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/types"
+	"repro/internal/pointsto"
+)
+
+// detectRaces materializes per-root accesses and reports conflicting pairs
+// with disjoint locksets (paper §3.1: "the tool reports a race if a pair of
+// memory accesses in different threads could access the same shared object,
+// the intersection of their locksets is empty, and at least one of the
+// accesses is a write").
+func (rl *analyzer) detectRaces() *Report {
+	rep := &Report{
+		Info:      rl.info,
+		PTA:       rl.pta,
+		CG:        rl.cg,
+		RacyNodes: make(map[ast.NodeID]*Access),
+		RacyFuncs: make(map[*types.FuncInfo]bool),
+		FuncPairs: make(map[[2]string][]*RacePair),
+		Summaries: rl.summaries,
+	}
+
+	type rootAccess struct {
+		root *types.FuncInfo
+		acc  *Access
+	}
+
+	multi := rl.spawnMultiplicity()
+
+	// Materialize accesses per thread root. At a root, entry holds no
+	// locks, so the absolute lockset is the access's plus set.
+	var all []rootAccess
+	for _, root := range rl.cg.Roots {
+		sum := rl.summaries[root]
+		if sum == nil {
+			continue
+		}
+		for _, sa := range sum.Accesses {
+			all = append(all, rootAccess{root: root, acc: &Access{
+				Fn:      sa.fn,
+				Node:    sa.node,
+				Stmt:    sa.stmt,
+				Write:   sa.write,
+				Objs:    sa.objs,
+				Lockset: sa.plus,
+				Pos:     sa.pos,
+			}})
+		}
+	}
+
+	// Bucket accesses by Steensgaard class for pair generation.
+	byClass := make(map[int][]int) // class -> indices into all
+	for i, ra := range all {
+		seen := make(map[int]bool)
+		for _, o := range ra.acc.Objs {
+			c := rl.pta.SteensClass(o)
+			if !seen[c] {
+				seen[c] = true
+				byClass[c] = append(byClass[c], i)
+			}
+		}
+	}
+
+	canRace := func(r1, r2 *types.FuncInfo) bool {
+		if r1 != r2 {
+			return true
+		}
+		// The same root can race with itself only when spawned more than
+		// once; main runs once.
+		if r1.Name == "main" {
+			return false
+		}
+		return multi[r1]
+	}
+
+	lockDisjoint := func(a, b []string) bool {
+		set := make(map[string]bool, len(a))
+		for _, l := range a {
+			set[l] = true
+		}
+		for _, l := range b {
+			if set[l] {
+				return false
+			}
+		}
+		return true
+	}
+
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+
+	seenPair := make(map[[2]ast.NodeID]bool)
+	for _, c := range classes {
+		idxs := byClass[c]
+		for ii := 0; ii < len(idxs); ii++ {
+			for jj := ii; jj < len(idxs); jj++ {
+				ra, rb := all[idxs[ii]], all[idxs[jj]]
+				if !ra.acc.Write && !rb.acc.Write {
+					continue
+				}
+				if ra.acc.Node == rb.acc.Node && ra.root == rb.root && !multi[ra.root] {
+					continue
+				}
+				if !canRace(ra.root, rb.root) {
+					continue
+				}
+				if !lockDisjoint(ra.acc.Lockset, rb.acc.Lockset) {
+					continue
+				}
+				if !rl.sharedWitness(ra.acc.Objs, rb.acc.Objs) {
+					continue
+				}
+				p := &RacePair{A: ra.acc, B: rb.acc, RootA: ra.root, RootB: rb.root}
+				k := p.Key()
+				if seenPair[k] {
+					continue
+				}
+				seenPair[k] = true
+				rep.Pairs = append(rep.Pairs, p)
+			}
+		}
+	}
+
+	sort.Slice(rep.Pairs, func(i, j int) bool {
+		ki, kj := rep.Pairs[i].Key(), rep.Pairs[j].Key()
+		if ki[0] != kj[0] {
+			return ki[0] < kj[0]
+		}
+		return ki[1] < kj[1]
+	})
+
+	for _, p := range rep.Pairs {
+		rep.RacyNodes[p.A.Node] = p.A
+		rep.RacyNodes[p.B.Node] = p.B
+		rep.RacyFuncs[p.A.Fn] = true
+		rep.RacyFuncs[p.B.Fn] = true
+		fp := p.FnPair()
+		rep.FuncPairs[fp] = append(rep.FuncPairs[fp], p)
+	}
+	return rep
+}
+
+// sharedWitness applies the escape filter (paper §6.2): the pair stands
+// only if some same-class object pair is actually shareable — not a
+// non-escaping heapified local, and not a function object.
+func (rl *analyzer) sharedWitness(a, b []pointsto.ObjID) bool {
+	classOf := rl.pta.SteensClass
+	for _, oa := range a {
+		obj := rl.pta.Obj(oa)
+		if obj.Kind == pointsto.OFunc {
+			continue
+		}
+		if !rl.pta.Escapes(oa) {
+			continue
+		}
+		ca := classOf(oa)
+		for _, ob := range b {
+			objB := rl.pta.Obj(ob)
+			if objB.Kind == pointsto.OFunc {
+				continue
+			}
+			if !rl.pta.Escapes(ob) {
+				continue
+			}
+			if classOf(ob) == ca {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// spawnMultiplicity reports, per thread root, whether more than one
+// instance may run: either multiple spawn sites target it, or a spawn site
+// sits inside a loop.
+func (rl *analyzer) spawnMultiplicity() map[*types.FuncInfo]bool {
+	count := make(map[*types.FuncInfo]int)
+	inLoop := make(map[*types.FuncInfo]bool)
+
+	// Spawn edges from the call graph.
+	spawnSites := make(map[ast.NodeID][]*types.FuncInfo)
+	for _, e := range rl.cg.Edges {
+		if e.Spawn {
+			count[e.Callee]++
+			spawnSites[e.Site.ID()] = append(spawnSites[e.Site.ID()], e.Callee)
+		}
+	}
+	// Mark spawn sites inside loops.
+	for _, fn := range rl.info.FuncList {
+		var loopDepth int
+		var walk func(s ast.Stmt)
+		walkExprs := func(n ast.Node) {
+			ast.Inspect(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.Call); ok && loopDepth > 0 {
+					for _, callee := range spawnSites[call.ID()] {
+						inLoop[callee] = true
+					}
+				}
+				return true
+			})
+		}
+		walk = func(s ast.Stmt) {
+			switch s := s.(type) {
+			case *ast.Block:
+				for _, st := range s.Stmts {
+					walk(st)
+				}
+			case *ast.IfStmt:
+				walk(s.Then)
+				if s.Else != nil {
+					walk(s.Else)
+				}
+			case *ast.WhileStmt:
+				loopDepth++
+				walk(s.Body)
+				loopDepth--
+			case *ast.ForStmt:
+				loopDepth++
+				walk(s.Body)
+				loopDepth--
+			default:
+				walkExprs(s)
+			}
+		}
+		walk(fn.Decl.Body)
+	}
+
+	out := make(map[*types.FuncInfo]bool)
+	for fn, n := range count {
+		out[fn] = n > 1 || inLoop[fn]
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package replay
+
+// Log persistence: the serialized forms produced by InputBytes/OrderBytes
+// decode back into a Log, so recordings are real artifacts — written by
+// one process (or machine) and replayed by another, as the paper's
+// debugging and fault-tolerance use cases require (§1).
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/minic/types"
+	"repro/internal/vm"
+)
+
+type wordReader struct {
+	r   *bytes.Reader
+	err error
+}
+
+func (wr *wordReader) next() int64 {
+	if wr.err != nil {
+		return 0
+	}
+	var v int64
+	if err := binary.Read(wr.r, binary.LittleEndian, &v); err != nil {
+		wr.err = err
+	}
+	return v
+}
+
+// DecodeInput parses the InputBytes serialization.
+func DecodeInput(data []byte) (map[int][]InputRec, error) {
+	wr := &wordReader{r: bytes.NewReader(data)}
+	out := make(map[int][]InputRec)
+	nTids := wr.next()
+	for i := int64(0); i < nTids && wr.err == nil; i++ {
+		tid := int(wr.next())
+		n := wr.next()
+		recs := make([]InputRec, 0, n)
+		for j := int64(0); j < n && wr.err == nil; j++ {
+			rec := InputRec{Op: types.BuiltinOp(wr.next()), Val: wr.next()}
+			dn := wr.next()
+			if dn < 0 || dn > int64(len(data)) {
+				return nil, fmt.Errorf("replay: corrupt input log (data length %d)", dn)
+			}
+			if dn > 0 {
+				rec.Data = make([]int64, dn)
+				for k := int64(0); k < dn; k++ {
+					rec.Data[k] = wr.next()
+				}
+			}
+			recs = append(recs, rec)
+		}
+		out[tid] = recs
+	}
+	if wr.err != nil {
+		return nil, fmt.Errorf("replay: corrupt input log: %w", wr.err)
+	}
+	return out, nil
+}
+
+// DecodeOrder parses the OrderBytes serialization.
+func DecodeOrder(data []byte) (map[vm.SyncKey][]OrderRec, error) {
+	wr := &wordReader{r: bytes.NewReader(data)}
+	out := make(map[vm.SyncKey][]OrderRec)
+	nKeys := wr.next()
+	for i := int64(0); i < nKeys && wr.err == nil; i++ {
+		key := vm.SyncKey{Class: vm.SyncClass(wr.next()), ID: wr.next()}
+		n := wr.next()
+		if n < 0 || n > int64(len(data)) {
+			return nil, fmt.Errorf("replay: corrupt order log (record count %d)", n)
+		}
+		recs := make([]OrderRec, 0, n)
+		for j := int64(0); j < n && wr.err == nil; j++ {
+			packed := wr.next()
+			rec := OrderRec{
+				Tid:  int32(packed >> 8),
+				Kind: vm.SyncEventKind(packed & 0xff),
+			}
+			if rec.Kind == vm.EvWLForcedRelease {
+				rec.Anchor.Instr = wr.next()
+				s := wr.next()
+				rec.Anchor.Sync = s >> 1
+				rec.Anchor.Blocked = s&1 == 1
+			}
+			recs = append(recs, rec)
+		}
+		out[key] = recs
+	}
+	if wr.err != nil {
+		return nil, fmt.Errorf("replay: corrupt order log: %w", wr.err)
+	}
+	return out, nil
+}
+
+// logMagic identifies the combined on-disk format.
+var logMagic = []byte("CHIMLOG1")
+
+// WriteTo writes the whole log (gzip-compressed) to w.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	buf.Write(logMagic)
+	in := l.InputBytes()
+	ord := l.OrderBytes()
+	binary.Write(&buf, binary.LittleEndian, int64(len(in)))
+	buf.Write(in)
+	binary.Write(&buf, binary.LittleEndian, int64(len(ord)))
+	buf.Write(ord)
+
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write(buf.Bytes()); err != nil {
+		return 0, err
+	}
+	if err := zw.Close(); err != nil {
+		return 0, err
+	}
+	n, err := w.Write(zbuf.Bytes())
+	return int64(n), err
+}
+
+// ReadLog parses a log written by WriteTo.
+func ReadLog(r io.Reader) (*Log, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("replay: bad log stream: %w", err)
+	}
+	defer zr.Close()
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("replay: bad log stream: %w", err)
+	}
+	if len(raw) < len(logMagic)+16 || !bytes.Equal(raw[:len(logMagic)], logMagic) {
+		return nil, fmt.Errorf("replay: not a chimera log")
+	}
+	rest := raw[len(logMagic):]
+	inLen := int64(binary.LittleEndian.Uint64(rest[:8]))
+	rest = rest[8:]
+	if inLen < 0 || inLen > int64(len(rest)) {
+		return nil, fmt.Errorf("replay: corrupt log header")
+	}
+	inputs, err := DecodeInput(rest[:inLen])
+	if err != nil {
+		return nil, err
+	}
+	rest = rest[inLen:]
+	if len(rest) < 8 {
+		return nil, fmt.Errorf("replay: truncated log")
+	}
+	ordLen := int64(binary.LittleEndian.Uint64(rest[:8]))
+	rest = rest[8:]
+	if ordLen < 0 || ordLen > int64(len(rest)) {
+		return nil, fmt.Errorf("replay: corrupt log header")
+	}
+	orders, err := DecodeOrder(rest[:ordLen])
+	if err != nil {
+		return nil, err
+	}
+	return &Log{Inputs: inputs, Orders: orders}, nil
+}

@@ -1,0 +1,404 @@
+// Package replay implements Chimera's record and replay runtime
+// (paper §2.2, §6.1): the recorder logs all nondeterministic input (system
+// call results) and the happens-before order of synchronization operations
+// — the original program's sync plus the weak-locks the instrumenter added;
+// the replayer feeds inputs back from the log and gates every sync
+// operation so it occurs in its recorded order.
+//
+// For a program whose races are all guarded by weak-locks, this
+// reproduces the recorded execution exactly: output, final memory and exit
+// code bit-match. For a racy program recorded *without* weak-locks (the
+// "DRF-only" baseline), replay under a different schedule seed can diverge
+// — which is precisely the failure mode Chimera exists to close.
+package replay
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/minic/types"
+	"repro/internal/vm"
+)
+
+// Interface conformance: recorder and replayer both drive preemptions.
+var (
+	_ vm.SyncMonitor       = (*Recorder)(nil)
+	_ vm.PreemptionMonitor = (*Recorder)(nil)
+	_ vm.SyncMonitor       = (*Replayer)(nil)
+	_ vm.PreemptionMonitor = (*Replayer)(nil)
+	_ vm.InputProvider     = (*Recorder)(nil)
+	_ vm.InputProvider     = (*Replayer)(nil)
+)
+
+// InputRec is one logged input operation result.
+type InputRec struct {
+	Op   types.BuiltinOp
+	Val  int64
+	Data []int64 // words deposited into the user buffer (read/recv)
+}
+
+// OrderRec is one logged synchronization event. Forced weak-lock
+// preemptions (Kind == EvWLForcedRelease) additionally carry the anchor
+// that lets replay inject the preemption at exactly the recorded point in
+// the owner's execution.
+type OrderRec struct {
+	Tid    int32
+	Kind   vm.SyncEventKind
+	Anchor vm.ForcedAnchor
+}
+
+// Log is a complete recording.
+type Log struct {
+	// Inputs holds each thread's input-operation results in program
+	// order (a thread's input sequence is deterministic given the sync
+	// order, so per-thread FIFOs suffice).
+	Inputs map[int][]InputRec
+
+	// Orders holds the committed operation order per sync object.
+	Orders map[vm.SyncKey][]OrderRec
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log {
+	return &Log{
+		Inputs: make(map[int][]InputRec),
+		Orders: make(map[vm.SyncKey][]OrderRec),
+	}
+}
+
+// InputCount returns the total number of logged input records.
+func (l *Log) InputCount() int {
+	n := 0
+	for _, recs := range l.Inputs {
+		n += len(recs)
+	}
+	return n
+}
+
+// OrderCount returns the total number of order records, optionally
+// filtered by sync class.
+func (l *Log) OrderCount(classes ...vm.SyncClass) int {
+	n := 0
+	for k, recs := range l.Orders {
+		if len(classes) == 0 {
+			n += len(recs)
+			continue
+		}
+		for _, c := range classes {
+			if k.Class == c {
+				n += len(recs)
+			}
+		}
+	}
+	return n
+}
+
+// sortedInputTids returns thread ids with input records, ascending.
+func (l *Log) sortedInputTids() []int {
+	var tids []int
+	for tid := range l.Inputs {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	return tids
+}
+
+// sortedOrderKeys returns the sync keys, deterministically ordered.
+func (l *Log) sortedOrderKeys() []vm.SyncKey {
+	keys := make([]vm.SyncKey, 0, len(l.Orders))
+	for k := range l.Orders {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Class != keys[j].Class {
+			return keys[i].Class < keys[j].Class
+		}
+		return keys[i].ID < keys[j].ID
+	})
+	return keys
+}
+
+// ---------------------------------------------------------------------------
+// Serialization (Table 2 reports gzip-compressed log sizes)
+
+// InputBytes serializes the input log.
+func (l *Log) InputBytes() []byte {
+	var buf bytes.Buffer
+	w := func(v int64) { binary.Write(&buf, binary.LittleEndian, v) }
+	tids := l.sortedInputTids()
+	w(int64(len(tids)))
+	for _, tid := range tids {
+		recs := l.Inputs[tid]
+		w(int64(tid))
+		w(int64(len(recs)))
+		for _, r := range recs {
+			w(int64(r.Op))
+			w(r.Val)
+			w(int64(len(r.Data)))
+			for _, d := range r.Data {
+				w(d)
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// OrderBytes serializes the sync-order log.
+func (l *Log) OrderBytes() []byte {
+	var buf bytes.Buffer
+	w := func(v int64) { binary.Write(&buf, binary.LittleEndian, v) }
+	keys := l.sortedOrderKeys()
+	w(int64(len(keys)))
+	for _, k := range keys {
+		recs := l.Orders[k]
+		w(int64(k.Class))
+		w(k.ID)
+		w(int64(len(recs)))
+		for _, r := range recs {
+			// Pack tid and kind into one word, as a real log would; forced
+			// preemptions carry their anchor in two extra words.
+			w(int64(r.Tid)<<8 | int64(r.Kind))
+			if r.Kind == vm.EvWLForcedRelease {
+				w(r.Anchor.Instr)
+				s := r.Anchor.Sync << 1
+				if r.Anchor.Blocked {
+					s |= 1
+				}
+				w(s)
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// GzipSize returns len(gzip(data)), the metric Table 2 reports.
+func GzipSize(data []byte) int {
+	var buf bytes.Buffer
+	zw, _ := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+	zw.Write(data)
+	zw.Close()
+	return buf.Len()
+}
+
+// InputLogKB and OrderLogKB return the compressed sizes in KB.
+func (l *Log) InputLogKB() float64 { return float64(GzipSize(l.InputBytes())) / 1024 }
+
+// OrderLogKB returns the compressed order-log size in KB.
+func (l *Log) OrderLogKB() float64 { return float64(GzipSize(l.OrderBytes())) / 1024 }
+
+// ---------------------------------------------------------------------------
+// Recorder
+
+// Recorder implements vm.InputProvider and vm.SyncMonitor for a recording
+// run: inputs come from the live simulated OS and are logged; sync commits
+// are appended to the order log. Costs model the logging overhead.
+type Recorder struct {
+	log  *Log
+	live vm.LiveInputs
+	cost vm.CostModel
+}
+
+// NewRecorder returns a recorder over the given OS.
+func NewRecorder(os vm.OS, cost vm.CostModel) *Recorder {
+	if cost == (vm.CostModel{}) {
+		cost = vm.DefaultCost()
+	}
+	return &Recorder{log: NewLog(), live: vm.LiveInputs{OS: os}, cost: cost}
+}
+
+// Log returns the recording.
+func (r *Recorder) Log() *Log { return r.log }
+
+// Input implements vm.InputProvider.
+func (r *Recorder) Input(tid int, op types.BuiltinOp, args []int64, sendData []int64, now int64) (int64, []int64, int64, int64, error) {
+	val, data, ready, _, err := r.live.Input(tid, op, args, sendData, now)
+	if err != nil {
+		return 0, nil, now, 0, err
+	}
+	rec := InputRec{Op: op, Val: val}
+	if len(data) > 0 {
+		rec.Data = append([]int64{}, data...)
+	}
+	r.log.Inputs[tid] = append(r.log.Inputs[tid], rec)
+	cost := r.cost.LogEvent + r.cost.LogWord*int64(len(data))
+	return val, data, ready, cost, nil
+}
+
+// TryProceed implements vm.SyncMonitor: recording never blocks.
+func (r *Recorder) TryProceed(key vm.SyncKey, kind vm.SyncEventKind, tid int) bool { return true }
+
+// Commit implements vm.SyncMonitor: append to the order log.
+func (r *Recorder) Commit(key vm.SyncKey, kind vm.SyncEventKind, tid int, now int64) int64 {
+	r.log.Orders[key] = append(r.log.Orders[key], OrderRec{Tid: int32(tid), Kind: kind})
+	return r.cost.LogEvent
+}
+
+// CommitForced implements vm.PreemptionMonitor: log the forced release
+// together with its deterministic anchor (paper §2.3's planned DoublePlay
+// mechanism, here fully implemented).
+func (r *Recorder) CommitForced(key vm.SyncKey, tid int, anchor vm.ForcedAnchor, now int64) int64 {
+	r.log.Orders[key] = append(r.log.Orders[key], OrderRec{
+		Tid: int32(tid), Kind: vm.EvWLForcedRelease, Anchor: anchor,
+	})
+	return r.cost.LogEvent
+}
+
+// NextForced implements vm.PreemptionMonitor: recorders schedule nothing.
+func (r *Recorder) NextForced(tid int) (vm.SyncKey, vm.ForcedAnchor, bool) {
+	return vm.SyncKey{}, vm.ForcedAnchor{}, false
+}
+
+// ---------------------------------------------------------------------------
+// Replayer
+
+// Replayer implements vm.InputProvider and vm.SyncMonitor for a replay run:
+// inputs are fed from the log with no device wait (paper §7.2: network
+// applications "replay much faster as we feed the recorded input directly"),
+// and sync operations are gated to their recorded order.
+type Replayer struct {
+	log      *Log
+	cost     vm.CostModel
+	inputPos map[int]int
+	orderPos map[vm.SyncKey]int
+
+	// forced holds each thread's scheduled preemptions in order.
+	forced map[int][]forcedRec
+	err    error
+}
+
+type forcedRec struct {
+	key    vm.SyncKey
+	anchor vm.ForcedAnchor
+}
+
+// NewReplayer returns a replayer over a recording.
+func NewReplayer(log *Log, cost vm.CostModel) *Replayer {
+	if cost == (vm.CostModel{}) {
+		cost = vm.DefaultCost()
+	}
+	r := &Replayer{
+		log:      log,
+		cost:     cost,
+		inputPos: make(map[int]int),
+		orderPos: make(map[vm.SyncKey]int),
+		forced:   make(map[int][]forcedRec),
+	}
+	// Index the forced preemptions per thread, in key-scan order; within a
+	// thread the anchors give the true order, and a thread executes them
+	// one at a time, so sort by anchor.
+	for _, key := range log.sortedOrderKeys() {
+		for _, rec := range log.Orders[key] {
+			if rec.Kind == vm.EvWLForcedRelease {
+				r.forced[int(rec.Tid)] = append(r.forced[int(rec.Tid)],
+					forcedRec{key: key, anchor: rec.Anchor})
+			}
+		}
+	}
+	for tid := range r.forced {
+		recs := r.forced[tid]
+		sort.Slice(recs, func(i, j int) bool {
+			if recs[i].anchor.Instr != recs[j].anchor.Instr {
+				return recs[i].anchor.Instr < recs[j].anchor.Instr
+			}
+			return recs[i].anchor.Sync < recs[j].anchor.Sync
+		})
+		r.forced[tid] = recs
+	}
+	return r
+}
+
+// CommitForced implements vm.PreemptionMonitor: consume the head forced
+// record on the key and the thread's schedule.
+func (r *Replayer) CommitForced(key vm.SyncKey, tid int, anchor vm.ForcedAnchor, now int64) int64 {
+	pos := r.orderPos[key]
+	recs := r.log.Orders[key]
+	if pos >= len(recs) || recs[pos].Kind != vm.EvWLForcedRelease || recs[pos].Tid != int32(tid) {
+		r.diverge("forced preemption on %s by thread %d not next in the log", key, tid)
+		return r.cost.ReplayGate
+	}
+	r.orderPos[key] = pos + 1
+	if q := r.forced[tid]; len(q) > 0 {
+		r.forced[tid] = q[1:]
+	}
+	return r.cost.ReplayGate
+}
+
+// NextForced implements vm.PreemptionMonitor.
+func (r *Replayer) NextForced(tid int) (vm.SyncKey, vm.ForcedAnchor, bool) {
+	q := r.forced[tid]
+	if len(q) == 0 {
+		return vm.SyncKey{}, vm.ForcedAnchor{}, false
+	}
+	return q[0].key, q[0].anchor, true
+}
+
+// Err returns the first divergence detected, if any.
+func (r *Replayer) Err() error { return r.err }
+
+// diverge records a divergence; the VM surfaces it as a run error.
+func (r *Replayer) diverge(format string, args ...any) error {
+	if r.err == nil {
+		r.err = fmt.Errorf("replay divergence: "+format, args...)
+	}
+	return r.err
+}
+
+// Input implements vm.InputProvider.
+func (r *Replayer) Input(tid int, op types.BuiltinOp, args []int64, sendData []int64, now int64) (int64, []int64, int64, int64, error) {
+	pos := r.inputPos[tid]
+	recs := r.log.Inputs[tid]
+	if pos >= len(recs) {
+		return 0, nil, now, 0, r.diverge("thread %d performed more input ops than recorded (%s)", tid, types.BuiltinName(op))
+	}
+	rec := recs[pos]
+	if rec.Op != op {
+		return 0, nil, now, 0, r.diverge("thread %d input op mismatch: got %s, recorded %s",
+			tid, types.BuiltinName(op), types.BuiltinName(rec.Op))
+	}
+	r.inputPos[tid] = pos + 1
+	// No device wait: results come straight from the log.
+	return rec.Val, rec.Data, now, r.cost.ReplayGate, nil
+}
+
+// TryProceed implements vm.SyncMonitor: a thread may proceed only when it
+// is the next recorded actor on the object.
+func (r *Replayer) TryProceed(key vm.SyncKey, kind vm.SyncEventKind, tid int) bool {
+	pos := r.orderPos[key]
+	recs := r.log.Orders[key]
+	if pos >= len(recs) {
+		// More sync ops than recorded: divergence. Refusing forever would
+		// surface as a deadlock; record the real cause.
+		r.diverge("extra %s op on %s by thread %d", kind, key, tid)
+		return false
+	}
+	return recs[pos].Tid == int32(tid)
+}
+
+// Commit implements vm.SyncMonitor: consume the head record.
+func (r *Replayer) Commit(key vm.SyncKey, kind vm.SyncEventKind, tid int, now int64) int64 {
+	pos := r.orderPos[key]
+	recs := r.log.Orders[key]
+	if pos >= len(recs) || recs[pos].Tid != int32(tid) {
+		r.diverge("commit out of order on %s by thread %d", key, tid)
+		return r.cost.ReplayGate
+	}
+	if recs[pos].Kind != kind {
+		r.diverge("op kind mismatch on %s: got %s, recorded %s", key, kind, recs[pos].Kind)
+	}
+	r.orderPos[key] = pos + 1
+	return r.cost.ReplayGate
+}
+
+// Drained reports whether the entire order log was consumed (a fully
+// faithful replay consumes everything).
+func (r *Replayer) Drained() bool {
+	for k, recs := range r.log.Orders {
+		if r.orderPos[k] != len(recs) {
+			return false
+		}
+	}
+	return true
+}

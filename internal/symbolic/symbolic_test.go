@@ -1,0 +1,541 @@
+package symbolic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/parser"
+	"repro/internal/minic/types"
+)
+
+// setup parses src and returns (analysis, loop chain, lvalue) where the
+// lvalue is the unique expression printing as lvalText inside function fn,
+// and the chain is its enclosing loops outermost-first.
+func setup(t *testing.T, src, fnName, lvalText string) (*Analysis, []ast.Stmt, ast.Expr) {
+	t.Helper()
+	f := parser.MustParse("t.mc", src)
+	info := types.MustCheck(f)
+	a := New(info)
+	fn := info.Funcs[fnName]
+	if fn == nil {
+		t.Fatalf("no function %s", fnName)
+	}
+	var chain []ast.Stmt
+	var lval ast.Expr
+
+	var walk func(s ast.Stmt, loops []ast.Stmt)
+	findIn := func(n ast.Node, loops []ast.Stmt) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if e, ok := x.(ast.Expr); ok && lval == nil && ast.PrintExpr(e) == lvalText {
+				lval = e
+				chain = append([]ast.Stmt{}, loops...)
+			}
+			return true
+		})
+	}
+	walk = func(s ast.Stmt, loops []ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.Block:
+			for _, st := range s.Stmts {
+				walk(st, loops)
+			}
+		case *ast.IfStmt:
+			findIn(s.CondE, loops)
+			walk(s.Then, loops)
+			if s.Else != nil {
+				walk(s.Else, loops)
+			}
+		case *ast.WhileStmt:
+			findIn(s.CondE, loops)
+			walk(s.Body, append(loops, s))
+		case *ast.ForStmt:
+			inner := append(loops, s)
+			if s.Init != nil {
+				walk(s.Init, inner)
+			}
+			if s.CondE != nil {
+				findIn(s.CondE, inner)
+			}
+			if s.Post != nil {
+				walk(s.Post, inner)
+			}
+			walk(s.Body, inner)
+		default:
+			findIn(s, loops)
+		}
+	}
+	walk(fn.Decl.Body, nil)
+	if lval == nil {
+		t.Fatalf("lvalue %q not found in %s", lvalText, fnName)
+	}
+	return a, chain, lval
+}
+
+func TestConstantLoopBounds(t *testing.T) {
+	a, chain, lv := setup(t, `
+int rank[64];
+void f(void) {
+    for (int j = 0; j < 64; j++) {
+        rank[j] = 0;
+    }
+}`, "f", "rank[j]")
+	b := a.AccessBounds(chain, lv)
+	if !b.Precise {
+		t.Fatalf("imprecise: %s", b.Reason)
+	}
+	if b.LoWords.String() != "0" || b.HiWords.String() != "63" {
+		t.Errorf("bounds [%s, %s], want [0, 63]", b.LoWords, b.HiWords)
+	}
+	if ast.PrintExpr(b.Base) != "rank" {
+		t.Errorf("base = %s, want rank", ast.PrintExpr(b.Base))
+	}
+}
+
+func TestSymbolicUpperBound(t *testing.T) {
+	// The paper's Figure 4 first inner loop: rank[j], j in [0, radix-1].
+	a, chain, lv := setup(t, `
+int rank[4096];
+void f(int radix) {
+    for (int j = 0; j < radix; j++) {
+        rank[j] = 0;
+    }
+}`, "f", "rank[j]")
+	b := a.AccessBounds(chain, lv)
+	if !b.Precise {
+		t.Fatalf("imprecise: %s", b.Reason)
+	}
+	if got := b.HiWords.String(); got != "radix + -1" {
+		t.Errorf("hi = %q, want \"radix + -1\"", got)
+	}
+	if got := b.LoWords.String(); got != "0" {
+		t.Errorf("lo = %q, want 0", got)
+	}
+}
+
+func TestDataDependentIndexImprecise(t *testing.T) {
+	// The Figure 4 second inner loop: rank[my_key] with my_key computed
+	// from data read inside the loop — must be [-inf, +inf].
+	a, chain, lv := setup(t, `
+int rank[4096];
+int key_from[65536];
+void f(int start, int stop, int bb) {
+    for (int j = start; j < stop; j++) {
+        int my_key = key_from[j] & bb;
+        rank[my_key] = rank[my_key] + 1;
+    }
+}`, "f", "rank[my_key]")
+	b := a.AccessBounds(chain, lv)
+	if b.Precise {
+		t.Fatalf("rank[my_key] must be imprecise, got %s", b)
+	}
+}
+
+func TestKeyFromPreciseInSameLoop(t *testing.T) {
+	// ...but key_from[j] in the same loop IS precise (paper §5.2: "we can
+	// derive the symbolic bounds for the array key_from accurately").
+	a, chain, lv := setup(t, `
+int rank[4096];
+int key_from[65536];
+void f(int start, int stop, int bb) {
+    for (int j = start; j < stop; j++) {
+        int my_key = key_from[j] & bb;
+        rank[my_key] = rank[my_key] + 1;
+    }
+}`, "f", "key_from[j]")
+	b := a.AccessBounds(chain, lv)
+	if !b.Precise {
+		t.Fatalf("key_from[j] should be precise: %s", b.Reason)
+	}
+	if got := b.LoWords.String(); got != "start" {
+		t.Errorf("lo = %q, want start", got)
+	}
+	if got := b.HiWords.String(); got != "stop + -1" {
+		t.Errorf("hi = %q, want \"stop + -1\"", got)
+	}
+}
+
+func TestNestedLoopsFlattened(t *testing.T) {
+	// mat[i][j] over both loops: word offsets [0, 8*4-1] from the outer
+	// loop's perspective.
+	a, chain, lv := setup(t, `
+int mat[8][4];
+void f(void) {
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 4; j++) {
+            mat[i][j] = i + j;
+        }
+    }
+}`, "f", "mat[i][j]")
+	if len(chain) != 2 {
+		t.Fatalf("chain length %d, want 2", len(chain))
+	}
+	b := a.AccessBounds(chain, lv)
+	if !b.Precise {
+		t.Fatalf("imprecise: %s", b.Reason)
+	}
+	if b.Loop != chain[0] {
+		t.Errorf("should select the outermost loop")
+	}
+	if b.LoWords.String() != "0" || b.HiWords.String() != "31" {
+		t.Errorf("bounds [%s, %s], want [0, 31]", b.LoWords, b.HiWords)
+	}
+}
+
+func TestPartitionedSlices(t *testing.T) {
+	// Thread-partitioned access: arr[base + i], i in [0, n-1]: bounds
+	// [base, base+n-1] — disjoint across workers with disjoint base.
+	a, chain, lv := setup(t, `
+int arr[1024];
+void f(int base, int n) {
+    for (int i = 0; i < n; i++) {
+        arr[base + i] = i;
+    }
+}`, "f", "arr[base + i]")
+	b := a.AccessBounds(chain, lv)
+	if !b.Precise {
+		t.Fatalf("imprecise: %s", b.Reason)
+	}
+	if got := b.LoWords.String(); got != "base" {
+		t.Errorf("lo = %q, want base", got)
+	}
+	if got := b.HiWords.String(); got != "base + n + -1" {
+		t.Errorf("hi = %q, want \"base + n + -1\"", got)
+	}
+}
+
+func TestStrideAndScale(t *testing.T) {
+	a, chain, lv := setup(t, `
+int arr[1024];
+void f(int n) {
+    for (int i = 0; i < n; i++) {
+        arr[2 * i + 3] = i;
+    }
+}`, "f", "arr[2 * i + 3]")
+	b := a.AccessBounds(chain, lv)
+	if !b.Precise {
+		t.Fatalf("imprecise: %s", b.Reason)
+	}
+	if got := b.LoWords.String(); got != "3" {
+		t.Errorf("lo = %q, want 3", got)
+	}
+	if got := b.HiWords.String(); got != "2*n + 1" {
+		t.Errorf("hi = %q, want \"2*n + 1\"", got)
+	}
+}
+
+func TestDownwardLoop(t *testing.T) {
+	a, chain, lv := setup(t, `
+int arr[100];
+void f(int n) {
+    for (int i = n - 1; i >= 0; i--) {
+        arr[i] = i;
+    }
+}`, "f", "arr[i]")
+	b := a.AccessBounds(chain, lv)
+	if !b.Precise {
+		t.Fatalf("imprecise: %s", b.Reason)
+	}
+	if got := b.LoWords.String(); got != "0" {
+		t.Errorf("lo = %q, want 0", got)
+	}
+	if got := b.HiWords.String(); got != "n + -1" {
+		t.Errorf("hi = %q, want \"n + -1\"", got)
+	}
+}
+
+func TestPointerBase(t *testing.T) {
+	a, chain, lv := setup(t, `
+void f(int *buf, int n) {
+    for (int i = 0; i < n; i++) {
+        buf[i] = 0;
+    }
+}`, "f", "buf[i]")
+	b := a.AccessBounds(chain, lv)
+	if !b.Precise {
+		t.Fatalf("imprecise: %s", b.Reason)
+	}
+	if ast.PrintExpr(b.Base) != "buf" {
+		t.Errorf("base = %s, want buf", ast.PrintExpr(b.Base))
+	}
+}
+
+func TestModifiedBaseImprecise(t *testing.T) {
+	a, chain, lv := setup(t, `
+void f(int *buf, int n) {
+    for (int i = 0; i < n; i++) {
+        buf[0] = i;
+        buf = buf + 1;
+    }
+}`, "f", "buf[0]")
+	b := a.AccessBounds(chain, lv)
+	if b.Precise {
+		t.Fatalf("mutated base must be imprecise")
+	}
+	if !strings.Contains(b.Reason, "buf") {
+		t.Errorf("reason %q should mention buf", b.Reason)
+	}
+}
+
+func TestModifiedLimitStillSound(t *testing.T) {
+	// The limit variable changes inside the loop: not invariant, so the
+	// analysis must refuse.
+	a, chain, lv := setup(t, `
+int arr[100];
+void f(int n) {
+    for (int i = 0; i < n; i++) {
+        arr[i] = i;
+        n = n - 1;
+    }
+}`, "f", "arr[i]")
+	b := a.AccessBounds(chain, lv)
+	if b.Precise {
+		t.Fatalf("bounds with modified limit must be imprecise")
+	}
+}
+
+func TestWhileLoopImprecise(t *testing.T) {
+	a, chain, lv := setup(t, `
+int arr[100];
+void f(int n) {
+    int i = 0;
+    while (i < n) {
+        arr[i] = i;
+        i++;
+    }
+}`, "f", "arr[i]")
+	b := a.AccessBounds(chain, lv)
+	if b.Precise {
+		t.Fatalf("while loops are not counted loops; must be imprecise")
+	}
+}
+
+func TestStructFieldAccess(t *testing.T) {
+	a, chain, lv := setup(t, `
+struct cell { int a; int b; };
+struct cell grid[32];
+void f(int n) {
+    for (int i = 0; i < n; i++) {
+        grid[i].b = i;
+    }
+}`, "f", "grid[i].b")
+	b := a.AccessBounds(chain, lv)
+	if !b.Precise {
+		t.Fatalf("imprecise: %s", b.Reason)
+	}
+	// Element size 2, field offset 1: lo = 1, hi = 2(n-1)+1 = 2n-1.
+	if got := b.LoWords.String(); got != "1" {
+		t.Errorf("lo = %q, want 1", got)
+	}
+	if got := b.HiWords.String(); got != "2*n + -1" {
+		t.Errorf("hi = %q, want \"2*n + -1\"", got)
+	}
+}
+
+func TestShiftScaling(t *testing.T) {
+	a, chain, lv := setup(t, `
+int arr[4096];
+void f(int n) {
+    for (int i = 0; i < n; i++) {
+        arr[i << 2] = i;
+    }
+}`, "f", "arr[i << 2]")
+	b := a.AccessBounds(chain, lv)
+	if !b.Precise {
+		t.Fatalf("imprecise: %s", b.Reason)
+	}
+	if got := b.HiWords.String(); got != "4*n + -4" {
+		t.Errorf("hi = %q, want \"4*n + -4\"", got)
+	}
+}
+
+func TestLoopHasCalls(t *testing.T) {
+	f := parser.MustParse("t.mc", `
+int g;
+int helper(int x) { return x; }
+void f(int n) {
+    for (int i = 0; i < n; i++) { g = helper(i); }
+    for (int i = 0; i < n; i++) { g = i; }
+    for (int i = 0; i < n; i++) { print(i); }
+}`)
+	info := types.MustCheck(f)
+	fn := info.Funcs["f"]
+	var loops []ast.Stmt
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if fs, ok := n.(*ast.ForStmt); ok {
+			loops = append(loops, fs)
+		}
+		return true
+	})
+	if len(loops) != 3 {
+		t.Fatalf("found %d loops", len(loops))
+	}
+	if !LoopHasCalls(info, loops[0]) {
+		t.Errorf("loop with helper() should report calls")
+	}
+	if LoopHasCalls(info, loops[1]) {
+		t.Errorf("pure loop should not report calls")
+	}
+	if LoopHasCalls(info, loops[2]) {
+		t.Errorf("print is a non-sync builtin; should not count as a call")
+	}
+}
+
+func TestEmptyIterationSpace(t *testing.T) {
+	// Zero-trip loop: lo > hi is acceptable (an empty range conflicts
+	// with nothing).
+	a, chain, lv := setup(t, `
+int arr[100];
+void f(void) {
+    for (int i = 5; i < 5; i++) {
+        arr[i] = i;
+    }
+}`, "f", "arr[i]")
+	b := a.AccessBounds(chain, lv)
+	if !b.Precise {
+		t.Fatalf("imprecise: %s", b.Reason)
+	}
+	if b.LoWords.Const != 5 || b.HiWords.Const != 4 {
+		t.Errorf("bounds [%d, %d], want empty [5, 4]", b.LoWords.Const, b.HiWords.Const)
+	}
+}
+
+func TestHeaderFormLE(t *testing.T) {
+	a, chain, lv := setup(t, `
+int arr[100];
+void f(int n) {
+    for (int i = 0; i <= n; i++) {
+        arr[i] = i;
+    }
+}`, "f", "arr[i]")
+	b := a.AccessBounds(chain, lv)
+	if !b.Precise {
+		t.Fatalf("imprecise: %s", b.Reason)
+	}
+	if b.LoWords.String() != "0" || b.HiWords.String() != "n" {
+		t.Errorf("bounds [%s, %s], want [0, n]", b.LoWords, b.HiWords)
+	}
+}
+
+func TestHeaderFormStrictGreater(t *testing.T) {
+	a, chain, lv := setup(t, `
+int arr[100];
+void f(int n) {
+    for (int i = n; i > 0; i--) {
+        arr[i] = i;
+    }
+}`, "f", "arr[i]")
+	b := a.AccessBounds(chain, lv)
+	if !b.Precise {
+		t.Fatalf("imprecise: %s", b.Reason)
+	}
+	if b.LoWords.String() != "1" || b.HiWords.String() != "n" {
+		t.Errorf("bounds [%s, %s], want [1, n]", b.LoWords, b.HiWords)
+	}
+}
+
+func TestHeaderFormStep2(t *testing.T) {
+	a, chain, lv := setup(t, `
+int arr[100];
+void f(int n) {
+    for (int i = 0; i < n; i += 2) {
+        arr[i] = i;
+    }
+}`, "f", "arr[i]")
+	b := a.AccessBounds(chain, lv)
+	if !b.Precise {
+		t.Fatalf("imprecise: %s", b.Reason)
+	}
+	// Sound upper bound n-1 even though only even indices are touched.
+	if b.HiWords.String() != "n + -1" {
+		t.Errorf("hi %q", b.HiWords)
+	}
+}
+
+func TestHeaderFormNEQ(t *testing.T) {
+	a, chain, lv := setup(t, `
+int arr[100];
+void f(int n) {
+    for (int i = 0; i != n; i++) {
+        arr[i] = i;
+    }
+}`, "f", "arr[i]")
+	b := a.AccessBounds(chain, lv)
+	if !b.Precise {
+		t.Fatalf("imprecise: %s", b.Reason)
+	}
+	if b.HiWords.String() != "n + -1" {
+		t.Errorf("hi %q", b.HiWords)
+	}
+}
+
+func TestHeaderReversedComparison(t *testing.T) {
+	// The limit on the left: n > i behaves like i < n.
+	a, chain, lv := setup(t, `
+int arr[100];
+void f(int n) {
+    for (int i = 0; n > i; i++) {
+        arr[i] = i;
+    }
+}`, "f", "arr[i]")
+	b := a.AccessBounds(chain, lv)
+	if !b.Precise {
+		t.Fatalf("imprecise: %s", b.Reason)
+	}
+	if b.HiWords.String() != "n + -1" {
+		t.Errorf("hi %q", b.HiWords)
+	}
+}
+
+func TestArrowFieldBase(t *testing.T) {
+	a, chain, lv := setup(t, `
+struct buf { int len; int data[32]; };
+void f(struct buf *p, int n) {
+    for (int i = 0; i < n; i++) {
+        p->data[i] = i;
+    }
+}`, "f", "p->data[i]")
+	b := a.AccessBounds(chain, lv)
+	if !b.Precise {
+		t.Fatalf("imprecise: %s", b.Reason)
+	}
+	// data sits at word offset 1 in struct buf.
+	if b.LoWords.String() != "1" || b.HiWords.String() != "n" {
+		t.Errorf("bounds [%s, %s], want [1, n]", b.LoWords, b.HiWords)
+	}
+}
+
+func TestNoLoopChain(t *testing.T) {
+	a, _, lv := setup(t, `
+int g;
+void f(void) {
+    g = 1;
+}`, "f", "g")
+	b := a.AccessBounds(nil, lv)
+	if b.Precise {
+		t.Fatalf("no loop chain must be imprecise")
+	}
+}
+
+func TestLoopBodySizeCounts(t *testing.T) {
+	f := parser.MustParse("t.mc", `
+void f(int n) {
+    for (int i = 0; i < n; i++) {
+        int a = i;
+        int b = a * 2;
+        if (b > 4) { b = 4; }
+    }
+}`)
+	info := types.MustCheck(f)
+	_ = info
+	var loop ast.Stmt
+	ast.Inspect(f.Func("f").Body, func(x ast.Node) bool {
+		if fs, ok := x.(*ast.ForStmt); ok && loop == nil {
+			loop = fs
+		}
+		return true
+	})
+	if n := LoopBodySize(loop); n < 4 || n > 10 {
+		t.Errorf("body size %d out of expected range", n)
+	}
+}

@@ -1,0 +1,906 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/token"
+	"repro/internal/minic/types"
+)
+
+// CompileError is a code-generation error at a source position.
+type CompileError struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *CompileError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Compile lowers a type-checked MiniC file to VM bytecode.
+func Compile(info *types.Info) (*Program, error) {
+	c := &compiler{
+		info: info,
+		prog: &Program{
+			Info:       info,
+			FuncIdx:    make(map[string]int),
+			GlobalAddr: make(map[*types.Object]int64),
+			StringAddr: make(map[string]int64),
+		},
+	}
+	if err := c.layoutGlobals(); err != nil {
+		return nil, err
+	}
+	for i, fi := range info.FuncList {
+		c.prog.FuncIdx[fi.Name] = i
+	}
+	for _, fi := range info.FuncList {
+		fc, err := c.compileFunc(fi)
+		if err != nil {
+			return nil, err
+		}
+		c.prog.Funcs = append(c.prog.Funcs, fc)
+	}
+	if err := c.initGlobals(); err != nil {
+		return nil, err
+	}
+	if _, ok := c.prog.FuncIdx["main"]; !ok {
+		return nil, &CompileError{Msg: "program has no main function"}
+	}
+	return c.prog, nil
+}
+
+// MustCompile compiles and panics on error; for tests and builtin programs.
+func MustCompile(info *types.Info) *Program {
+	p, err := Compile(info)
+	if err != nil {
+		panic(fmt.Sprintf("vm.MustCompile(%s): %v", info.File.Name, err))
+	}
+	return p
+}
+
+type compiler struct {
+	info *types.Info
+	prog *Program
+
+	// per-function state
+	fn      *types.FuncInfo
+	code    []Instr
+	offsets map[*types.Object]int64
+	breaks  []int // patch targets for break
+	conts   []int // patch targets for continue
+	loopTop []int
+}
+
+func (c *compiler) errf(n ast.Node, format string, args ...any) error {
+	return &CompileError{Pos: n.Pos(), Msg: fmt.Sprintf(format, args...)}
+}
+
+// layoutGlobals assigns addresses to globals and string literals.
+func (c *compiler) layoutGlobals() error {
+	addr := int64(GlobalBase)
+	for _, g := range c.info.Globals {
+		c.prog.GlobalAddr[g] = addr
+		addr += g.Type.Size()
+	}
+	// Pre-size the image for globals; strings are appended.
+	c.prog.GlobalWords = make([]int64, addr-GlobalBase)
+	for _, sl := range c.info.Strings {
+		if _, ok := c.prog.StringAddr[sl.Value]; ok {
+			continue
+		}
+		c.prog.StringAddr[sl.Value] = addr
+		for i := 0; i < len(sl.Value); i++ {
+			c.prog.GlobalWords = append(c.prog.GlobalWords, int64(sl.Value[i]))
+		}
+		c.prog.GlobalWords = append(c.prog.GlobalWords, 0) // NUL
+		addr += int64(len(sl.Value) + 1)
+	}
+	c.prog.HeapBase = addr
+	return nil
+}
+
+// initGlobals evaluates global initializers, which must be compile-time
+// constants (integers, sizeof, string addresses, addresses of globals and
+// functions, and arithmetic over those).
+func (c *compiler) initGlobals() error {
+	for _, g := range c.info.Globals {
+		vd, ok := g.Decl.(*ast.VarDecl)
+		if !ok || vd.Init == nil {
+			continue
+		}
+		v, err := c.constEval(vd.Init)
+		if err != nil {
+			return err
+		}
+		c.prog.GlobalWords[c.prog.GlobalAddr[g]-GlobalBase] = v
+	}
+	return nil
+}
+
+// constEval evaluates a compile-time constant expression.
+func (c *compiler) constEval(e ast.Expr) (int64, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Value, nil
+	case *ast.StringLit:
+		return c.prog.StringAddr[e.Value], nil
+	case *ast.Sizeof:
+		return c.sizeofType(e), nil
+	case *ast.Ident:
+		o := c.info.Uses[e.ID()]
+		if o != nil && o.Kind == types.ObjFunc {
+			return FuncValue(c.prog.FuncIdx[o.Name]), nil
+		}
+		return 0, c.errf(e, "global initializer must be constant (use of %s)", e.Name)
+	case *ast.Unary:
+		switch e.Op {
+		case token.MINUS:
+			v, err := c.constEval(e.X)
+			if err != nil {
+				return 0, err
+			}
+			return -v, nil
+		case token.NOT:
+			v, err := c.constEval(e.X)
+			if err != nil {
+				return 0, err
+			}
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		case token.AMP:
+			if id, ok := e.X.(*ast.Ident); ok {
+				o := c.info.Uses[id.ID()]
+				if o != nil && o.Kind == types.ObjGlobal {
+					return c.prog.GlobalAddr[o], nil
+				}
+				if o != nil && o.Kind == types.ObjFunc {
+					return FuncValue(c.prog.FuncIdx[o.Name]), nil
+				}
+			}
+			return 0, c.errf(e, "global initializer: cannot take constant address")
+		}
+		return 0, c.errf(e, "global initializer must be constant")
+	case *ast.Binary:
+		x, err := c.constEval(e.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := c.constEval(e.Y)
+		if err != nil {
+			return 0, err
+		}
+		v, err2 := evalBinop(e.Op, x, y)
+		if err2 != nil {
+			return 0, c.errf(e, "global initializer: %v", err2)
+		}
+		return v, nil
+	}
+	return 0, c.errf(e, "global initializer must be constant")
+}
+
+func (c *compiler) sizeofType(e *ast.Sizeof) int64 {
+	t := e.Type
+	if t.Stars > 0 {
+		return 1
+	}
+	switch t.Kind {
+	case ast.TypeInt:
+		return 1
+	case ast.TypeVoid:
+		return 0
+	case ast.TypeStruct:
+		if si := c.info.Structs[t.StructName]; si != nil {
+			return si.Size
+		}
+	}
+	return 1
+}
+
+func evalBinop(op token.Kind, x, y int64) (int64, error) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case token.PLUS:
+		return x + y, nil
+	case token.MINUS:
+		return x - y, nil
+	case token.STAR:
+		return x * y, nil
+	case token.SLASH:
+		if y == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return x / y, nil
+	case token.PERCENT:
+		if y == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return x % y, nil
+	case token.SHL:
+		return x << uint64(y&63), nil
+	case token.SHR:
+		return x >> uint64(y&63), nil
+	case token.AMP:
+		return x & y, nil
+	case token.PIPE:
+		return x | y, nil
+	case token.CARET:
+		return x ^ y, nil
+	case token.EQ:
+		return b2i(x == y), nil
+	case token.NEQ:
+		return b2i(x != y), nil
+	case token.LT:
+		return b2i(x < y), nil
+	case token.LE:
+		return b2i(x <= y), nil
+	case token.GT:
+		return b2i(x > y), nil
+	case token.GE:
+		return b2i(x >= y), nil
+	case token.LAND:
+		return b2i(x != 0 && y != 0), nil
+	case token.LOR:
+		return b2i(x != 0 || y != 0), nil
+	}
+	return 0, fmt.Errorf("bad operator %s", op)
+}
+
+// ---------------------------------------------------------------------------
+// Function compilation
+
+func (c *compiler) compileFunc(fi *types.FuncInfo) (*FuncCode, error) {
+	c.fn = fi
+	c.code = nil
+	c.offsets = make(map[*types.Object]int64)
+	c.breaks, c.conts = nil, nil
+
+	off := int64(0)
+	for _, p := range fi.Params {
+		c.offsets[p] = off
+		off++ // parameters are scalars
+	}
+	for _, l := range fi.Locals {
+		c.offsets[l] = off
+		off += l.Type.Size()
+	}
+
+	if err := c.stmt(fi.Decl.Body); err != nil {
+		return nil, err
+	}
+	// Implicit return at the end: 0 for value functions.
+	if fi.Sig.Ret.Kind == types.Void {
+		c.emit(Instr{Op: OpRetVoid})
+	} else {
+		c.emit(Instr{Op: OpConst, Val: 0})
+		c.emit(Instr{Op: OpRet})
+	}
+
+	return &FuncCode{
+		Name:        fi.Name,
+		Index:       c.prog.FuncIdx[fi.Name],
+		NParams:     len(fi.Params),
+		FrameWords:  off,
+		RetVoid:     fi.Sig.Ret.Kind == types.Void,
+		Code:        c.code,
+		LocalOffset: c.offsets,
+	}, nil
+}
+
+func (c *compiler) emit(i Instr) int {
+	c.code = append(c.code, i)
+	return len(c.code) - 1
+}
+
+func (c *compiler) here() int64 { return int64(len(c.code)) }
+
+func (c *compiler) patch(at int, target int64) { c.code[at].Val = target }
+
+func (c *compiler) stmt(s ast.Stmt) error {
+	switch s := s.(type) {
+	case *ast.Block:
+		for _, st := range s.Stmts {
+			if err := c.stmt(st); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *ast.DeclStmt:
+		o := c.info.Objects[s.Decl.ID()]
+		if o == nil {
+			return c.errf(s, "internal: unresolved local %s", s.Decl.Name)
+		}
+		if s.Decl.Init != nil {
+			c.emit(Instr{Op: OpAddrL, Val: c.offsets[o], Node: s.Decl.ID()})
+			if err := c.rvalue(s.Decl.Init); err != nil {
+				return err
+			}
+			c.emit(Instr{Op: OpStore, Node: s.Decl.ID()})
+		}
+		return nil
+
+	case *ast.AssignStmt:
+		if err := c.lvalueAddr(s.LHS); err != nil {
+			return err
+		}
+		if s.Op == token.ASSIGN {
+			if err := c.rvalue(s.RHS); err != nil {
+				return err
+			}
+			c.emit(Instr{Op: OpStore, Node: s.LHS.ID()})
+			return nil
+		}
+		// Compound assignment: addr; dup; load; rhs; op; store.
+		c.emit(Instr{Op: OpDup})
+		c.emit(Instr{Op: OpLoad, Node: s.LHS.ID()})
+		if err := c.rvalue(s.RHS); err != nil {
+			return err
+		}
+		var op Op
+		switch s.Op {
+		case token.ADD_ASSIGN:
+			op = OpAdd
+		case token.SUB_ASSIGN:
+			op = OpSub
+		case token.MUL_ASSIGN:
+			op = OpMul
+		case token.DIV_ASSIGN:
+			op = OpDiv
+		case token.MOD_ASSIGN:
+			op = OpMod
+		default:
+			return c.errf(s, "bad compound assignment %s", s.Op)
+		}
+		// Pointer compound add/sub scales like pointer arithmetic.
+		lt := c.info.Types[s.LHS.ID()]
+		if lt != nil && lt.Kind == types.Ptr && (op == OpAdd || op == OpSub) {
+			if sz := lt.Elem.Size(); sz != 1 {
+				c.emit(Instr{Op: OpConst, Val: sz})
+				c.emit(Instr{Op: OpMul})
+			}
+		}
+		c.emit(Instr{Op: op, Node: s.ID()})
+		c.emit(Instr{Op: OpStore, Node: s.LHS.ID()})
+		return nil
+
+	case *ast.IncDecStmt:
+		if err := c.lvalueAddr(s.X); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpDup})
+		c.emit(Instr{Op: OpLoad, Node: s.X.ID()})
+		delta := int64(1)
+		lt := c.info.Types[s.X.ID()]
+		if lt != nil && lt.Kind == types.Ptr {
+			delta = lt.Elem.Size()
+		}
+		c.emit(Instr{Op: OpConst, Val: delta})
+		if s.Op == token.INC {
+			c.emit(Instr{Op: OpAdd, Node: s.ID()})
+		} else {
+			c.emit(Instr{Op: OpSub, Node: s.ID()})
+		}
+		c.emit(Instr{Op: OpStore, Node: s.X.ID()})
+		return nil
+
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.Call)
+		if !ok {
+			// Pure expression statement: evaluate and discard.
+			if err := c.rvalue(s.X); err != nil {
+				return err
+			}
+			c.emit(Instr{Op: OpPop})
+			return nil
+		}
+		if err := c.call(call); err != nil {
+			return err
+		}
+		if producesValue(c.callRetType(call)) {
+			c.emit(Instr{Op: OpPop})
+		}
+		return nil
+
+	case *ast.IfStmt:
+		if err := c.rvalue(s.CondE); err != nil {
+			return err
+		}
+		jz := c.emit(Instr{Op: OpJz, Node: s.ID()})
+		if err := c.stmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else == nil {
+			c.patch(jz, c.here())
+			return nil
+		}
+		jend := c.emit(Instr{Op: OpJmp})
+		c.patch(jz, c.here())
+		if err := c.stmt(s.Else); err != nil {
+			return err
+		}
+		c.patch(jend, c.here())
+		return nil
+
+	case *ast.WhileStmt:
+		top := c.here()
+		if err := c.rvalue(s.CondE); err != nil {
+			return err
+		}
+		jz := c.emit(Instr{Op: OpJz, Node: s.ID()})
+		savedB, savedC := c.breaks, c.conts
+		c.breaks, c.conts = nil, nil
+		if err := c.stmt(s.Body); err != nil {
+			return err
+		}
+		for _, at := range c.conts {
+			c.patch(at, top)
+		}
+		c.emit(Instr{Op: OpJmp, Val: top})
+		end := c.here()
+		c.patch(jz, end)
+		for _, at := range c.breaks {
+			c.patch(at, end)
+		}
+		c.breaks, c.conts = savedB, savedC
+		return nil
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			if err := c.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		top := c.here()
+		var jz int = -1
+		if s.CondE != nil {
+			if err := c.rvalue(s.CondE); err != nil {
+				return err
+			}
+			jz = c.emit(Instr{Op: OpJz, Node: s.ID()})
+		}
+		savedB, savedC := c.breaks, c.conts
+		c.breaks, c.conts = nil, nil
+		if err := c.stmt(s.Body); err != nil {
+			return err
+		}
+		postAt := c.here()
+		for _, at := range c.conts {
+			c.patch(at, postAt)
+		}
+		if s.Post != nil {
+			if err := c.stmt(s.Post); err != nil {
+				return err
+			}
+		}
+		c.emit(Instr{Op: OpJmp, Val: top})
+		end := c.here()
+		if jz >= 0 {
+			c.patch(jz, end)
+		}
+		for _, at := range c.breaks {
+			c.patch(at, end)
+		}
+		c.breaks, c.conts = savedB, savedC
+		return nil
+
+	case *ast.ReturnStmt:
+		if s.X == nil {
+			c.emit(Instr{Op: OpRetVoid, Node: s.ID()})
+			return nil
+		}
+		if err := c.rvalue(s.X); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpRet, Node: s.ID()})
+		return nil
+
+	case *ast.BreakStmt:
+		at := c.emit(Instr{Op: OpJmp, Node: s.ID()})
+		c.breaks = append(c.breaks, at)
+		return nil
+
+	case *ast.ContinueStmt:
+		at := c.emit(Instr{Op: OpJmp, Node: s.ID()})
+		c.conts = append(c.conts, at)
+		return nil
+	}
+	return c.errf(s, "internal: unknown statement type %T", s)
+}
+
+func producesValue(t *types.Type) bool {
+	return t != nil && t.Kind != types.Void
+}
+
+func (c *compiler) callRetType(call *ast.Call) *types.Type {
+	if t := c.info.Types[call.ID()]; t != nil {
+		return t
+	}
+	return types.IntType
+}
+
+// lvalueAddr emits code pushing the address of the lvalue e.
+func (c *compiler) lvalueAddr(e ast.Expr) error {
+	switch e := e.(type) {
+	case *ast.Ident:
+		o := c.info.Uses[e.ID()]
+		if o == nil {
+			return c.errf(e, "internal: unresolved %s", e.Name)
+		}
+		switch o.Kind {
+		case types.ObjGlobal:
+			c.emit(Instr{Op: OpConst, Val: c.prog.GlobalAddr[o], Node: e.ID()})
+			return nil
+		case types.ObjLocal, types.ObjParam:
+			c.emit(Instr{Op: OpAddrL, Val: c.offsets[o], Node: e.ID()})
+			return nil
+		}
+		return c.errf(e, "cannot use %s %s as lvalue", o.Kind, e.Name)
+
+	case *ast.Unary:
+		if e.Op != token.STAR {
+			return c.errf(e, "not an lvalue")
+		}
+		return c.rvalue(e.X)
+
+	case *ast.Index:
+		// Address = base + index*elemsize.
+		if err := c.baseAddr(e.X); err != nil {
+			return err
+		}
+		if err := c.rvalue(e.Index); err != nil {
+			return err
+		}
+		elemSize := int64(1)
+		if t := c.info.Types[e.ID()]; t != nil {
+			elemSize = t.Size()
+			if elemSize == 0 {
+				elemSize = 1
+			}
+		}
+		if elemSize != 1 {
+			c.emit(Instr{Op: OpConst, Val: elemSize})
+			c.emit(Instr{Op: OpMul})
+		}
+		c.emit(Instr{Op: OpAdd, Node: e.ID()})
+		return nil
+
+	case *ast.Field:
+		var si *types.StructInfo
+		xt := c.info.Types[e.X.ID()]
+		if e.Arrow {
+			if err := c.rvalue(e.X); err != nil {
+				return err
+			}
+			if xt == nil || xt.Kind != types.Ptr || xt.Elem.Kind != types.StructT {
+				return c.errf(e, "internal: bad arrow base type")
+			}
+			si = xt.Elem.Struct
+		} else {
+			if err := c.lvalueAddr(e.X); err != nil {
+				return err
+			}
+			if xt == nil || xt.Kind != types.StructT {
+				return c.errf(e, "internal: bad field base type")
+			}
+			si = xt.Struct
+		}
+		fi := si.Field(e.Name)
+		if fi == nil {
+			return c.errf(e, "internal: missing field %s", e.Name)
+		}
+		if fi.Offset != 0 {
+			c.emit(Instr{Op: OpConst, Val: fi.Offset})
+			c.emit(Instr{Op: OpAdd, Node: e.ID()})
+		}
+		return nil
+	}
+	return c.errf(e, "not an lvalue")
+}
+
+// baseAddr emits code pushing the base address for indexing e: the address
+// of an array lvalue, or the value of a pointer expression.
+func (c *compiler) baseAddr(e ast.Expr) error {
+	t := c.info.Types[e.ID()]
+	if t != nil && t.Kind == types.Array {
+		return c.lvalueAddr(e)
+	}
+	return c.rvalue(e)
+}
+
+// rvalue emits code pushing the value of e.
+func (c *compiler) rvalue(e ast.Expr) error {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		c.emit(Instr{Op: OpConst, Val: e.Value, Node: e.ID()})
+		return nil
+
+	case *ast.StringLit:
+		c.emit(Instr{Op: OpConst, Val: c.prog.StringAddr[e.Value], Node: e.ID()})
+		return nil
+
+	case *ast.Sizeof:
+		c.emit(Instr{Op: OpConst, Val: c.sizeofType(e), Node: e.ID()})
+		return nil
+
+	case *ast.Ident:
+		o := c.info.Uses[e.ID()]
+		if o == nil {
+			return c.errf(e, "internal: unresolved %s", e.Name)
+		}
+		switch o.Kind {
+		case types.ObjFunc:
+			c.emit(Instr{Op: OpConst, Val: FuncValue(c.prog.FuncIdx[o.Name]), Node: e.ID()})
+			return nil
+		case types.ObjBuiltin:
+			return c.errf(e, "builtin %s used as value", o.Name)
+		}
+		if o.Type.Kind == types.Array || o.Type.Kind == types.StructT {
+			// Aggregates decay to their address in value contexts.
+			return c.lvalueAddr(e)
+		}
+		if err := c.lvalueAddr(e); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpLoad, Node: e.ID()})
+		return nil
+
+	case *ast.Unary:
+		switch e.Op {
+		case token.MINUS:
+			if err := c.rvalue(e.X); err != nil {
+				return err
+			}
+			c.emit(Instr{Op: OpNeg, Node: e.ID()})
+			return nil
+		case token.NOT:
+			if err := c.rvalue(e.X); err != nil {
+				return err
+			}
+			c.emit(Instr{Op: OpNot, Node: e.ID()})
+			return nil
+		case token.STAR:
+			t := c.info.Types[e.ID()]
+			if err := c.rvalue(e.X); err != nil {
+				return err
+			}
+			if t != nil && (t.Kind == types.Array || t.Kind == types.StructT || t.Kind == types.FuncT) {
+				return nil // address/function value stands for the aggregate
+			}
+			c.emit(Instr{Op: OpLoad, Node: e.ID()})
+			return nil
+		case token.AMP:
+			if id, ok := e.X.(*ast.Ident); ok {
+				if o := c.info.Uses[id.ID()]; o != nil && o.Kind == types.ObjFunc {
+					c.emit(Instr{Op: OpConst, Val: FuncValue(c.prog.FuncIdx[o.Name]), Node: e.ID()})
+					return nil
+				}
+			}
+			return c.lvalueAddr(e.X)
+		}
+		return c.errf(e, "bad unary operator")
+
+	case *ast.Binary:
+		return c.binary(e)
+
+	case *ast.Cond:
+		if err := c.rvalue(e.CondE); err != nil {
+			return err
+		}
+		jz := c.emit(Instr{Op: OpJz, Node: e.ID()})
+		if err := c.rvalue(e.Then); err != nil {
+			return err
+		}
+		jend := c.emit(Instr{Op: OpJmp})
+		c.patch(jz, c.here())
+		if err := c.rvalue(e.Else); err != nil {
+			return err
+		}
+		c.patch(jend, c.here())
+		return nil
+
+	case *ast.Index:
+		t := c.info.Types[e.ID()]
+		if err := c.lvalueAddr(e); err != nil {
+			return err
+		}
+		if t != nil && (t.Kind == types.Array || t.Kind == types.StructT) {
+			return nil // aggregate element decays to its address
+		}
+		c.emit(Instr{Op: OpLoad, Node: e.ID()})
+		return nil
+
+	case *ast.Field:
+		t := c.info.Types[e.ID()]
+		if err := c.lvalueAddr(e); err != nil {
+			return err
+		}
+		if t != nil && (t.Kind == types.Array || t.Kind == types.StructT) {
+			return nil
+		}
+		c.emit(Instr{Op: OpLoad, Node: e.ID()})
+		return nil
+
+	case *ast.Call:
+		if err := c.call(e); err != nil {
+			return err
+		}
+		if !producesValue(c.callRetType(e)) {
+			return c.errf(e, "void call used as value")
+		}
+		return nil
+	}
+	return c.errf(e, "internal: unknown expression type %T", e)
+}
+
+func (c *compiler) binary(e *ast.Binary) error {
+	// Short-circuit operators compile to branches.
+	if e.Op == token.LAND || e.Op == token.LOR {
+		if err := c.rvalue(e.X); err != nil {
+			return err
+		}
+		var jshort int
+		if e.Op == token.LAND {
+			jshort = c.emit(Instr{Op: OpJz, Node: e.ID()})
+		} else {
+			jshort = c.emit(Instr{Op: OpJnz, Node: e.ID()})
+		}
+		if err := c.rvalue(e.Y); err != nil {
+			return err
+		}
+		// Normalize the right operand to 0/1.
+		c.emit(Instr{Op: OpConst, Val: 0})
+		c.emit(Instr{Op: OpNe})
+		jend := c.emit(Instr{Op: OpJmp})
+		c.patch(jshort, c.here())
+		if e.Op == token.LAND {
+			c.emit(Instr{Op: OpConst, Val: 0})
+		} else {
+			c.emit(Instr{Op: OpConst, Val: 1})
+		}
+		c.patch(jend, c.here())
+		return nil
+	}
+
+	xt := c.info.Types[e.X.ID()]
+	yt := c.info.Types[e.Y.ID()]
+	if err := c.rvalue(e.X); err != nil {
+		return err
+	}
+	// Pointer arithmetic scaling: ptr + int, int + ptr, ptr - int.
+	scale := func(t *types.Type) int64 {
+		if t == nil {
+			return 1
+		}
+		switch t.Kind {
+		case types.Ptr, types.Array:
+			if sz := t.Elem.Size(); sz > 0 {
+				return sz
+			}
+		}
+		return 1
+	}
+	isPtr := func(t *types.Type) bool {
+		return t != nil && (t.Kind == types.Ptr || t.Kind == types.Array)
+	}
+	switch e.Op {
+	case token.PLUS:
+		if !isPtr(xt) && isPtr(yt) {
+			// int + ptr: scale the int side before pushing the pointer.
+			if sz := scale(yt); sz != 1 {
+				c.emit(Instr{Op: OpConst, Val: sz})
+				c.emit(Instr{Op: OpMul})
+			}
+			if err := c.rvalue(e.Y); err != nil {
+				return err
+			}
+			c.emit(Instr{Op: OpAdd, Node: e.ID()})
+			return nil
+		}
+		if err := c.rvalue(e.Y); err != nil {
+			return err
+		}
+		if isPtr(xt) && !isPtr(yt) {
+			if sz := scale(xt); sz != 1 {
+				c.emit(Instr{Op: OpConst, Val: sz})
+				c.emit(Instr{Op: OpMul})
+			}
+		}
+		c.emit(Instr{Op: OpAdd, Node: e.ID()})
+		return nil
+	case token.MINUS:
+		if err := c.rvalue(e.Y); err != nil {
+			return err
+		}
+		switch {
+		case isPtr(xt) && isPtr(yt):
+			c.emit(Instr{Op: OpSub, Node: e.ID()})
+			if sz := scale(xt); sz != 1 {
+				c.emit(Instr{Op: OpConst, Val: sz})
+				c.emit(Instr{Op: OpDiv})
+			}
+			return nil
+		case isPtr(xt):
+			if sz := scale(xt); sz != 1 {
+				c.emit(Instr{Op: OpConst, Val: sz})
+				c.emit(Instr{Op: OpMul})
+			}
+		}
+		c.emit(Instr{Op: OpSub, Node: e.ID()})
+		return nil
+	}
+
+	if err := c.rvalue(e.Y); err != nil {
+		return err
+	}
+	var op Op
+	switch e.Op {
+	case token.STAR:
+		op = OpMul
+	case token.SLASH:
+		op = OpDiv
+	case token.PERCENT:
+		op = OpMod
+	case token.SHL:
+		op = OpShl
+	case token.SHR:
+		op = OpShr
+	case token.AMP:
+		op = OpAnd
+	case token.PIPE:
+		op = OpOr
+	case token.CARET:
+		op = OpXor
+	case token.EQ:
+		op = OpEq
+	case token.NEQ:
+		op = OpNe
+	case token.LT:
+		op = OpLt
+	case token.LE:
+		op = OpLe
+	case token.GT:
+		op = OpGt
+	case token.GE:
+		op = OpGe
+	default:
+		return c.errf(e, "bad binary operator %s", e.Op)
+	}
+	c.emit(Instr{Op: op, Node: e.ID()})
+	return nil
+}
+
+func (c *compiler) call(e *ast.Call) error {
+	// Direct call to a function or builtin.
+	if target := c.info.CallTargets[e.ID()]; target != nil {
+		for _, a := range e.Args {
+			if err := c.rvalue(a); err != nil {
+				return err
+			}
+		}
+		if target.Kind == types.ObjBuiltin {
+			c.emit(Instr{Op: OpBuiltin, Val: int64(target.Builtin), N: len(e.Args), Node: e.ID()})
+			return nil
+		}
+		c.emit(Instr{Op: OpCall, Val: int64(c.prog.FuncIdx[target.Name]), N: len(e.Args), Node: e.ID()})
+		return nil
+	}
+	// Indirect call: push callee value, then args.
+	if err := c.rvalue(e.Fun); err != nil {
+		return err
+	}
+	for _, a := range e.Args {
+		if err := c.rvalue(a); err != nil {
+			return err
+		}
+	}
+	c.emit(Instr{Op: OpCallI, N: len(e.Args), Node: e.ID()})
+	return nil
+}

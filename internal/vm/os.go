@@ -1,0 +1,64 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/minic/types"
+)
+
+// OS is the simulated operating system interface: the source of all
+// nondeterministic input (paper §2.2: "interrupts and data read from input
+// devices"). Implementations live in internal/oskit.
+//
+// Each call receives the calling thread's current simulated time and
+// returns the result plus the absolute simulated time at which the result
+// becomes available (for modeling I/O latency; ready <= now means
+// immediately).
+type OS interface {
+	Open(path int64, now int64) (fd int64, ready int64)
+	Close(fd int64)
+	Read(fd, n, now int64) (data []int64, ready int64)
+	Write(fd int64, data []int64, now int64) (n int64, ready int64)
+	Accept(lsock int64, now int64) (conn int64, ready int64)
+	Recv(conn, n, now int64) (data []int64, ready int64)
+	Send(conn int64, data []int64, now int64) (n int64, ready int64)
+	Now(now int64) int64
+	Rnd(n int64) int64
+}
+
+// LiveInputs adapts an OS into an InputProvider for uninstrumented (native)
+// runs: results come straight from the simulated devices with no logging
+// cost. The recorder in internal/replay wraps the same OS and adds the
+// input log.
+type LiveInputs struct {
+	OS OS
+}
+
+// Input implements InputProvider.
+func (l LiveInputs) Input(tid int, op types.BuiltinOp, args []int64, sendData []int64, now int64) (val int64, data []int64, ready int64, cost int64, err error) {
+	switch op {
+	case types.BOpen:
+		fd, rdy := l.OS.Open(args[0], now)
+		return fd, nil, rdy, 0, nil
+	case types.BRead:
+		d, rdy := l.OS.Read(args[0], args[2], now)
+		return int64(len(d)), d, rdy, 0, nil
+	case types.BWrite:
+		n, rdy := l.OS.Write(args[0], sendData, now)
+		return n, nil, rdy, 0, nil
+	case types.BAccept:
+		conn, rdy := l.OS.Accept(args[0], now)
+		return conn, nil, rdy, 0, nil
+	case types.BRecv:
+		d, rdy := l.OS.Recv(args[0], args[2], now)
+		return int64(len(d)), d, rdy, 0, nil
+	case types.BSend:
+		n, rdy := l.OS.Send(args[0], sendData, now)
+		return n, nil, rdy, 0, nil
+	case types.BNow:
+		return l.OS.Now(now), nil, now, 0, nil
+	case types.BRnd:
+		return l.OS.Rnd(args[0]), nil, now, 0, nil
+	}
+	return 0, nil, now, 0, fmt.Errorf("LiveInputs: unexpected op %s", types.BuiltinName(op))
+}

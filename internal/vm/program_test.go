@@ -1,0 +1,148 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic/parser"
+	"repro/internal/minic/types"
+)
+
+func TestFuncValueEncoding(t *testing.T) {
+	for _, i := range []int{0, 1, 17} {
+		v := FuncValue(i)
+		if got := FuncIndexOf(v, 32); got != i {
+			t.Errorf("round trip %d -> %d", i, got)
+		}
+	}
+	if FuncIndexOf(123, 32) != -1 {
+		t.Error("data value decoded as function")
+	}
+	if FuncIndexOf(FuncValue(40), 32) != -1 {
+		t.Error("out-of-range function index accepted")
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	p := compileSrc(t, `
+int g;
+int add(int a, int b) { return a + b; }
+int main(void) {
+    g = add(2, 3);
+    if (g > 4) { print(g); }
+    for (int i = 0; i < 3; i++) { g += i; }
+    return g;
+}`)
+	d := p.Disasm()
+	for _, want := range []string{"func add", "func main", "call f", "builtin print/1", "jz", "add", "ret"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestGlobalLayout(t *testing.T) {
+	p := compileSrc(t, `
+int a;
+int arr[10];
+struct s { int x; int y; };
+struct s gs;
+int b;
+int main(void) { return 0; }`)
+	info := p.Info
+	var objs []*types.Object
+	objs = append(objs, info.Globals...)
+	// Addresses are consecutive in declaration order starting at GlobalBase.
+	want := int64(GlobalBase)
+	for _, o := range objs {
+		if got := p.GlobalAddr[o]; got != want {
+			t.Errorf("%s at %d, want %d", o.Name, got, want)
+		}
+		want += o.Type.Size()
+	}
+	if p.HeapBase < want {
+		t.Errorf("heap base %d overlaps globals end %d", p.HeapBase, want)
+	}
+}
+
+func TestStringPooling(t *testing.T) {
+	p := compileSrc(t, `
+int main(void) {
+    prints("dup");
+    prints("dup");
+    prints("other");
+    return 0;
+}`)
+	if len(p.StringAddr) != 2 {
+		t.Errorf("string pool has %d entries, want 2 (dedup)", len(p.StringAddr))
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`int g = h; int h; int main(void){return 0;}`, "constant"},
+		{`int g = 1/0; int main(void){return 0;}`, "division by zero"},
+		{`int g;`, "no main"},
+	}
+	for _, tc := range cases {
+		f, err := parser.Parse("t.mc", tc.src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		info, err := types.Check(f)
+		if err != nil {
+			t.Fatalf("check: %v", err)
+		}
+		_, err = Compile(info)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: error %v, want containing %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestConstGlobalInitForms(t *testing.T) {
+	r := runSrc(t, `
+int a = 1 + 2 * 3;
+int c = sizeof(struct s) * 2;
+int *d = &a;
+int e = f0;
+struct s { int x; int y; int z; };
+int f0(void) { return 5; }
+int main(void) {
+    print(a);
+    print(c);
+    print(*d);
+    int fp = e;
+    print(fp());
+    return 0;
+}`, 1)
+	if string(r.Output) != "7\n6\n7\n5\n" {
+		t.Errorf("output %q", r.Output)
+	}
+}
+
+func TestConstGlobalInitFunctionAddress(t *testing.T) {
+	// &f and bare f both yield the function value in constant context.
+	r := runSrc(t, `
+int five(void) { return 5; }
+int g1 = five;
+int g2 = &five;
+int main(void) {
+    int a = g1;
+    int b = g2;
+    print(a());
+    print(b());
+    return 0;
+}`, 1)
+	if string(r.Output) != "5\n5\n" {
+		t.Errorf("output %q", r.Output)
+	}
+}
+
+func TestResultHash64Changes(t *testing.T) {
+	r1 := runSrc(t, `int main(void) { print(1); return 0; }`, 1)
+	r2 := runSrc(t, `int main(void) { print(2); return 0; }`, 1)
+	if r1.Hash64() == r2.Hash64() {
+		t.Error("different outputs must hash differently")
+	}
+}

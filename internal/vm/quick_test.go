@@ -1,0 +1,189 @@
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/minic/parser"
+	"repro/internal/minic/types"
+	"repro/internal/oskit"
+)
+
+// genExpr builds a random arithmetic expression over variables a..d and a
+// parallel Go evaluator, avoiding division/modulo by zero via guarded
+// denominators.
+type refEnv struct{ a, b, c, d int64 }
+
+func genExpr(r *rand.Rand, depth int) (string, func(refEnv) int64) {
+	if depth == 0 || r.Intn(4) == 0 {
+		switch r.Intn(5) {
+		case 0:
+			v := int64(r.Intn(201) - 100)
+			return fmt.Sprintf("%d", v), func(refEnv) int64 { return v }
+		case 1:
+			return "a", func(e refEnv) int64 { return e.a }
+		case 2:
+			return "b", func(e refEnv) int64 { return e.b }
+		case 3:
+			return "c", func(e refEnv) int64 { return e.c }
+		default:
+			return "d", func(e refEnv) int64 { return e.d }
+		}
+	}
+	xs, xf := genExpr(r, depth-1)
+	ys, yf := genExpr(r, depth-1)
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch r.Intn(12) {
+	case 0:
+		return "(" + xs + " + " + ys + ")", func(e refEnv) int64 { return xf(e) + yf(e) }
+	case 1:
+		return "(" + xs + " - " + ys + ")", func(e refEnv) int64 { return xf(e) - yf(e) }
+	case 2:
+		return "(" + xs + " * " + ys + ")", func(e refEnv) int64 { return xf(e) * yf(e) }
+	case 3:
+		// Guarded division: denominator forced nonzero.
+		return "(" + xs + " / (" + ys + " * 2 + 1))",
+			func(e refEnv) int64 { return xf(e) / (yf(e)*2 + 1) }
+	case 4:
+		return "(" + xs + " & " + ys + ")", func(e refEnv) int64 { return xf(e) & yf(e) }
+	case 5:
+		return "(" + xs + " | " + ys + ")", func(e refEnv) int64 { return xf(e) | yf(e) }
+	case 6:
+		return "(" + xs + " ^ " + ys + ")", func(e refEnv) int64 { return xf(e) ^ yf(e) }
+	case 7:
+		return "(" + xs + " < " + ys + ")", func(e refEnv) int64 { return b2i(xf(e) < yf(e)) }
+	case 8:
+		return "(" + xs + " == " + ys + ")", func(e refEnv) int64 { return b2i(xf(e) == yf(e)) }
+	case 9:
+		return "(-" + xs + ")", func(e refEnv) int64 { return -xf(e) }
+	case 10:
+		return "(" + xs + " >= " + ys + " ? " + xs + " : " + ys + ")",
+			func(e refEnv) int64 {
+				if xf(e) >= yf(e) {
+					return xf(e)
+				}
+				return yf(e)
+			}
+	default:
+		return "(!" + xs + ")", func(e refEnv) int64 { return b2i(xf(e) == 0) }
+	}
+}
+
+// TestPropertyExpressionEval generates random expressions and checks the
+// compiled VM result against direct Go evaluation.
+func TestPropertyExpressionEval(t *testing.T) {
+	r := rand.New(rand.NewSource(12345))
+	for trial := 0; trial < 120; trial++ {
+		exprSrc, ref := genExpr(r, 4)
+		env := refEnv{
+			a: int64(r.Intn(41) - 20), b: int64(r.Intn(41) - 20),
+			c: int64(r.Intn(41) - 20), d: int64(r.Intn(41) - 20),
+		}
+		src := fmt.Sprintf(`
+int main(void) {
+    int a = %d;
+    int b = %d;
+    int c = %d;
+    int d = %d;
+    print(%s);
+    return 0;
+}`, env.a, env.b, env.c, env.d, exprSrc)
+		f, err := parser.Parse("q.mc", src)
+		if err != nil {
+			t.Fatalf("trial %d parse: %v\n%s", trial, err, src)
+		}
+		info, err := types.Check(f)
+		if err != nil {
+			t.Fatalf("trial %d check: %v\n%s", trial, err, src)
+		}
+		p, err := Compile(info)
+		if err != nil {
+			t.Fatalf("trial %d compile: %v\n%s", trial, err, src)
+		}
+		res := Run(p, Config{Inputs: LiveInputs{OS: oskit.NewWorld(1)}, Seed: 1})
+		if res.Err != nil {
+			t.Fatalf("trial %d run: %v\n%s", trial, res.Err, src)
+		}
+		want := fmt.Sprintf("%d\n", ref(env))
+		if string(res.Output) != want {
+			t.Fatalf("trial %d: VM got %q, reference %q\nexpr: %s",
+				trial, res.Output, want, exprSrc)
+		}
+	}
+}
+
+// TestPropertySumLoop checks the VM against closed-form arithmetic for
+// random loop bounds and strides.
+func TestPropertySumLoop(t *testing.T) {
+	f := func(n0 uint8, stride0 uint8) bool {
+		n := int64(n0%100) + 1
+		stride := int64(stride0%7) + 1
+		src := fmt.Sprintf(`
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < %d; i += %d) {
+        s += i;
+    }
+    print(s);
+    return 0;
+}`, n, stride)
+		file, err := parser.Parse("q.mc", src)
+		if err != nil {
+			return false
+		}
+		info, err := types.Check(file)
+		if err != nil {
+			return false
+		}
+		p, err := Compile(info)
+		if err != nil {
+			return false
+		}
+		res := Run(p, Config{Inputs: LiveInputs{OS: oskit.NewWorld(1)}, Seed: 1})
+		if res.Err != nil {
+			return false
+		}
+		want := int64(0)
+		for i := int64(0); i < n; i += stride {
+			want += i
+		}
+		return strings.TrimSpace(string(res.Output)) == fmt.Sprintf("%d", want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDeterminism: for random seeds, running twice with the same
+// seed gives identical results on a racy program.
+func TestPropertyDeterminism(t *testing.T) {
+	src := `
+int g;
+void w(int n) { for (int i = 0; i < n; i++) { int t = g; g = t + 1; } }
+int main(void) {
+    int t1 = spawn(w, 100);
+    int t2 = spawn(w, 100);
+    join(t1); join(t2);
+    print(g);
+    return 0;
+}`
+	file := parser.MustParse("q.mc", src)
+	info := types.MustCheck(file)
+	p := MustCompile(info)
+	f := func(seed uint64) bool {
+		r1 := Run(p, Config{Inputs: LiveInputs{OS: oskit.NewWorld(1)}, Seed: seed})
+		r2 := Run(p, Config{Inputs: LiveInputs{OS: oskit.NewWorld(1)}, Seed: seed})
+		return r1.Err == nil && r2.Err == nil && r1.Hash64() == r2.Hash64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

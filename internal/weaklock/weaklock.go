@@ -1,0 +1,175 @@
+// Package weaklock defines the static metadata and accounting for Chimera's
+// weak-locks (paper §2.2-2.3).
+//
+// A weak-lock is a time-out lock inserted around potentially racing code.
+// It provides enough mutual-exclusion structure to record and replay the
+// order of racy accesses, but compromises mutual exclusion rather than
+// deadlock: a stalled acquire forces the current owner to release and
+// reacquire at a recorded preemption point.
+//
+// Weak-locks come in four granularities, from finest to coarsest:
+//
+//	Instr — one source statement (paper: one instruction)
+//	BB    — a basic block of straight-line statements
+//	Loop  — a whole loop, protecting a runtime address range derived by
+//	        the symbolic bounds analysis (paper §5)
+//	Func  — a whole function body, assigned via profile-driven clique
+//	        analysis of non-concurrent functions (paper §4)
+//
+// The deadlock-freedom discipline (paper §2.3) is: within a granularity,
+// locks are acquired in ascending ID order; across granularities, Func
+// before Loop before BB before Instr; and an outer region releases its
+// weak-locks around an inner region. The instrumenter enforces this
+// statically and the VM runtime verifies it dynamically in debug mode.
+package weaklock
+
+import "fmt"
+
+// Kind is the granularity of a weak-lock.
+type Kind int
+
+// The weak-lock granularities, ordered coarse-to-fine. The numeric order is
+// the acquisition order: a thread's held locks are always sorted by
+// (Kind, ID), with Func (0) outermost.
+const (
+	KindFunc Kind = iota
+	KindLoop
+	KindBB
+	KindInstr
+	NumKinds
+)
+
+// String returns the granularity name used in tables and figures.
+func (k Kind) String() string {
+	switch k {
+	case KindFunc:
+		return "func"
+	case KindLoop:
+		return "loop"
+	case KindBB:
+		return "bb"
+	case KindInstr:
+		return "instr"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ID identifies a weak-lock within its table.
+type ID int
+
+// Address-range sentinels for loop-locks whose symbolic bounds analysis
+// produced an unusable bound (paper §5.3: "if the derived symbolic
+// expression for an address range is from negative infinity to positive
+// infinity, we consider it to be too imprecise"). A loop-lock with infinite
+// bounds conflicts with every other holder of the same lock.
+const (
+	NegInf = int64(-1) << 62
+	PosInf = int64(1) << 62
+)
+
+// Descriptor is the static description of one weak-lock.
+type Descriptor struct {
+	ID   ID
+	Kind Kind
+
+	// Name labels the lock for reports: the clique ("clique3"), the
+	// function pair, or the source location of the guarded region.
+	Name string
+
+	// Ranged is set for loop-locks whose acquire carries a runtime
+	// [lo, hi] address range; unranged locks conflict purely by ID.
+	Ranged bool
+}
+
+// Table holds all weak-locks created by the instrumenter for one program.
+type Table struct {
+	Locks []Descriptor
+}
+
+// NewTable returns an empty weak-lock table.
+func NewTable() *Table { return &Table{} }
+
+// Add appends a new lock and returns its ID.
+func (t *Table) Add(kind Kind, name string, ranged bool) ID {
+	id := ID(len(t.Locks))
+	t.Locks = append(t.Locks, Descriptor{ID: id, Kind: kind, Name: name, Ranged: ranged})
+	return id
+}
+
+// Lock returns the descriptor for id.
+func (t *Table) Lock(id ID) *Descriptor {
+	if int(id) < 0 || int(id) >= len(t.Locks) {
+		return nil
+	}
+	return &t.Locks[id]
+}
+
+// Len returns the number of locks.
+func (t *Table) Len() int { return len(t.Locks) }
+
+// CountByKind returns how many locks of each kind the table holds.
+func (t *Table) CountByKind() [NumKinds]int {
+	var n [NumKinds]int
+	for _, d := range t.Locks {
+		n[d.Kind]++
+	}
+	return n
+}
+
+// Stats accumulates the per-kind dynamic costs of weak-locks during a run.
+// These feed Table 2 (log counts), Figure 6 (operation proportions) and
+// Figure 7 (logging vs contention breakdown).
+type Stats struct {
+	// Acquires and Releases count dynamic weak-lock operations by kind.
+	Acquires [NumKinds]int64
+	Releases [NumKinds]int64
+
+	// Logs counts order-log records written for weak-lock events.
+	Logs [NumKinds]int64
+
+	// LogCycles is the simulated time spent writing those records.
+	LogCycles [NumKinds]int64
+
+	// Contention is the simulated time threads spent blocked waiting to
+	// acquire a weak-lock, by kind.
+	Contention [NumKinds]int64
+
+	// Timeouts counts weak-lock timeouts that forced the owner to
+	// release (paper §2.3; zero for all paper benchmarks).
+	Timeouts int64
+}
+
+// Ops returns the total dynamic weak-lock operations (acquires+releases)
+// of kind k.
+func (s *Stats) Ops(k Kind) int64 { return s.Acquires[k] + s.Releases[k] }
+
+// TotalOps returns the total dynamic weak-lock operations over all kinds.
+func (s *Stats) TotalOps() int64 {
+	var n int64
+	for k := Kind(0); k < NumKinds; k++ {
+		n += s.Ops(k)
+	}
+	return n
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other *Stats) {
+	for k := 0; k < int(NumKinds); k++ {
+		s.Acquires[k] += other.Acquires[k]
+		s.Releases[k] += other.Releases[k]
+		s.Logs[k] += other.Logs[k]
+		s.LogCycles[k] += other.LogCycles[k]
+		s.Contention[k] += other.Contention[k]
+	}
+	s.Timeouts += other.Timeouts
+}
+
+// RangesOverlap reports whether [lo1,hi1] and [lo2,hi2] intersect. An
+// empty range (lo > hi, e.g. from a zero-trip loop's bounds) overlaps
+// nothing; the infinite sentinels overlap every nonempty range.
+func RangesOverlap(lo1, hi1, lo2, hi2 int64) bool {
+	if lo1 > hi1 || lo2 > hi2 {
+		return false
+	}
+	return lo1 <= hi2 && lo2 <= hi1
+}

@@ -1,0 +1,105 @@
+package weaklock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTableAddLookup(t *testing.T) {
+	tb := NewTable()
+	f := tb.Add(KindFunc, "clique0", false)
+	l := tb.Add(KindLoop, "sites@1", true)
+	if f != 0 || l != 1 {
+		t.Fatalf("ids: %d %d", f, l)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("len %d", tb.Len())
+	}
+	d := tb.Lock(l)
+	if d == nil || d.Kind != KindLoop || !d.Ranged || d.Name != "sites@1" {
+		t.Fatalf("descriptor %+v", d)
+	}
+	if tb.Lock(99) != nil || tb.Lock(-1) != nil {
+		t.Fatalf("out-of-range lookups must be nil")
+	}
+	counts := tb.CountByKind()
+	if counts[KindFunc] != 1 || counts[KindLoop] != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+}
+
+func TestKindOrderAndNames(t *testing.T) {
+	// The numeric order IS the acquisition order: func < loop < bb < instr.
+	if !(KindFunc < KindLoop && KindLoop < KindBB && KindBB < KindInstr) {
+		t.Fatal("kind ordering broken")
+	}
+	names := map[Kind]string{KindFunc: "func", KindLoop: "loop", KindBB: "bb", KindInstr: "instr"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d name %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	var a, b Stats
+	a.Acquires[KindLoop] = 3
+	a.Releases[KindLoop] = 3
+	a.Logs[KindLoop] = 6
+	a.Contention[KindLoop] = 100
+	b.Acquires[KindLoop] = 2
+	b.Releases[KindLoop] = 1
+	b.Timeouts = 1
+	a.Add(&b)
+	if a.Ops(KindLoop) != 9 {
+		t.Errorf("ops %d, want 9", a.Ops(KindLoop))
+	}
+	if a.TotalOps() != 9 {
+		t.Errorf("total %d", a.TotalOps())
+	}
+	if a.Timeouts != 1 {
+		t.Errorf("timeouts %d", a.Timeouts)
+	}
+}
+
+func TestRangesOverlapBasics(t *testing.T) {
+	cases := []struct {
+		lo1, hi1, lo2, hi2 int64
+		want               bool
+	}{
+		{0, 10, 5, 15, true},
+		{0, 10, 10, 20, true}, // touching endpoints overlap
+		{0, 10, 11, 20, false},
+		{NegInf, PosInf, 5, 5, true},
+		{NegInf, PosInf, NegInf, PosInf, true},
+		{5, 4, 0, 100, false}, // empty range overlaps nothing
+		{7, 7, 7, 7, true},
+	}
+	for _, c := range cases {
+		if got := RangesOverlap(c.lo1, c.hi1, c.lo2, c.hi2); got != c.want {
+			t.Errorf("RangesOverlap(%d,%d,%d,%d) = %v, want %v",
+				c.lo1, c.hi1, c.lo2, c.hi2, got, c.want)
+		}
+	}
+}
+
+// Property: overlap is symmetric, and any nonempty range overlaps itself
+// and the infinite range.
+func TestRangesOverlapProperties(t *testing.T) {
+	sym := func(a, b, c, d int16) bool {
+		l1, h1, l2, h2 := int64(a), int64(b), int64(c), int64(d)
+		return RangesOverlap(l1, h1, l2, h2) == RangesOverlap(l2, h2, l1, h1)
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Error(err)
+	}
+	self := func(a, w uint8) bool {
+		lo := int64(a)
+		hi := lo + int64(w)
+		return RangesOverlap(lo, hi, lo, hi) &&
+			RangesOverlap(lo, hi, NegInf, PosInf)
+	}
+	if err := quick.Check(self, nil); err != nil {
+		t.Error(err)
+	}
+}
