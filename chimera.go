@@ -39,6 +39,7 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/oskit"
 	"repro/internal/profile"
+	"repro/internal/relay"
 	"repro/internal/replay"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -74,6 +75,11 @@ type Result = vm.Result
 
 // Race is a dynamic data race found by the happens-before checker.
 type Race = trace.Race
+
+// Report is a RELAY race report. Program.RefineMHP returns a copy with
+// statically proven non-concurrent pairs pruned (internal/mhp); pass it
+// to Program.InstrumentWith to instrument only the surviving pairs.
+type Report = relay.Report
 
 // Table is a weak-lock table.
 type Table = weaklock.Table

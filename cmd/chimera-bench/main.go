@@ -10,8 +10,11 @@
 //	chimera-bench -figure 7             # Figure 7 (logging vs contention)
 //	chimera-bench -figure 8             # Figure 8 (2/4/8 workers)
 //	chimera-bench -figure sens          # §7.3 profile sensitivity
+//	chimera-bench -figure mhp           # Figure-5-style ±MHP refinement
 //	chimera-bench -all                  # everything
 //	chimera-bench -bench radix -table 2 # restrict to one benchmark
+//	chimera-bench -figure mhp -json out.json   # also write machine-readable
+//	                                           # entries for the MHP opt sets
 package main
 
 import (
@@ -25,11 +28,12 @@ import (
 
 func main() {
 	var (
-		table   = flag.String("table", "", "regenerate a table: 1 or 2")
-		figure  = flag.String("figure", "", "regenerate a figure: 5, 6, 7, 8, or sens")
-		all     = flag.Bool("all", false, "regenerate everything")
-		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
-		workers = flag.Int("workers", 4, "evaluation worker count for tables/figures 5-7")
+		table    = flag.String("table", "", "regenerate a table: 1 or 2")
+		figure   = flag.String("figure", "", "regenerate a figure: 5, 6, 7, 8, or sens")
+		all      = flag.Bool("all", false, "regenerate everything")
+		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
+		workers  = flag.Int("workers", 4, "evaluation worker count for tables/figures 5-7")
+		jsonPath = flag.String("json", "", "write machine-readable measurements (MHP opt sets) to this file")
 	)
 	flag.Parse()
 
@@ -41,7 +45,7 @@ func main() {
 		names = strings.Split(*benches, ",")
 	}
 
-	if !*all && *table == "" && *figure == "" {
+	if !*all && *table == "" && *figure == "" && *jsonPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -111,6 +115,27 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(out)
+	}
+	if *all || *figure == "mhp" {
+		_, out, err := suite().FigureMHP()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if *jsonPath != "" {
+		entries, err := suite().MeasureJSON(harness.MHPConfigNames)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := harness.RenderJSON(entries)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", *jsonPath)
 	}
 }
 

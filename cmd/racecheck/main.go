@@ -1,49 +1,79 @@
 // racecheck runs the RELAY static data-race detector on a MiniC source
 // file and prints the report: race pairs, racy functions, and per-function
-// summaries on request.
+// summaries on request. Output is deterministic (pairs are ordered by
+// source position), so it can be diffed across runs.
 //
 // Usage:
 //
 //	racecheck prog.mc
 //	racecheck -v prog.mc    # include racy node details
+//	racecheck -mhp prog.mc  # apply the static MHP refinement and report
+//	                        # kept vs pruned pairs with provenance
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"repro/internal/cfg"
+	"repro/internal/mhp"
 	"repro/internal/minic/parser"
 	"repro/internal/minic/types"
 	"repro/internal/relay"
 )
 
 func main() {
-	verbose := flag.Bool("v", false, "verbose: list racy nodes and locksets")
-	showCFG := flag.Bool("cfg", false, "print each racy function's control-flow graph")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("racecheck", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	verbose := fs.Bool("v", false, "verbose: list racy nodes and locksets")
+	showCFG := fs.Bool("cfg", false, "print each racy function's control-flow graph")
+	useMHP := fs.Bool("mhp", false, "apply the static may-happen-in-parallel refinement")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
 	}
-	file, err := parser.Parse(flag.Arg(0), string(src))
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(errOut, "racecheck:", err)
+		return 1
+	}
+	file, err := parser.Parse(fs.Arg(0), string(src))
+	if err != nil {
+		fmt.Fprintln(errOut, "racecheck:", err)
+		return 1
 	}
 	info, err := types.Check(file)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(errOut, "racecheck:", err)
+		return 1
 	}
 	rep := relay.AnalyzeProgram(info)
+	if *useMHP {
+		refined := mhp.Refine(rep)
+		fmt.Fprintf(out, "%s: %d potential race pairs, MHP kept %d, pruned %d\n",
+			fs.Arg(0), len(rep.Pairs), len(refined.Pairs), len(refined.Pruned))
+		pruned := append([]relay.PrunedPair(nil), refined.Pruned...)
+		sort.SliceStable(pruned, func(i, j int) bool {
+			return pairLess(pruned[i].Pair, pruned[j].Pair)
+		})
+		for _, pp := range pruned {
+			fmt.Fprintf(out, "  pruned: %-13s %s\n", pp.Reason, pairString(pp.Pair))
+		}
+		rep = refined
+	}
 
-	fmt.Printf("%s: %d potential race pairs, %d racy nodes, %d racy functions\n",
-		flag.Arg(0), len(rep.Pairs), len(rep.RacyNodes), len(rep.RacyFuncs))
+	fmt.Fprintf(out, "%s: %d potential race pairs, %d racy nodes, %d racy functions\n",
+		fs.Arg(0), len(rep.Pairs), len(rep.RacyNodes), len(rep.RacyFuncs))
 
 	pairsByFn := make(map[string]int)
 	for _, p := range rep.Pairs {
@@ -55,17 +85,17 @@ func main() {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	fmt.Println("racy function pairs:")
+	fmt.Fprintln(out, "racy function pairs:")
 	for _, k := range keys {
-		fmt.Printf("  %-40s %d race pair(s)\n", k, pairsByFn[k])
+		fmt.Fprintf(out, "  %-40s %d race pair(s)\n", k, pairsByFn[k])
 	}
 
 	if *verbose {
-		fmt.Println("race pairs:")
-		for _, p := range rep.Pairs {
-			fmt.Printf("  %s:%s [w=%v ls=%v] <-> %s:%s [w=%v ls=%v]\n",
-				p.A.Fn.Name, p.A.Pos, p.A.Write, p.A.Lockset,
-				p.B.Fn.Name, p.B.Pos, p.B.Write, p.B.Lockset)
+		pairs := append([]*relay.RacePair(nil), rep.Pairs...)
+		sort.SliceStable(pairs, func(i, j int) bool { return pairLess(pairs[i], pairs[j]) })
+		fmt.Fprintln(out, "race pairs:")
+		for _, p := range pairs {
+			fmt.Fprintf(out, "  %s\n", pairString(p))
 		}
 	}
 
@@ -78,14 +108,32 @@ func main() {
 		for _, name := range names {
 			fn := info.Funcs[name]
 			g := cfg.Build(fn.Decl)
-			fmt.Print(g.String())
+			fmt.Fprint(out, g.String())
 			loops := g.NaturalLoops()
-			fmt.Printf("  %d natural loop(s)\n", len(loops))
+			fmt.Fprintf(out, "  %d natural loop(s)\n", len(loops))
 		}
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "racecheck:", err)
-	os.Exit(1)
+func pairString(p *relay.RacePair) string {
+	return fmt.Sprintf("%s:%s [w=%v ls=%v] <-> %s:%s [w=%v ls=%v]",
+		p.A.Fn.Name, p.A.Pos, p.A.Write, p.A.Lockset,
+		p.B.Fn.Name, p.B.Pos, p.B.Write, p.B.Lockset)
+}
+
+// pairLess orders race pairs by source position, then function names.
+func pairLess(a, b *relay.RacePair) bool {
+	ka := [4]int{a.A.Pos.Line, a.A.Pos.Col, a.B.Pos.Line, a.B.Pos.Col}
+	kb := [4]int{b.A.Pos.Line, b.A.Pos.Col, b.B.Pos.Line, b.B.Pos.Col}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return ka[i] < kb[i]
+		}
+	}
+	fa, fb := a.FnPair(), b.FnPair()
+	if fa[0] != fb[0] {
+		return fa[0] < fb[0]
+	}
+	return fa[1] < fb[1]
 }

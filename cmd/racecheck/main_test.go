@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files:
+// go test ./cmd/racecheck -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func runGolden(t *testing.T, args []string, golden string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("run(%v) = %d, stderr: %s", args, code, errOut.String())
+	}
+	path := filepath.Join("testdata", golden)
+	if *update {
+		if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (regenerate with -update): %v", path, err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, out.Bytes(), want)
+	}
+}
+
+// The report must be byte-stable across runs (map iteration must never
+// leak into the output) and match the checked-in golden files.
+func TestGoldenOutput(t *testing.T) {
+	src := filepath.Join("testdata", "barrier.mc")
+	for i := 0; i < 3; i++ {
+		runGolden(t, []string{"-v", src}, "barrier.out")
+		runGolden(t, []string{"-v", "-mhp", src}, "barrier.mhp.out")
+	}
+}

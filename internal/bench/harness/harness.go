@@ -27,6 +27,7 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/oskit"
 	"repro/internal/profile"
+	"repro/internal/relay"
 	"repro/internal/vm"
 	"repro/internal/weaklock"
 )
@@ -35,8 +36,16 @@ import (
 // presentation order.
 var ConfigNames = []string{"instr", "instr+func", "instr+loop", "all"}
 
-// OptionsFor maps a configuration name to instrumenter options.
+// MHPConfigNames lists the configurations of the Figure-5-style MHP
+// comparison: each instrumentation level with and without the static
+// may-happen-in-parallel refinement pruning the race pairs first.
+var MHPConfigNames = []string{"instr", "instr+mhp", "all", "all+mhp"}
+
+// OptionsFor maps a configuration name to instrumenter options. A "+mhp"
+// suffix selects the same options over the MHP-refined race report and is
+// stripped here.
 func OptionsFor(name string) instrument.Options {
+	name = strings.TrimSuffix(name, "+mhp")
 	switch name {
 	case "instr":
 		return instrument.NaiveOptions()
@@ -71,6 +80,41 @@ type Prepared struct {
 	Prog *core.Program
 	Conc *profile.Concurrency
 	Inst map[string]*core.Instrumented
+
+	refined *relay.Report // lazy MHP-refined race report
+}
+
+// RefinedReport returns (computing once) the MHP-refined race report.
+func (p *Prepared) RefinedReport() *relay.Report {
+	if p.refined == nil {
+		p.refined = p.Prog.RefineMHP()
+	}
+	return p.refined
+}
+
+// ReportFor returns the race report a configuration instruments: the
+// MHP-refined one for "+mhp" configurations, the full RELAY report
+// otherwise.
+func (p *Prepared) ReportFor(configName string) *relay.Report {
+	if strings.HasSuffix(configName, "+mhp") {
+		return p.RefinedReport()
+	}
+	return p.Prog.Races
+}
+
+// Instrumented returns the instrumentation for a configuration, building
+// and caching it on first use. Prepare eagerly builds only the Figure 5
+// set; the MHP configurations are built here on demand.
+func (p *Prepared) Instrumented(configName string) (*core.Instrumented, error) {
+	if ip, ok := p.Inst[configName]; ok {
+		return ip, nil
+	}
+	ip, err := p.Prog.InstrumentWith(p.ReportFor(configName), p.Conc, OptionsFor(configName))
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", p.B.Name, configName, err)
+	}
+	p.Inst[configName] = ip
+	return ip, nil
 }
 
 // Suite is a set of prepared benchmarks.
@@ -166,7 +210,10 @@ type Measurement struct {
 // Measure runs native + record + replay for one benchmark/config at the
 // given worker count.
 func (s *Suite) Measure(p *Prepared, configName string, workers int) (*Measurement, error) {
-	ip := p.Inst[configName]
+	ip, err := p.Instrumented(configName)
+	if err != nil {
+		return nil, err
+	}
 	m := &Measurement{Bench: p.B.Name, Config: configName}
 
 	rcNative := core.RunConfig{World: p.B.EvalWorld(workers), Seed: s.Cfg.Seed, HeapWords: s.Cfg.HeapWords}
@@ -277,17 +324,17 @@ type FigureRow struct {
 
 // Figure5 measures the recording overhead under each configuration.
 func (s *Suite) Figure5() ([]FigureRow, string, error) {
-	rows, err := s.perConfig(func(m *Measurement) float64 { return m.RecordOverhead })
+	rows, err := s.perConfig(ConfigNames, func(m *Measurement) float64 { return m.RecordOverhead })
 	if err != nil {
 		return nil, "", err
 	}
-	return rows, renderFigure("Figure 5: normalized recording overhead (x)", rows, "%8.2f"), nil
+	return rows, renderFigure("Figure 5: normalized recording overhead (x)", ConfigNames, rows, "%8.2f"), nil
 }
 
 // Figure6 measures weak-lock operations as a percentage of dynamic memory
 // operations under each configuration.
 func (s *Suite) Figure6() ([]FigureRow, string, error) {
-	rows, err := s.perConfig(func(m *Measurement) float64 {
+	rows, err := s.perConfig(ConfigNames, func(m *Measurement) float64 {
 		if m.MemOps == 0 {
 			return 0
 		}
@@ -296,14 +343,24 @@ func (s *Suite) Figure6() ([]FigureRow, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	return rows, renderFigure("Figure 6: weak-lock ops as % of memory ops", rows, "%8.3f"), nil
+	return rows, renderFigure("Figure 6: weak-lock ops as % of memory ops", ConfigNames, rows, "%8.3f"), nil
 }
 
-func (s *Suite) perConfig(metric func(*Measurement) float64) ([]FigureRow, error) {
+// FigureMHP measures recording overhead with and without the static MHP
+// refinement at each instrumentation level (Figure-5-style presentation).
+func (s *Suite) FigureMHP() ([]FigureRow, string, error) {
+	rows, err := s.perConfig(MHPConfigNames, func(m *Measurement) float64 { return m.RecordOverhead })
+	if err != nil {
+		return nil, "", err
+	}
+	return rows, renderFigure("Figure 5 + MHP: normalized recording overhead (x)", MHPConfigNames, rows, "%8.2f"), nil
+}
+
+func (s *Suite) perConfig(configNames []string, metric func(*Measurement) float64) ([]FigureRow, error) {
 	var rows []FigureRow
 	for _, p := range s.Items {
 		row := FigureRow{Bench: p.B.Name, Values: make(map[string]float64)}
-		for _, cn := range ConfigNames {
+		for _, cn := range configNames {
 			m, err := s.Measure(p, cn, s.Cfg.Workers)
 			if err != nil {
 				return nil, err
@@ -315,21 +372,21 @@ func (s *Suite) perConfig(metric func(*Measurement) float64) ([]FigureRow, error
 	return rows, nil
 }
 
-func renderFigure(title string, rows []FigureRow, f string) string {
+func renderFigure(title string, configNames []string, rows []FigureRow, f string) string {
 	var sb strings.Builder
 	sb.WriteString(title + "\n")
 	fmt.Fprintf(&sb, "%-8s", "app")
-	for _, cn := range ConfigNames {
+	for _, cn := range configNames {
 		fmt.Fprintf(&sb, " %12s", cn)
 	}
 	sb.WriteByte('\n')
 	var gmean = make(map[string]float64)
-	for _, cn := range ConfigNames {
+	for _, cn := range configNames {
 		gmean[cn] = 1
 	}
 	for _, r := range rows {
 		fmt.Fprintf(&sb, "%-8s", r.Bench)
-		for _, cn := range ConfigNames {
+		for _, cn := range configNames {
 			fmt.Fprintf(&sb, "     "+f, r.Values[cn])
 			if r.Values[cn] > 0 {
 				gmean[cn] *= r.Values[cn]
@@ -339,7 +396,7 @@ func renderFigure(title string, rows []FigureRow, f string) string {
 	}
 	if len(rows) > 1 {
 		fmt.Fprintf(&sb, "%-8s", "geomean")
-		for _, cn := range ConfigNames {
+		for _, cn := range configNames {
 			fmt.Fprintf(&sb, "     "+f, pow(gmean[cn], 1/float64(len(rows))))
 		}
 		sb.WriteByte('\n')

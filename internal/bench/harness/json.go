@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"encoding/json"
+)
+
+// JSONEntry is one benchmark/configuration data point in the
+// machine-readable benchmark export (BENCH_PR1.json and successors): the
+// static analysis volume (race pairs surviving refinement, weak locks
+// emitted) alongside the measured record/replay overheads.
+type JSONEntry struct {
+	Bench          string  `json:"bench"`
+	Config         string  `json:"config"`
+	StaticPairs    int     `json:"static_pairs"`
+	PrunedPairs    int     `json:"pruned_pairs"`
+	WeakLocks      int     `json:"weak_locks"`
+	RecordOverhead float64 `json:"record_overhead"`
+	ReplayOverhead float64 `json:"replay_overhead"`
+	ReplayMatches  bool    `json:"replay_matches"`
+}
+
+// MeasureJSON measures every prepared benchmark under the given
+// configurations and returns machine-readable entries.
+func (s *Suite) MeasureJSON(configNames []string) ([]JSONEntry, error) {
+	var out []JSONEntry
+	for _, p := range s.Items {
+		for _, cn := range configNames {
+			m, err := s.Measure(p, cn, s.Cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			ip, err := p.Instrumented(cn)
+			if err != nil {
+				return nil, err
+			}
+			rep := p.ReportFor(cn)
+			out = append(out, JSONEntry{
+				Bench:          m.Bench,
+				Config:         m.Config,
+				StaticPairs:    len(rep.Pairs),
+				PrunedPairs:    len(rep.Pruned),
+				WeakLocks:      ip.Table.Len(),
+				RecordOverhead: m.RecordOverhead,
+				ReplayOverhead: m.ReplayOverhead,
+				ReplayMatches:  m.ReplayMatches,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderJSON serializes entries with stable formatting for checking into
+// the repository.
+func RenderJSON(entries []JSONEntry) ([]byte, error) {
+	b, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

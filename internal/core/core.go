@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/callgraph"
 	"repro/internal/instrument"
+	"repro/internal/mhp"
 	"repro/internal/minic/ast"
 	"repro/internal/minic/parser"
 	"repro/internal/minic/types"
@@ -145,7 +146,21 @@ type Instrumented struct {
 
 // Instrument applies the weak-lock transformation and recompiles.
 func (p *Program) Instrument(conc *profile.Concurrency, opts instrument.Options) (*Instrumented, error) {
-	res, err := instrument.Instrument(p.Races, conc, opts)
+	return p.InstrumentWith(p.Races, conc, opts)
+}
+
+// RefineMHP applies the static may-happen-in-parallel refinement
+// (internal/mhp) to the program's race report, returning a copy with
+// provably non-concurrent pairs pruned. p.Races itself is untouched, so
+// the paper-faithful unrefined report stays available.
+func (p *Program) RefineMHP() *relay.Report {
+	return mhp.Refine(p.Races)
+}
+
+// InstrumentWith is Instrument with an explicit race report — typically
+// the result of RefineMHP, so statically pruned pairs get no weak locks.
+func (p *Program) InstrumentWith(rep *relay.Report, conc *profile.Concurrency, opts instrument.Options) (*Instrumented, error) {
+	res, err := instrument.Instrument(rep, conc, opts)
 	if err != nil {
 		return nil, fmt.Errorf("instrument %s: %w", p.Name, err)
 	}

@@ -1,0 +1,155 @@
+// Package mhp is a static may-happen-in-parallel refinement for RELAY
+// race reports.
+//
+// The core RELAY reproduction is, by design, exactly as imprecise as the
+// paper's (§3.3): it ignores the happens-before edges contributed by
+// fork/join and barriers, so a pair like phase_a/phase_b in the water
+// benchmark — separated by a barrier_wait in every execution — is still
+// reported as a race and still costs a weak lock at run time. Chimera
+// recovers that precision dynamically, via the non-concurrency profiler;
+// this package recovers a large class of it statically, in the spirit of
+// lightweight static MHP phases such as RacerF (Dacík & Vojnar, 2025).
+//
+// Two sub-analyses produce non-concurrency proofs:
+//
+//   - fork/join (forkjoin.go): main's top-level statement order is a
+//     timeline; accesses provably before every spawn of a root, or after a
+//     proven join-all of it, cannot run concurrently with that root, and
+//     two roots with disjoint fork/join windows cannot overlap at all.
+//   - barrier phases (barrier.go): a thread body whose barrier waits form
+//     a uniform phase structure is segmented, and accesses that can never
+//     observe the same episode count are non-concurrent.
+//
+// Both analyses are syntactic and fail closed: escaping thread handles,
+// conditional spawns or joins, barriers whose address is copied, waits
+// under conditionals, or non-uniform trip counts all simply produce no
+// proof, and the pair is kept. Soundness — never pruning a pair that can
+// actually race — is what makes the refinement safe to feed to the
+// instrumenter: a pruned pair gets no weak lock, so a wrong prune would
+// let a real race replay unordered. docs/mhp.md develops the argument.
+//
+// The pass is opt-in (RefineMHP on the RELAY report, -mhp on racecheck,
+// the +mhp configurations in the bench harness); the default pipeline
+// keeps the paper-faithful false-positive structure.
+package mhp
+
+import (
+	"repro/internal/relay"
+)
+
+// Analysis holds the computed MHP facts for one program.
+type Analysis struct {
+	rep *relay.Report
+	fj  *forkJoin
+	ba  *barrierAnalysis
+}
+
+// Analyze runs the fork/join and barrier-phase analyses over an analyzed
+// program. The report must carry the Info/PTA/CG it was produced with.
+func Analyze(rep *relay.Report) *Analysis {
+	fj := newForkJoin(rep)
+	return &Analysis{rep: rep, fj: fj, ba: newBarrierAnalysis(rep, fj)}
+}
+
+// Refine returns a copy of the report with every pair the analysis proves
+// non-concurrent moved to Pruned (with provenance); the original report is
+// left intact.
+func Refine(rep *relay.Report) *relay.Report {
+	return rep.RefineMHP(Analyze(rep).Verdict)
+}
+
+// Verdict decides one race pair: prune=true means the two accesses are
+// proven never to run concurrently, with reason one of "pre-fork",
+// "join-ordered", or "barrier-phase". Any gap in the proofs yields
+// (false, ""): the pair is kept.
+func (a *Analysis) Verdict(p *relay.RacePair) (prune bool, reason string) {
+	main := a.fj.main
+	if main == nil {
+		return false, ""
+	}
+
+	aMain, bMain := p.RootA == main, p.RootB == main
+	switch {
+	case aMain && bMain:
+		// RELAY never pairs main with itself; keep defensively.
+		return false, ""
+
+	case aMain != bMain:
+		// One side runs on the main thread: order it against the other
+		// root's fork/join window on main's timeline.
+		acc, root := p.A, p.RootB
+		if bMain {
+			acc, root = p.B, p.RootA
+		}
+		lo, hi, ok := a.mainSpan(acc)
+		if !ok {
+			return false, ""
+		}
+		if ms, in := a.fj.minSpawn[root]; in && hi < ms {
+			return true, "pre-fork"
+		}
+		if ja, in := a.fj.joinAll[root]; in && lo > ja {
+			return true, "join-ordered"
+		}
+		return false, ""
+
+	case p.RootA != p.RootB:
+		// Two different roots: disjoint fork/join windows mean no overlap.
+		if a.ba.windowsDisjoint(p.RootA, p.RootB) {
+			return true, "join-ordered"
+		}
+		return false, ""
+
+	default:
+		// Same root (multi-spawned): only barrier phases can separate two
+		// instances of the same code.
+		root := p.RootA
+		for _, bi := range a.ba.barriers {
+			pm := bi.phases[root]
+			if pm == nil {
+				continue
+			}
+			pa := pm.positions(p.A, root)
+			pb := pm.positions(p.B, root)
+			if len(pa) == 0 || len(pb) == 0 {
+				continue
+			}
+			all := true
+			for _, x := range pa {
+				for _, y := range pb {
+					if !pm.disjoint(x, y) {
+						all = false
+					}
+				}
+			}
+			if all {
+				return true, "barrier-phase"
+			}
+		}
+		return false, ""
+	}
+}
+
+// mainSpan returns the smallest and largest main top-level statement index
+// under which the access can execute on the main thread.
+func (a *Analysis) mainSpan(acc *relay.Access) (lo, hi int, ok bool) {
+	if acc.Fn == a.fj.main {
+		i, in := a.fj.topIdx[acc.Node]
+		return i, i, in
+	}
+	set := a.fj.reach[acc.Fn]
+	if len(set) == 0 {
+		return 0, 0, false
+	}
+	first := true
+	for i := range set {
+		if first || i < lo {
+			lo = i
+		}
+		if first || i > hi {
+			hi = i
+		}
+		first = false
+	}
+	return lo, hi, true
+}

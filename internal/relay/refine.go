@@ -1,0 +1,52 @@
+package relay
+
+import (
+	"repro/internal/minic/ast"
+	"repro/internal/minic/types"
+)
+
+// PrunedPair records one race pair removed by a refinement pass, with the
+// provenance of the proof that discharged it (e.g. "pre-fork",
+// "join-ordered", "barrier-phase").
+type PrunedPair struct {
+	Pair   *RacePair
+	Reason string
+}
+
+// RefineMHP returns a copy of the report with every pair the verdict
+// function discharges moved to Pruned. The verdict is supplied by a
+// may-happen-in-parallel analysis (internal/mhp); keeping it a callback
+// avoids an import cycle and keeps RELAY itself paper-faithful. The
+// original report is not modified, so the unrefined pair set remains
+// available for comparison.
+//
+// The derived indexes (RacyNodes, RacyFuncs, FuncPairs) are rebuilt from
+// the surviving pairs, so downstream consumers (the instrumenter) see a
+// consistent, smaller race report.
+func (r *Report) RefineMHP(verdict func(*RacePair) (prune bool, reason string)) *Report {
+	out := &Report{
+		Info:      r.Info,
+		PTA:       r.PTA,
+		CG:        r.CG,
+		RacyNodes: make(map[ast.NodeID]*Access),
+		RacyFuncs: make(map[*types.FuncInfo]bool),
+		FuncPairs: make(map[[2]string][]*RacePair),
+		Summaries: r.Summaries,
+	}
+	for _, p := range r.Pairs {
+		if prune, reason := verdict(p); prune {
+			out.Pruned = append(out.Pruned, PrunedPair{Pair: p, Reason: reason})
+			continue
+		}
+		out.Pairs = append(out.Pairs, p)
+	}
+	for _, p := range out.Pairs {
+		out.RacyNodes[p.A.Node] = p.A
+		out.RacyNodes[p.B.Node] = p.B
+		out.RacyFuncs[p.A.Fn] = true
+		out.RacyFuncs[p.B.Fn] = true
+		fp := p.FnPair()
+		out.FuncPairs[fp] = append(out.FuncPairs[fp], p)
+	}
+	return out
+}

@@ -18,10 +18,15 @@
 // The analysis is sound in the same sense as RELAY (modulo the paper's §3.2
 // corner cases, which do not arise in MiniC: there is no inline assembly,
 // and pointer arithmetic is assumed to stay in the object by the points-to
-// layer). It is deliberately imprecise in the same ways too: it ignores
-// happens-before from fork/join, barriers and condition variables, and it
-// inherits the points-to collapses — both are the sources of false
-// positives Chimera's optimizations target (paper §3.3).
+// layer). It is deliberately imprecise in the same ways too: the core
+// detector ignores happens-before from fork/join, barriers and condition
+// variables, and it inherits the points-to collapses — both are the sources
+// of false positives Chimera's optimizations target (paper §3.3). The
+// fork/join and barrier portion of that imprecision can optionally be
+// recovered statically after the fact: Report.RefineMHP applies a
+// may-happen-in-parallel verdict (supplied by internal/mhp) that discharges
+// pairs proven non-concurrent, leaving condition-variable ordering and the
+// points-to collapses as the remaining over-approximation.
 package relay
 
 import (
@@ -105,6 +110,10 @@ type Report struct {
 
 	// FuncPairs maps racy-function-pairs to their race pairs.
 	FuncPairs map[[2]string][]*RacePair
+
+	// Pruned holds the pairs a refinement pass (RefineMHP) discharged,
+	// with provenance. Empty on an unrefined report.
+	Pruned []PrunedPair
 
 	// Summaries, for inspection and tests.
 	Summaries map[*types.FuncInfo]*Summary
