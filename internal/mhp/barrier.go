@@ -28,11 +28,14 @@ import (
 //  2. It is initialized exactly once, by a top-level statement of main
 //     that precedes every spawn of every waiter.
 //  3. Every wait on it is inside a thread root (never main, never a
-//     shared helper), and every such root is spawned only from main with
-//     at most C instances: either at most C non-loop spawn sites with a
-//     literal C, or a single spawn site inside one counted loop whose
-//     bound prints identically to C and is frozen. Fewer instances than C
-//     merely deadlock at the first wait — the episode count then never
+//     shared helper) that is entered only through spawn edges — a root
+//     that is also called as a plain function (from main, a helper, or
+//     itself) would execute waits no instance bound counts — and every
+//     such root is spawned only from main with at most C instances:
+//     either at most C non-loop spawn sites with a literal C, or a
+//     single spawn site inside one counted loop whose bound prints
+//     identically to C and is frozen. Fewer instances than C merely
+//     deadlock at the first wait — the episode count then never
 //     advances, which is safe; more instances would break alignment, so
 //     they must be excluded.
 //  4. With several waiter roots, their fork/join windows must be pairwise
@@ -217,6 +220,15 @@ func (ba *barrierAnalysis) validate(obj *types.Object, calls []barrierCall) *bar
 		return nil
 	}
 	for _, r := range waiters {
+		// A waiter must be entered only by spawn: a direct call (from
+		// main, a helper, or recursively) executes waits that neither
+		// instancesBounded nor the phase map counts, breaking episode
+		// alignment.
+		for _, e := range ba.rep.CG.Callers[r] {
+			if !e.Spawn {
+				return nil
+			}
+		}
 		min, ok := ba.fj.minSpawn[r]
 		if !ok || initIdx >= min {
 			return nil
@@ -736,6 +748,19 @@ func (pm *phaseMap) disjoint(a, b phasePos) bool {
 		// Outside-after: collides only with the trailing segment.
 		return lp.seg != lp.k || pm.bareIn(lp.unit+1, o.unit)
 	}
+}
+
+// allDisjoint reports whether every position combination is disjoint,
+// stopping at the first colliding pair.
+func (pm *phaseMap) allDisjoint(pa, pb []phasePos) bool {
+	for _, x := range pa {
+		for _, y := range pb {
+			if !pm.disjoint(x, y) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // positions returns the phase positions of an access under this root.

@@ -34,6 +34,7 @@
 package mhp
 
 import (
+	"repro/internal/minic/types"
 	"repro/internal/relay"
 )
 
@@ -42,13 +43,40 @@ type Analysis struct {
 	rep *relay.Report
 	fj  *forkJoin
 	ba  *barrierAnalysis
+
+	// rootsOf maps each function to the thread roots whose call closure
+	// (spawn edges excluded) can execute it. An access in f can run on
+	// every thread in rootsOf[f], not just the one RELAY happened to
+	// record on the pair.
+	rootsOf map[*types.FuncInfo][]*types.FuncInfo
 }
 
 // Analyze runs the fork/join and barrier-phase analyses over an analyzed
 // program. The report must carry the Info/PTA/CG it was produced with.
 func Analyze(rep *relay.Report) *Analysis {
 	fj := newForkJoin(rep)
-	return &Analysis{rep: rep, fj: fj, ba: newBarrierAnalysis(rep, fj)}
+	a := &Analysis{
+		rep:     rep,
+		fj:      fj,
+		ba:      newBarrierAnalysis(rep, fj),
+		rootsOf: make(map[*types.FuncInfo][]*types.FuncInfo),
+	}
+	for _, root := range rep.CG.Roots {
+		seen := make(map[*types.FuncInfo]bool)
+		var dfs func(fn *types.FuncInfo)
+		dfs = func(fn *types.FuncInfo) {
+			if fn == nil || seen[fn] {
+				return
+			}
+			seen[fn] = true
+			a.rootsOf[fn] = append(a.rootsOf[fn], root)
+			for _, callee := range rep.CG.CalleesOf(fn) {
+				dfs(callee)
+			}
+		}
+		dfs(root)
+	}
+	return a
 }
 
 // Refine returns a copy of the report with every pair the analysis proves
@@ -62,24 +90,59 @@ func Refine(rep *relay.Report) *relay.Report {
 // proven never to run concurrently, with reason one of "pre-fork",
 // "join-ordered", or "barrier-phase". Any gap in the proofs yields
 // (false, ""): the pair is kept.
+//
+// RELAY dedups pairs by node pair alone, so the recorded RootA/RootB is
+// only the first root combination that produced the pair; a shared helper
+// reachable from several roots can race under combinations the report
+// never materialized. The verdict therefore enumerates every pair of
+// roots whose call closures reach the two access functions and prunes
+// only when each combination is proven non-concurrent.
 func (a *Analysis) Verdict(p *relay.RacePair) (prune bool, reason string) {
-	main := a.fj.main
-	if main == nil {
+	if a.fj.main == nil {
 		return false, ""
 	}
+	rootsA := a.rootsOf[p.A.Fn]
+	rootsB := a.rootsOf[p.B.Fn]
+	if len(rootsA) == 0 || len(rootsB) == 0 {
+		return false, ""
+	}
+	for _, ra := range rootsA {
+		for _, rb := range rootsB {
+			ok, r := a.comboVerdict(p, ra, rb)
+			if !ok {
+				return false, ""
+			}
+			if reason == "" {
+				reason = r
+			}
+		}
+	}
+	if reason == "" {
+		// Every combination degenerated to a single thread; RELAY never
+		// reports such a pair, so fail closed rather than invent a proof.
+		return false, ""
+	}
+	return true, reason
+}
 
-	aMain, bMain := p.RootA == main, p.RootB == main
+// comboVerdict decides one root combination: thread ra executing access
+// p.A against thread rb executing access p.B. An empty reason with
+// prune=true marks a degenerate combination (both accesses on one
+// single-instance thread) that contributes no concurrency.
+func (a *Analysis) comboVerdict(p *relay.RacePair, ra, rb *types.FuncInfo) (prune bool, reason string) {
+	main := a.fj.main
+	aMain, bMain := ra == main, rb == main
 	switch {
 	case aMain && bMain:
-		// RELAY never pairs main with itself; keep defensively.
-		return false, ""
+		// Both accesses on the main thread, which runs once: sequential.
+		return true, ""
 
 	case aMain != bMain:
 		// One side runs on the main thread: order it against the other
 		// root's fork/join window on main's timeline.
-		acc, root := p.A, p.RootB
+		acc, root := p.A, rb
 		if bMain {
-			acc, root = p.B, p.RootA
+			acc, root = p.B, ra
 		}
 		lo, hi, ok := a.mainSpan(acc)
 		if !ok {
@@ -93,41 +156,47 @@ func (a *Analysis) Verdict(p *relay.RacePair) (prune bool, reason string) {
 		}
 		return false, ""
 
-	case p.RootA != p.RootB:
+	case ra != rb:
 		// Two different roots: disjoint fork/join windows mean no overlap.
-		if a.ba.windowsDisjoint(p.RootA, p.RootB) {
+		if a.ba.windowsDisjoint(ra, rb) {
 			return true, "join-ordered"
 		}
 		return false, ""
 
 	default:
-		// Same root (multi-spawned): only barrier phases can separate two
-		// instances of the same code.
-		root := p.RootA
+		// Same root on both sides: sequential when at most one instance
+		// runs; otherwise only barrier phases can separate two instances
+		// of the same code.
+		if a.singleInstance(ra) {
+			return true, ""
+		}
 		for _, bi := range a.ba.barriers {
-			pm := bi.phases[root]
+			pm := bi.phases[ra]
 			if pm == nil {
 				continue
 			}
-			pa := pm.positions(p.A, root)
-			pb := pm.positions(p.B, root)
+			pa := pm.positions(p.A, ra)
+			pb := pm.positions(p.B, ra)
 			if len(pa) == 0 || len(pb) == 0 {
 				continue
 			}
-			all := true
-			for _, x := range pa {
-				for _, y := range pb {
-					if !pm.disjoint(x, y) {
-						all = false
-					}
-				}
-			}
-			if all {
+			if pm.allDisjoint(pa, pb) {
 				return true, "barrier-phase"
 			}
 		}
 		return false, ""
 	}
+}
+
+// singleInstance proves at most one instance of root r ever runs: a lone
+// spawn site, at main's top level, outside every loop.
+func (a *Analysis) singleInstance(r *types.FuncInfo) bool {
+	sites := a.fj.spawnSites[r]
+	if len(sites) != 1 || sites[0].caller != a.fj.main {
+		return false
+	}
+	loops := a.ba.enclosingLoops(sites)
+	return loops != nil && len(loops[0]) == 0
 }
 
 // mainSpan returns the smallest and largest main top-level statement index

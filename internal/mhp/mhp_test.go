@@ -299,6 +299,91 @@ int main(void) {
 	}
 }
 
+// Regression: RELAY dedups a node pair across root combinations, keeping
+// only the first (main-rooted) attribution. A helper written pre-fork by
+// main but also called by two concurrent workers must keep its pair: the
+// recorded (main, worker) combination is pre-fork, yet the worker×worker
+// combination still races on the same nodes.
+func TestSharedHelperAllRootCombinationsKept(t *testing.T) {
+	r := analyze(t, `
+int g;
+void touch(void) { g = g + 1; }
+void w1(int id) { touch(); }
+void w2(int id) { touch(); }
+int main(void) {
+    touch();
+    int a = spawn(w1, 1);
+    int b = spawn(w2, 2);
+    join(a); join(b);
+    return g;
+}
+`)
+	if !hasFnPair(r, "touch", "touch") {
+		t.Fatal("RELAY should report the touch/touch pair before refinement")
+	}
+	ref := Refine(r)
+	if !hasFnPair(ref, "touch", "touch") {
+		t.Error("w1 and w2 run touch concurrently; the pair must be kept " +
+			"even though the recorded main/w1 combination is pre-fork")
+	}
+}
+
+// Positive control for the combination enumeration: with the two workers'
+// fork/join windows disjoint, every root combination is discharged and
+// the shared-helper pair is pruned.
+func TestSharedHelperDisjointCombinationsPruned(t *testing.T) {
+	r := analyze(t, `
+int g;
+void touch(void) { g = g + 1; }
+void w1(int id) { touch(); }
+void w2(int id) { touch(); }
+int main(void) {
+    touch();
+    int a = spawn(w1, 1);
+    join(a);
+    int b = spawn(w2, 2);
+    join(b);
+    return g;
+}
+`)
+	if !hasFnPair(r, "touch", "touch") {
+		t.Fatal("RELAY should report the touch/touch pair before refinement")
+	}
+	ref := Refine(r)
+	if hasFnPair(ref, "touch", "touch") {
+		t.Error("every root combination is fork/join ordered; pair should be pruned")
+	}
+}
+
+// Negative: a barrier waiter that is also called as a plain function
+// executes extra waits the instance bound never counted, so episode
+// alignment is unprovable and the cross-phase pair must be kept.
+func TestCalledWaiterDisablesBarrier(t *testing.T) {
+	r := analyze(t, `
+int bar;
+int data;
+void phase_a(int id) { data = id; }
+void phase_b(int id) { data = data + id; }
+void worker(int id) {
+    phase_a(id);
+    barrier_wait(&bar);
+    phase_b(id);
+}
+int main(void) {
+    barrier_init(&bar, 2);
+    int t1 = spawn(worker, 1);
+    int t2 = spawn(worker, 2);
+    join(t1); join(t2);
+    worker(0);
+    return data;
+}
+`)
+	ref := Refine(r)
+	if !hasFnPair(ref, "phase_a", "phase_b") {
+		t.Error("a waiter also entered by a direct call breaks episode alignment; pair must be kept")
+	}
+}
+
 // Negative: a copied barrier address could alias; the analysis must
 // disable itself entirely.
 func TestBarrierAddressEscapeDisables(t *testing.T) {
