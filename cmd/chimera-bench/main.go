@@ -13,15 +13,29 @@
 //	chimera-bench -figure mhp           # Figure-5-style ±MHP refinement
 //	chimera-bench -all                  # everything
 //	chimera-bench -bench radix -table 2 # restrict to one benchmark
-//	chimera-bench -figure mhp -json out.json   # also write machine-readable
-//	                                           # entries for the MHP opt sets
+//	chimera-bench -parallel 4 -all      # fan independent cells over 4 workers
+//	chimera-bench -all -json out.json   # also write machine-readable entries
+//	                                    # (MHP opt sets) with wall-clock stats
+//	chimera-bench -all -json out.json -baseline
+//	                                    # additionally re-run the workload
+//	                                    # sequentially with caches off and
+//	                                    # record baseline_wall_ns/speedup
+//
+// Benchmark preparation and independent benchmark × config cells run on a
+// bounded pool of -parallel workers. All emitted tables, figures and JSON
+// rows are byte-identical for every -parallel value: analysis is proven
+// deterministic under parallelism (see the determinism test layer), and
+// measurements land in canonically ordered slots.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/bench/harness"
 )
@@ -29,16 +43,19 @@ import (
 func main() {
 	var (
 		table    = flag.String("table", "", "regenerate a table: 1 or 2")
-		figure   = flag.String("figure", "", "regenerate a figure: 5, 6, 7, 8, or sens")
+		figure   = flag.String("figure", "", "regenerate a figure: 5, 6, 7, 8, sens, or mhp")
 		all      = flag.Bool("all", false, "regenerate everything")
 		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
 		workers  = flag.Int("workers", 4, "evaluation worker count for tables/figures 5-7")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "harness worker pool size (1 = sequential)")
 		jsonPath = flag.String("json", "", "write machine-readable measurements (MHP opt sets) to this file")
+		baseline = flag.Bool("baseline", false, "with -json: also time the sequential uncached workload for baseline_wall_ns")
 	)
 	flag.Parse()
 
 	cfg := harness.Default()
 	cfg.Workers = *workers
+	cfg.Parallel = *parallel
 
 	var names []string
 	if *benches != "" {
@@ -50,85 +67,49 @@ func main() {
 		os.Exit(2)
 	}
 
-	newSuite := func() *harness.Suite {
-		fmt.Fprintln(os.Stderr, "preparing benchmarks (analyze + profile + instrument)...")
-		s, err := harness.NewSuite(cfg, names...)
-		if err != nil {
-			fatal(err)
-		}
-		return s
+	want := workload{
+		table1: *all || *table == "1",
+		table2: *all || *table == "2",
+		fig5:   *all || *figure == "5",
+		fig6:   *all || *figure == "6",
+		fig7:   *all || *figure == "7",
+		fig8:   *all || *figure == "8",
+		sens:   *all || *figure == "sens",
+		mhp:    *all || *figure == "mhp",
+		json:   *jsonPath != "",
 	}
 
-	var s *harness.Suite
-	suite := func() *harness.Suite {
-		if s == nil {
-			s = newSuite()
-		}
-		return s
+	start := time.Now()
+	entries, err := run(cfg, names, want, os.Stdout)
+	if err != nil {
+		fatal(err)
 	}
+	wall := time.Since(start).Nanoseconds()
 
-	if *all || *table == "1" {
-		fmt.Println(suite().Table1())
-	}
-	if *all || *table == "2" {
-		_, out, err := suite().Table2()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(out)
-	}
-	if *all || *figure == "5" {
-		_, out, err := suite().Figure5()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(out)
-	}
-	if *all || *figure == "6" {
-		_, out, err := suite().Figure6()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(out)
-	}
-	if *all || *figure == "7" {
-		_, out, err := suite().Figure7()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(out)
-	}
-	if *all || *figure == "8" {
-		_, out, err := suite().Figure8(nil)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(out)
-	}
-	if *all || *figure == "sens" {
-		sensNames := names
-		if len(sensNames) == 0 {
-			sensNames = []string{"pfscan", "water"}
-		}
-		_, out, err := harness.ProfileSensitivity(sensNames, 10)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(out)
-	}
-	if *all || *figure == "mhp" {
-		_, out, err := suite().FigureMHP()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(out)
-	}
 	if *jsonPath != "" {
-		entries, err := suite().MeasureJSON(harness.MHPConfigNames)
-		if err != nil {
-			fatal(err)
+		rep := &harness.JSONReport{
+			Parallel:      cfg.Parallel,
+			Workers:       cfg.Workers,
+			HarnessWallNS: wall,
+			Entries:       entries,
 		}
-		b, err := harness.RenderJSON(entries)
+		if *baseline {
+			fmt.Fprintln(os.Stderr, "re-running workload sequentially with caches disabled for the baseline...")
+			seqCfg := cfg
+			seqCfg.Parallel = 1
+			seqCfg.NoCache = true
+			seqStart := time.Now()
+			if _, err := run(seqCfg, names, want, io.Discard); err != nil {
+				fatal(fmt.Errorf("baseline run: %w", err))
+			}
+			rep.BaselineWallNS = time.Since(seqStart).Nanoseconds()
+			if wall > 0 {
+				rep.Speedup = float64(rep.BaselineWallNS) / float64(wall)
+			}
+			fmt.Fprintf(os.Stderr, "harness wall: %.2fs (parallel=%d, cached) vs %.2fs (sequential, uncached): %.2fx\n",
+				float64(wall)/1e9, cfg.Parallel, float64(rep.BaselineWallNS)/1e9, rep.Speedup)
+		}
+		b, err := harness.RenderJSON(rep)
 		if err != nil {
 			fatal(err)
 		}
@@ -137,6 +118,84 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "wrote", *jsonPath)
 	}
+}
+
+// workload is the set of outputs one invocation regenerates.
+type workload struct {
+	table1, table2               bool
+	fig5, fig6, fig7, fig8, sens bool
+	mhp, json                    bool
+}
+
+// run prepares a suite and renders every requested output to w, returning
+// the machine-readable entries when the JSON export was requested.
+func run(cfg harness.Config, names []string, want workload, w io.Writer) ([]harness.JSONEntry, error) {
+	fmt.Fprintln(os.Stderr, "preparing benchmarks (analyze + profile + instrument)...")
+	s, err := harness.NewSuite(cfg, names...)
+	if err != nil {
+		return nil, err
+	}
+
+	if want.table1 {
+		fmt.Fprintln(w, s.Table1())
+	}
+	if want.table2 {
+		_, out, err := s.Table2()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(w, out)
+	}
+	if want.fig5 {
+		_, out, err := s.Figure5()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(w, out)
+	}
+	if want.fig6 {
+		_, out, err := s.Figure6()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(w, out)
+	}
+	if want.fig7 {
+		_, out, err := s.Figure7()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(w, out)
+	}
+	if want.fig8 {
+		_, out, err := s.Figure8(nil)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(w, out)
+	}
+	if want.sens {
+		sensNames := names
+		if len(sensNames) == 0 {
+			sensNames = []string{"pfscan", "water"}
+		}
+		_, out, err := harness.ProfileSensitivity(sensNames, 10)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(w, out)
+	}
+	if want.mhp {
+		_, out, err := s.FigureMHP()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(w, out)
+	}
+	if want.json {
+		return s.MeasureJSON(harness.MHPConfigNames)
+	}
+	return nil, nil
 }
 
 func fatal(err error) {

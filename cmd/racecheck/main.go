@@ -9,6 +9,9 @@
 //	racecheck -v prog.mc    # include racy node details
 //	racecheck -mhp prog.mc  # apply the static MHP refinement and report
 //	                        # kept vs pruned pairs with provenance
+//	racecheck -parallel 4 prog.mc
+//	                        # fan the summary computation over 4 workers;
+//	                        # output is byte-identical to -parallel 1
 package main
 
 import (
@@ -35,6 +38,7 @@ func run(args []string, out, errOut io.Writer) int {
 	verbose := fs.Bool("v", false, "verbose: list racy nodes and locksets")
 	showCFG := fs.Bool("cfg", false, "print each racy function's control-flow graph")
 	useMHP := fs.Bool("mhp", false, "apply the static may-happen-in-parallel refinement")
+	parallel := fs.Int("parallel", 1, "worker count for the summary computation (1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -57,7 +61,7 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, "racecheck:", err)
 		return 1
 	}
-	rep := relay.AnalyzeProgram(info)
+	rep := relay.AnalyzeProgramParallel(info, *parallel)
 	if *useMHP {
 		refined := mhp.Refine(rep)
 		fmt.Fprintf(out, "%s: %d potential race pairs, MHP kept %d, pruned %d\n",

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -65,31 +66,45 @@ type Config struct {
 	Seed       uint64 // record seed
 	ReplaySeed uint64
 	HeapWords  int64 // VM heap (smaller than default to keep memory modest)
+
+	// Parallel bounds the harness worker pool: benchmark preparation and
+	// independent benchmark × config measurement cells run on up to this
+	// many goroutines ( <=1 preserves the fully sequential path). Output
+	// ordering is independent of the value: results land in pre-indexed
+	// slots and every rendered table/figure/JSON row keeps its canonical
+	// order.
+	Parallel int
+
+	// NoCache disables the measurement and native-run caches, re-running
+	// every cell from scratch like the pre-cache harness. It exists for
+	// baseline wall-clock comparisons; results are identical either way.
+	NoCache bool
 }
 
-// Default returns the Table 2 configuration: 4 worker threads.
+// Default returns the Table 2 configuration: 4 worker threads, sequential
+// harness.
 func Default() Config {
-	return Config{Workers: 4, Seed: 1234, ReplaySeed: 987654, HeapWords: 1 << 19}
+	return Config{Workers: 4, Seed: 1234, ReplaySeed: 987654, HeapWords: 1 << 19, Parallel: 1}
 }
 
 // Prepared caches everything derivable from one benchmark independent of
 // the measured run: the analysis, the profile, and one instrumentation per
-// configuration.
+// configuration. The analysis artifact (Prog and its race reports) is
+// computed once and shared read-only across every config; Instrumented
+// additions are mutex-guarded so concurrent measurement cells of one
+// benchmark stay safe.
 type Prepared struct {
 	B    *bench.Benchmark
 	Prog *core.Program
 	Conc *profile.Concurrency
 	Inst map[string]*core.Instrumented
 
-	refined *relay.Report // lazy MHP-refined race report
+	mu sync.Mutex // guards lazy additions to Inst
 }
 
 // RefinedReport returns (computing once) the MHP-refined race report.
 func (p *Prepared) RefinedReport() *relay.Report {
-	if p.refined == nil {
-		p.refined = p.Prog.RefineMHP()
-	}
-	return p.refined
+	return p.Prog.RefinedRaces()
 }
 
 // ReportFor returns the race report a configuration instruments: the
@@ -106,6 +121,8 @@ func (p *Prepared) ReportFor(configName string) *relay.Report {
 // and caching it on first use. Prepare eagerly builds only the Figure 5
 // set; the MHP configurations are built here on demand.
 func (p *Prepared) Instrumented(configName string) (*core.Instrumented, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if ip, ok := p.Inst[configName]; ok {
 		return ip, nil
 	}
@@ -121,10 +138,27 @@ func (p *Prepared) Instrumented(configName string) (*core.Instrumented, error) {
 type Suite struct {
 	Cfg   Config
 	Items []*Prepared
+
+	// Analyses is the shared per-program analysis cache (stage 2 of the
+	// pipeline caching): every Prepared's Prog comes out of it, and reruns
+	// over the same sources hit instead of recomputing.
+	Analyses *core.Cache
+
+	// measured memoizes finished measurement cells (bench|config|workers):
+	// Table 2, Figures 5–8 and the JSON export overlap heavily, and every
+	// cell is deterministic, so each is measured once per suite.
+	measMu   sync.Mutex
+	measured map[string]*Measurement
+
+	// natives memoizes the uninstrumented baseline run per
+	// (bench, workers): it is config-independent.
+	natMu   sync.Mutex
+	natives map[string]*vm.Result
 }
 
 // NewSuite prepares the named benchmarks (all of them when names is
-// empty).
+// empty), fanning the per-benchmark preparation over cfg.Parallel workers.
+// Items keeps the canonical benchmark order regardless of parallelism.
 func NewSuite(cfg Config, names ...string) (*Suite, error) {
 	var list []*bench.Benchmark
 	if len(names) == 0 {
@@ -138,21 +172,73 @@ func NewSuite(cfg Config, names ...string) (*Suite, error) {
 			list = append(list, b)
 		}
 	}
-	s := &Suite{Cfg: cfg}
-	for _, b := range list {
-		p, err := Prepare(b)
+	s := &Suite{
+		Cfg:      cfg,
+		Analyses: core.NewCache(),
+		measured: make(map[string]*Measurement),
+		natives:  make(map[string]*vm.Result),
+	}
+	items := make([]*Prepared, len(list))
+	errs := make([]error, len(list))
+	s.forEach(len(list), func(i int) {
+		items[i], errs[i] = s.prepare(list[i])
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		s.Items = append(s.Items, p)
 	}
+	s.Items = items
 	return s, nil
 }
 
+// forEach runs fn(0..n-1) on a pool of cfg.Parallel goroutines (inline
+// when sequential).
+func (s *Suite) forEach(n int, fn func(i int)) {
+	workers := s.Cfg.Parallel
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
 // Prepare analyzes, profiles and instruments one benchmark under every
-// configuration.
+// configuration, standalone (no shared caches, sequential analysis).
 func Prepare(b *bench.Benchmark) (*Prepared, error) {
-	prog, err := core.Load(b.Name, b.FullSource())
+	return prepareWith(core.NewCache(), b, 1)
+}
+
+func (s *Suite) prepare(b *bench.Benchmark) (*Prepared, error) {
+	workers := s.Cfg.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	return prepareWith(s.Analyses, b, workers)
+}
+
+func prepareWith(cache *core.Cache, b *bench.Benchmark, workers int) (*Prepared, error) {
+	prog, err := cache.Load(b.Name, b.FullSource(), workers)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
@@ -208,18 +294,66 @@ type Measurement struct {
 }
 
 // Measure runs native + record + replay for one benchmark/config at the
-// given worker count.
+// given worker count. Cells are deterministic, so finished measurements
+// are memoized per (bench, config, workers) unless Cfg.NoCache is set;
+// the memo is safe for concurrent cells.
 func (s *Suite) Measure(p *Prepared, configName string, workers int) (*Measurement, error) {
+	if s.Cfg.NoCache || s.measured == nil {
+		return s.measure(p, configName, workers)
+	}
+	key := fmt.Sprintf("%s|%s|%d", p.B.Name, configName, workers)
+	s.measMu.Lock()
+	m, ok := s.measured[key]
+	s.measMu.Unlock()
+	if ok {
+		return m, nil
+	}
+	m, err := s.measure(p, configName, workers)
+	if err != nil {
+		return nil, err
+	}
+	s.measMu.Lock()
+	s.measured[key] = m
+	s.measMu.Unlock()
+	return m, nil
+}
+
+// native runs (and memoizes) the uninstrumented baseline for one
+// benchmark at a worker count; it is independent of the instrumentation
+// config.
+func (s *Suite) native(p *Prepared, workers int) (*vm.Result, error) {
+	key := fmt.Sprintf("%s|%d", p.B.Name, workers)
+	if !s.Cfg.NoCache && s.natives != nil {
+		s.natMu.Lock()
+		r, ok := s.natives[key]
+		s.natMu.Unlock()
+		if ok {
+			return r, nil
+		}
+	}
+	rcNative := core.RunConfig{World: p.B.EvalWorld(workers), Seed: s.Cfg.Seed, HeapWords: s.Cfg.HeapWords}
+	native := p.Prog.RunNative(rcNative)
+	if native.Err != nil {
+		return nil, fmt.Errorf("%s native: %w", p.B.Name, native.Err)
+	}
+	if !s.Cfg.NoCache && s.natives != nil {
+		s.natMu.Lock()
+		s.natives[key] = native
+		s.natMu.Unlock()
+	}
+	return native, nil
+}
+
+func (s *Suite) measure(p *Prepared, configName string, workers int) (*Measurement, error) {
 	ip, err := p.Instrumented(configName)
 	if err != nil {
 		return nil, err
 	}
 	m := &Measurement{Bench: p.B.Name, Config: configName}
 
-	rcNative := core.RunConfig{World: p.B.EvalWorld(workers), Seed: s.Cfg.Seed, HeapWords: s.Cfg.HeapWords}
-	native := p.Prog.RunNative(rcNative)
-	if native.Err != nil {
-		return nil, fmt.Errorf("%s native: %w", p.B.Name, native.Err)
+	native, err := s.native(p, workers)
+	if err != nil {
+		return nil, err
 	}
 	m.NativeMakespan = native.Makespan
 
@@ -264,6 +398,32 @@ func ratio(a, b int64) float64 {
 	return float64(a) / float64(b)
 }
 
+// Cell identifies one independent benchmark × config × workers
+// measurement.
+type Cell struct {
+	P       *Prepared
+	Config  string
+	Workers int
+}
+
+// MeasureCells measures every cell, fanning out over Cfg.Parallel workers.
+// Results keep the input order (slot-indexed), and the returned error is
+// the one from the lowest-index failing cell, so output and failures are
+// deterministic regardless of scheduling.
+func (s *Suite) MeasureCells(cells []Cell) ([]*Measurement, error) {
+	ms := make([]*Measurement, len(cells))
+	errs := make([]error, len(cells))
+	s.forEach(len(cells), func(i int) {
+		ms[i], errs[i] = s.Measure(cells[i].P, cells[i].Config, cells[i].Workers)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ms, nil
+}
+
 // ---------------------------------------------------------------------------
 // Table 1
 
@@ -285,13 +445,13 @@ func (s *Suite) Table1() string {
 // Table2 measures every benchmark in the "all" configuration at the
 // default worker count.
 func (s *Suite) Table2() ([]*Measurement, string, error) {
-	var ms []*Measurement
-	for _, p := range s.Items {
-		m, err := s.Measure(p, "all", s.Cfg.Workers)
-		if err != nil {
-			return nil, "", err
-		}
-		ms = append(ms, m)
+	cells := make([]Cell, len(s.Items))
+	for i, p := range s.Items {
+		cells[i] = Cell{P: p, Config: "all", Workers: s.Cfg.Workers}
+	}
+	ms, err := s.MeasureCells(cells)
+	if err != nil {
+		return nil, "", err
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Table 2: record and replay, %d worker threads, all optimizations\n", s.Cfg.Workers)
@@ -357,15 +517,21 @@ func (s *Suite) FigureMHP() ([]FigureRow, string, error) {
 }
 
 func (s *Suite) perConfig(configNames []string, metric func(*Measurement) float64) ([]FigureRow, error) {
-	var rows []FigureRow
+	var cells []Cell
 	for _, p := range s.Items {
-		row := FigureRow{Bench: p.B.Name, Values: make(map[string]float64)}
 		for _, cn := range configNames {
-			m, err := s.Measure(p, cn, s.Cfg.Workers)
-			if err != nil {
-				return nil, err
-			}
-			row.Values[cn] = metric(m)
+			cells = append(cells, Cell{P: p, Config: cn, Workers: s.Cfg.Workers})
+		}
+	}
+	ms, err := s.MeasureCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	var rows []FigureRow
+	for i, p := range s.Items {
+		row := FigureRow{Bench: p.B.Name, Values: make(map[string]float64)}
+		for j, cn := range configNames {
+			row.Values[cn] = metric(ms[i*len(configNames)+j])
 		}
 		rows = append(rows, row)
 	}
@@ -425,12 +591,17 @@ type Fig7Row struct {
 // Figure7 breaks recording overhead into logging and contention per
 // weak-lock granularity (all-optimizations configuration).
 func (s *Suite) Figure7() ([]Fig7Row, string, error) {
+	cells := make([]Cell, len(s.Items))
+	for i, p := range s.Items {
+		cells[i] = Cell{P: p, Config: "all", Workers: s.Cfg.Workers}
+	}
+	ms, err := s.MeasureCells(cells)
+	if err != nil {
+		return nil, "", err
+	}
 	var rows []Fig7Row
-	for _, p := range s.Items {
-		m, err := s.Measure(p, "all", s.Cfg.Workers)
-		if err != nil {
-			return nil, "", err
-		}
+	for i, p := range s.Items {
+		m := ms[i]
 		r := Fig7Row{Bench: p.B.Name}
 		for k := weaklock.Kind(0); k < weaklock.NumKinds; k++ {
 			r.Logging[k] = ratio(m.LogCycles[k], m.NativeMakespan)
@@ -469,15 +640,21 @@ func (s *Suite) Figure8(workerCounts []int) ([]Fig8Row, string, error) {
 	if len(workerCounts) == 0 {
 		workerCounts = []int{2, 4, 8}
 	}
-	var rows []Fig8Row
+	var cells []Cell
 	for _, p := range s.Items {
-		r := Fig8Row{Bench: p.B.Name, Overheads: make(map[int]float64)}
 		for _, wc := range workerCounts {
-			m, err := s.Measure(p, "all", wc)
-			if err != nil {
-				return nil, "", err
-			}
-			r.Overheads[wc] = m.RecordOverhead
+			cells = append(cells, Cell{P: p, Config: "all", Workers: wc})
+		}
+	}
+	ms, err := s.MeasureCells(cells)
+	if err != nil {
+		return nil, "", err
+	}
+	var rows []Fig8Row
+	for i, p := range s.Items {
+		r := Fig8Row{Bench: p.B.Name, Overheads: make(map[int]float64)}
+		for j, wc := range workerCounts {
+			r.Overheads[wc] = ms[i*len(workerCounts)+j].RecordOverhead
 		}
 		rows = append(rows, r)
 	}

@@ -2,57 +2,106 @@ package harness
 
 import (
 	"encoding/json"
+	"sort"
 )
 
 // JSONEntry is one benchmark/configuration data point in the
-// machine-readable benchmark export (BENCH_PR1.json and successors): the
-// static analysis volume (race pairs surviving refinement, weak locks
-// emitted) alongside the measured record/replay overheads.
+// machine-readable benchmark export (BENCH_PR*.json): the static analysis
+// volume (race pairs surviving refinement, weak locks emitted) alongside
+// the measured record/replay overheads and the wall-clock cost of the
+// shared analysis artifact.
 type JSONEntry struct {
-	Bench          string  `json:"bench"`
-	Config         string  `json:"config"`
-	StaticPairs    int     `json:"static_pairs"`
-	PrunedPairs    int     `json:"pruned_pairs"`
-	WeakLocks      int     `json:"weak_locks"`
+	Bench       string `json:"bench"`
+	Config      string `json:"config"`
+	StaticPairs int    `json:"static_pairs"`
+	PrunedPairs int    `json:"pruned_pairs"`
+	WeakLocks   int    `json:"weak_locks"`
+
+	// AnalysisWallNS is the wall-clock time spent computing this
+	// benchmark's shared analysis artifact (parse → points-to → callgraph
+	// → RELAY). With the analysis cache it is identical across every
+	// config row of one benchmark: the artifact was computed once and
+	// shared, not recomputed per config.
+	AnalysisWallNS int64 `json:"analysis_wall_ns"`
+
 	RecordOverhead float64 `json:"record_overhead"`
 	ReplayOverhead float64 `json:"replay_overhead"`
 	ReplayMatches  bool    `json:"replay_matches"`
 }
 
+// JSONReport is the machine-readable export document. Entries are sorted
+// by (bench, config) so the file diffs cleanly across PRs regardless of
+// measurement scheduling.
+type JSONReport struct {
+	// Parallel is the harness worker-pool bound the run used.
+	Parallel int `json:"parallel"`
+	// Workers is the evaluation (simulated) worker count of each cell.
+	Workers int `json:"workers"`
+
+	// HarnessWallNS is the wall-clock time of the full harness workload
+	// in this configuration. BaselineWallNS, when present, is the same
+	// workload re-run sequentially with all caches disabled (the pre-cache
+	// harness cost model); Speedup is their ratio.
+	HarnessWallNS  int64   `json:"harness_wall_ns"`
+	BaselineWallNS int64   `json:"baseline_wall_ns,omitempty"`
+	Speedup        float64 `json:"speedup,omitempty"`
+
+	Entries []JSONEntry `json:"entries"`
+}
+
 // MeasureJSON measures every prepared benchmark under the given
-// configurations and returns machine-readable entries.
+// configurations (cells fan out over Cfg.Parallel workers) and returns
+// machine-readable entries sorted by (bench, config).
 func (s *Suite) MeasureJSON(configNames []string) ([]JSONEntry, error) {
-	var out []JSONEntry
+	var cells []Cell
 	for _, p := range s.Items {
 		for _, cn := range configNames {
-			m, err := s.Measure(p, cn, s.Cfg.Workers)
-			if err != nil {
-				return nil, err
-			}
-			ip, err := p.Instrumented(cn)
-			if err != nil {
-				return nil, err
-			}
-			rep := p.ReportFor(cn)
-			out = append(out, JSONEntry{
-				Bench:          m.Bench,
-				Config:         m.Config,
-				StaticPairs:    len(rep.Pairs),
-				PrunedPairs:    len(rep.Pruned),
-				WeakLocks:      ip.Table.Len(),
-				RecordOverhead: m.RecordOverhead,
-				ReplayOverhead: m.ReplayOverhead,
-				ReplayMatches:  m.ReplayMatches,
-			})
+			cells = append(cells, Cell{P: p, Config: cn, Workers: s.Cfg.Workers})
 		}
 	}
+	ms, err := s.MeasureCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]JSONEntry, len(cells))
+	for i, c := range cells {
+		m := ms[i]
+		ip, err := c.P.Instrumented(c.Config)
+		if err != nil {
+			return nil, err
+		}
+		rep := c.P.ReportFor(c.Config)
+		out[i] = JSONEntry{
+			Bench:          m.Bench,
+			Config:         m.Config,
+			StaticPairs:    len(rep.Pairs),
+			PrunedPairs:    len(rep.Pruned),
+			WeakLocks:      ip.Table.Len(),
+			AnalysisWallNS: c.P.Prog.AnalysisWallNS,
+			RecordOverhead: m.RecordOverhead,
+			ReplayOverhead: m.ReplayOverhead,
+			ReplayMatches:  m.ReplayMatches,
+		}
+	}
+	SortEntries(out)
 	return out, nil
 }
 
-// RenderJSON serializes entries with stable formatting for checking into
-// the repository.
-func RenderJSON(entries []JSONEntry) ([]byte, error) {
-	b, err := json.MarshalIndent(entries, "", "  ")
+// SortEntries orders entries canonically by (bench, config).
+func SortEntries(entries []JSONEntry) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].Bench != entries[j].Bench {
+			return entries[i].Bench < entries[j].Bench
+		}
+		return entries[i].Config < entries[j].Config
+	})
+}
+
+// RenderJSON serializes a report with stable formatting for checking into
+// the repository; entries are (re)sorted canonically first.
+func RenderJSON(rep *JSONReport) ([]byte, error) {
+	SortEntries(rep.Entries)
+	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// update regenerates the golden files:
+// go test ./internal/bench/harness -run TestJSONSchemaGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// The machine-readable export schema — field names, nesting, and row
+// order — is pinned by a golden file so accidental schema drift shows up
+// as a test diff, not as a surprise to downstream consumers of
+// BENCH_PR*.json. Values here are synthetic; only the shape matters.
+func TestJSONSchemaGolden(t *testing.T) {
+	rep := &JSONReport{
+		Parallel:       4,
+		Workers:        4,
+		HarnessWallNS:  2_000_000,
+		BaselineWallNS: 5_000_000,
+		Speedup:        2.5,
+		Entries: []JSONEntry{
+			// Deliberately out of canonical order: RenderJSON must sort.
+			{
+				Bench: "radix", Config: "instr",
+				StaticPairs: 3, PrunedPairs: 0, WeakLocks: 2,
+				AnalysisWallNS: 1_000_000,
+				RecordOverhead: 1.25, ReplayOverhead: 1.10, ReplayMatches: true,
+			},
+			{
+				Bench: "aget", Config: "instr+mhp",
+				StaticPairs: 5, PrunedPairs: 2, WeakLocks: 4,
+				AnalysisWallNS: 1_500_000,
+				RecordOverhead: 1.50, ReplayOverhead: 1.20, ReplayMatches: true,
+			},
+			{
+				Bench: "aget", Config: "all",
+				StaticPairs: 7, PrunedPairs: 0, WeakLocks: 6,
+				AnalysisWallNS: 1_500_000,
+				RecordOverhead: 1.75, ReplayOverhead: 1.30, ReplayMatches: true,
+			},
+		},
+	}
+	got, err := RenderJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "json_schema.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (regenerate with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("JSON schema drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// MeasureJSON rows must come out sorted by (bench, config) with one row
+// per benchmark × config cell, and the analysis cache must make
+// analysis_wall_ns identical across every config row of one benchmark.
+func TestMeasureJSONRowOrder(t *testing.T) {
+	name := bench.All()[0].Name
+	s, err := NewSuite(Default(), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := s.MeasureJSON(MHPConfigNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(MHPConfigNames) {
+		t.Fatalf("got %d rows, want %d", len(entries), len(MHPConfigNames))
+	}
+	if !sort.SliceIsSorted(entries, func(i, j int) bool {
+		if entries[i].Bench != entries[j].Bench {
+			return entries[i].Bench < entries[j].Bench
+		}
+		return entries[i].Config < entries[j].Config
+	}) {
+		t.Errorf("rows not in canonical (bench, config) order: %+v", entries)
+	}
+	for _, e := range entries {
+		if e.Bench != name {
+			t.Errorf("unexpected bench %q", e.Bench)
+		}
+		if e.AnalysisWallNS != entries[0].AnalysisWallNS {
+			t.Errorf("analysis_wall_ns differs across configs of one benchmark: %d vs %d (cache not shared?)",
+				e.AnalysisWallNS, entries[0].AnalysisWallNS)
+		}
+		if !e.ReplayMatches {
+			t.Errorf("%s/%s: replay did not match recording", e.Bench, e.Config)
+		}
+	}
+}

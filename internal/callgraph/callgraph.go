@@ -220,6 +220,40 @@ func (g *Graph) computeSCCs() {
 	}
 }
 
+// Waves groups the SCC condensation into parallel scheduling waves: wave
+// k holds every SCC whose call edges (spawn edges excluded) reach only
+// SCCs in waves < k. SCCs within one wave are mutually call-independent,
+// so their summaries can be computed concurrently once every earlier wave
+// is done — the schedule RELAY itself used to distribute summary
+// computation across a cluster (Voung et al., FSE 2007 §5). Wave indices
+// and the SCC order within each wave are deterministic: both derive from
+// the bottom-up SCC order, which Tarjan emits deterministically from
+// Info.FuncList.
+func (g *Graph) Waves() [][]int {
+	level := make([]int, len(g.SCCs))
+	var waves [][]int
+	for i, scc := range g.SCCs {
+		lv := 0
+		for _, fn := range scc {
+			for _, callee := range g.CalleesOf(fn) {
+				ci := g.sccIndex[callee]
+				if ci == i {
+					continue // intra-SCC edge (recursion)
+				}
+				if level[ci]+1 > lv {
+					lv = level[ci] + 1
+				}
+			}
+		}
+		level[i] = lv
+		for len(waves) <= lv {
+			waves = append(waves, nil)
+		}
+		waves[lv] = append(waves[lv], i)
+	}
+	return waves
+}
+
 // BottomUp returns all functions in bottom-up order (callees before
 // callers), flattening the SCCs.
 func (g *Graph) BottomUp() []*types.FuncInfo {

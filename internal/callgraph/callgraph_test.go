@@ -147,3 +147,90 @@ int main(void) {
 		t.Errorf("spawn edges must not count as call reachability")
 	}
 }
+
+func TestWaves(t *testing.T) {
+	g := build(t, `
+int gv;
+int leaf1(int x) { return x; }
+int leaf2(int x) { return x + 1; }
+int mid(int x) { return leaf1(x) + leaf2(x); }
+int rec(int x) { if (x > 0) { return rec(x - 1); } return leaf1(x); }
+int main(void) { gv = mid(1) + rec(2); return gv; }
+`)
+	waves := g.Waves()
+
+	// Every SCC appears exactly once.
+	seen := make(map[int]bool)
+	for _, wave := range waves {
+		for _, scc := range wave {
+			if seen[scc] {
+				t.Fatalf("SCC %d scheduled twice", scc)
+			}
+			seen[scc] = true
+		}
+	}
+	if len(seen) != len(g.SCCs) {
+		t.Fatalf("waves cover %d SCCs, graph has %d", len(seen), len(g.SCCs))
+	}
+
+	// Wave invariant: every (non-intra-SCC) callee sits in a strictly
+	// earlier wave.
+	waveOf := make(map[int]int)
+	for wi, wave := range waves {
+		for _, scc := range wave {
+			waveOf[scc] = wi
+		}
+	}
+	for _, scc := range g.SCCs {
+		for _, fn := range scc {
+			for _, callee := range g.CalleesOf(fn) {
+				if g.SCCOf(callee) == g.SCCOf(fn) {
+					continue
+				}
+				if waveOf[g.SCCOf(callee)] >= waveOf[g.SCCOf(fn)] {
+					t.Errorf("callee %s (wave %d) not before caller %s (wave %d)",
+						callee.Name, waveOf[g.SCCOf(callee)], fn.Name, waveOf[g.SCCOf(fn)])
+				}
+			}
+		}
+	}
+
+	// Concrete shape: leaves in wave 0; mid and rec one wave later (rec's
+	// self-edge is intra-SCC); main last.
+	fnWave := func(name string) int { return waveOf[g.SCCOf(g.Info.Funcs[name])] }
+	if fnWave("leaf1") != 0 || fnWave("leaf2") != 0 {
+		t.Errorf("leaves in waves %d/%d, want 0/0", fnWave("leaf1"), fnWave("leaf2"))
+	}
+	if fnWave("mid") != 1 || fnWave("rec") != 1 {
+		t.Errorf("mid/rec in waves %d/%d, want 1/1", fnWave("mid"), fnWave("rec"))
+	}
+	if fnWave("main") != 2 {
+		t.Errorf("main in wave %d, want 2", fnWave("main"))
+	}
+
+	// Determinism: repeated builds produce identical wave schedules.
+	for i := 0; i < 3; i++ {
+		g2 := build(t, `
+int gv;
+int leaf1(int x) { return x; }
+int leaf2(int x) { return x + 1; }
+int mid(int x) { return leaf1(x) + leaf2(x); }
+int rec(int x) { if (x > 0) { return rec(x - 1); } return leaf1(x); }
+int main(void) { gv = mid(1) + rec(2); return gv; }
+`)
+		w2 := g2.Waves()
+		if len(w2) != len(waves) {
+			t.Fatalf("wave count varies: %d vs %d", len(w2), len(waves))
+		}
+		for wi := range waves {
+			if len(w2[wi]) != len(waves[wi]) {
+				t.Fatalf("wave %d size varies", wi)
+			}
+			for k := range waves[wi] {
+				if w2[wi][k] != waves[wi][k] {
+					t.Fatalf("wave %d entry %d varies: %d vs %d", wi, k, w2[wi][k], waves[wi][k])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package lexer_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/minic/lexer"
+	"repro/internal/minic/token"
+)
+
+// FuzzLexer asserts the lexer total on arbitrary byte strings: it must
+// terminate (bounded token count), never panic, and always finish with
+// EOF. Errors (returned via Errors) are fine — crashes are not.
+//
+// Run longer locally with:
+//
+//	go test ./internal/minic/lexer -fuzz FuzzLexer -fuzztime 30s
+func FuzzLexer(f *testing.F) {
+	for _, b := range bench.All() {
+		f.Add(b.FullSource())
+	}
+	f.Add("")
+	f.Add("int main(void) { return 0; }")
+	f.Add(`char *s = "unterminated`)
+	f.Add("'\\x4")
+	f.Add("// comment without newline")
+	f.Add("/* unterminated block")
+	f.Add("0x 0b2 1e+ 'ab' \"\\q\"")
+	f.Add("\x00\xff\x80 @ $ ` \\")
+	f.Fuzz(func(t *testing.T, src string) {
+		l := lexer.New(src)
+		// Every token consumes at least one byte, so len(src)+1 (for EOF)
+		// bounds the stream; anything beyond means the lexer stopped
+		// making progress.
+		max := len(src) + 2
+		n := 0
+		for {
+			tok := l.Next()
+			if tok.Kind == token.EOF {
+				break
+			}
+			n++
+			if n > max {
+				t.Fatalf("lexer emitted %d tokens for %d input bytes: no progress", n, len(src))
+			}
+		}
+		_ = l.Errors()
+	})
+}

@@ -1,0 +1,51 @@
+package parser_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/minic/ast"
+	"repro/internal/minic/parser"
+)
+
+// FuzzParser asserts two properties on arbitrary input:
+//
+//  1. Totality: Parse returns a *File or an error, never panics.
+//  2. Print fixpoint: any accepted program survives a
+//     parse → Print → parse round trip, and the second Print is
+//     byte-identical to the first (Print output is a fixpoint of the
+//     grammar). This is the property that keeps golden files and
+//     instrumented-source diffs stable.
+//
+// Run longer locally with:
+//
+//	go test ./internal/minic/parser -fuzz FuzzParser -fuzztime 30s
+func FuzzParser(f *testing.F) {
+	for _, b := range bench.All() {
+		f.Add(b.FullSource())
+	}
+	f.Add("")
+	f.Add("int main(void) { return 0; }")
+	f.Add("int g; void w(int x) { lock(&g); g = g + x; unlock(&g); }")
+	f.Add("int main(void) { int t = spawn(w, 1); join(t); return 0; }")
+	f.Add("struct p { int x; int y; }; int main(void) { struct p q; q.x = 1; return q.x; }")
+	f.Add("int a[10]; int main(void) { for (int i = 0; i < 10; i = i + 1) a[i] = i; return a[3]; }")
+	f.Add("int main(void) { if (1) { } else while (0) ; return (1 ? 2 : 3); }")
+	f.Add("int f(int")
+	f.Add("void f(void) { x = ; }")
+	f.Add("{ } ; ; int 3bad")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := parser.Parse("fuzz.mc", src)
+		if err != nil {
+			return // rejected input; only crashes count
+		}
+		printed := ast.Print(file)
+		reparsed, err := parser.Parse("fuzz-reprint.mc", printed)
+		if err != nil {
+			t.Fatalf("Print emitted unparsable source: %v\n--- printed ---\n%s\n--- original ---\n%s", err, printed, src)
+		}
+		if again := ast.Print(reparsed); again != printed {
+			t.Fatalf("Print is not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", printed, again)
+		}
+	})
+}

@@ -825,15 +825,23 @@ func runSteensgaard(a *Analysis) *steensgaard {
 			st.setPointee(o, int(p))
 		}
 	}
+	// Fully compress so post-construction finds never write: queries run
+	// concurrently once the analysis is shared across pipeline workers.
+	for i := range st.parent {
+		st.parent[i] = st.find(i)
+	}
 	return st
 }
 
 func (st *steensgaard) find(x int) int {
-	for st.parent[x] != x {
-		st.parent[x] = st.parent[st.parent[x]]
-		x = st.parent[x]
+	root := x
+	for st.parent[root] != root {
+		root = st.parent[root]
 	}
-	return x
+	for st.parent[x] != root {
+		x, st.parent[x] = st.parent[x], root
+	}
+	return root
 }
 
 func (st *steensgaard) union(x, y int) {

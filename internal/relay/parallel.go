@@ -1,0 +1,143 @@
+package relay
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/callgraph"
+	"repro/internal/minic/types"
+	"repro/internal/pointsto"
+)
+
+// Parallel summary computation.
+//
+// RELAY's bottom-up composition is embarrassingly parallel across the
+// callgraph SCC condensation: a summary depends only on the summaries of
+// its callee SCCs, so all SCCs of one condensation wave (callgraph.Waves)
+// can be analyzed concurrently, with the per-SCC fixpoint iteration kept
+// sequential inside its worker. The original RELAY distributed exactly
+// this schedule across a cluster (Voung et al., FSE 2007 §5); here it is a
+// bounded worker pool.
+//
+// Determinism: a summary is a pure function of the function body and the
+// (completed) callee summaries, and each wave ends with a full barrier, so
+// the summaries — and therefore the Report — are byte-identical to the
+// sequential walk no matter how workers interleave. The only shared
+// mutable state during a wave is each worker's own Summary structs; the
+// summaries map itself is fully populated before the first wave starts.
+
+// AnalyzeParallel runs the full RELAY pipeline with summary computation
+// distributed over at most `workers` goroutines. workers <= 1 selects the
+// sequential post-order walk; any value yields an identical Report.
+func AnalyzeParallel(info *types.Info, pta *pointsto.Analysis, cg *callgraph.Graph, workers int) *Report {
+	rl := &analyzer{
+		info:      info,
+		pta:       pta,
+		cg:        cg,
+		summaries: make(map[*types.FuncInfo]*Summary),
+	}
+	if workers <= 1 {
+		rl.computeSummaries()
+	} else if err := rl.computeSummariesParallel(workers); err != nil {
+		// No production error sources exist (errors come only from the
+		// test-only fault hook), so this is unreachable outside tests.
+		panic(fmt.Sprintf("relay: parallel summary computation failed: %v", err))
+	}
+	return rl.detectRaces()
+}
+
+// computeSummariesParallel is the wave-scheduled counterpart of
+// computeSummaries. It returns the first error in canonical order (see
+// below); nil in normal operation.
+func (rl *analyzer) computeSummariesParallel(workers int) error {
+	// Pre-create every summary sequentially so the map is never written
+	// during the concurrent phase: workers mutate only the Summary structs
+	// of their own SCC and read completed callee summaries.
+	for _, scc := range rl.cg.SCCs {
+		for _, fn := range scc {
+			rl.summaries[fn] = &Summary{Fn: fn, accessKeys: make(map[string]bool)}
+		}
+	}
+
+	// errSCC holds the smallest SCC index that produced an error
+	// (math.MaxInt64 = none). An error cancels all outstanding work with a
+	// higher SCC index; lower-index SCCs of the same wave still run, so
+	// the surfaced error is deterministic: the least-index fault of the
+	// first faulty wave — exactly the error the sequential walk would hit
+	// first.
+	errSCC := int64(math.MaxInt64)
+	var errMu sync.Mutex
+	errs := make(map[int64]error)
+	record := func(scc int, err error) {
+		errMu.Lock()
+		errs[int64(scc)] = err
+		errMu.Unlock()
+		for {
+			cur := atomic.LoadInt64(&errSCC)
+			if int64(scc) >= cur || atomic.CompareAndSwapInt64(&errSCC, cur, int64(scc)) {
+				return
+			}
+		}
+	}
+
+	for _, wave := range rl.cg.Waves() {
+		if atomic.LoadInt64(&errSCC) != math.MaxInt64 {
+			break // a previous wave failed: later waves never start
+		}
+		n := workers
+		if n > len(wave) {
+			n = len(wave)
+		}
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for scc := range jobs {
+					if int64(scc) > atomic.LoadInt64(&errSCC) {
+						continue // cancelled: a lower-index SCC failed
+					}
+					if err := rl.analyzeSCC(scc); err != nil {
+						record(scc, err)
+					}
+				}
+			}()
+		}
+		for _, scc := range wave {
+			jobs <- scc
+		}
+		close(jobs)
+		wg.Wait() // wave barrier: publishes this wave's summaries
+	}
+
+	if first := atomic.LoadInt64(&errSCC); first != math.MaxInt64 {
+		return fmt.Errorf("scc %d: %w", first, errs[first])
+	}
+	return nil
+}
+
+// analyzeSCC iterates one SCC's summaries to a fixpoint (the sequential
+// inner loop of computeSummaries).
+func (rl *analyzer) analyzeSCC(i int) error {
+	if rl.sccFault != nil {
+		if err := rl.sccFault(i); err != nil {
+			return err
+		}
+	}
+	scc := rl.cg.SCCs[i]
+	for iter := 0; iter < 5; iter++ {
+		changed := false
+		for _, fn := range scc {
+			if rl.analyzeFunc(fn) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return nil
+}

@@ -139,24 +139,26 @@ func (r *Report) RacyPartners(n ast.NodeID) []ast.NodeID {
 	return out
 }
 
-// Analyze runs the full RELAY pipeline.
+// Analyze runs the full RELAY pipeline with the sequential bottom-up
+// summary walk. AnalyzeParallel distributes the walk over SCC waves and
+// produces a byte-identical Report.
 func Analyze(info *types.Info, pta *pointsto.Analysis, cg *callgraph.Graph) *Report {
-	rl := &analyzer{
-		info:      info,
-		pta:       pta,
-		cg:        cg,
-		summaries: make(map[*types.FuncInfo]*Summary),
-	}
-	rl.computeSummaries()
-	return rl.detectRaces()
+	return AnalyzeParallel(info, pta, cg, 1)
 }
 
 // AnalyzeProgram is a convenience wrapper building all prerequisite
 // analyses from a type-checked file.
 func AnalyzeProgram(info *types.Info) *Report {
+	return AnalyzeProgramParallel(info, 1)
+}
+
+// AnalyzeProgramParallel is AnalyzeProgram with the summary computation
+// fanned over the given number of workers; the report is byte-identical
+// for every worker count.
+func AnalyzeProgramParallel(info *types.Info, workers int) *Report {
 	pta := pointsto.Analyze(info)
 	cg := callgraph.Build(info, pta)
-	return Analyze(info, pta, cg)
+	return AnalyzeParallel(info, pta, cg, workers)
 }
 
 // ---------------------------------------------------------------------------
@@ -202,6 +204,11 @@ type analyzer struct {
 	pta       *pointsto.Analysis
 	cg        *callgraph.Graph
 	summaries map[*types.FuncInfo]*Summary
+
+	// sccFault, when non-nil, is invoked before each SCC's fixpoint in the
+	// parallel scheduler; a non-nil return aborts the analysis. Test-only:
+	// it exists to exercise mid-wave error cancellation.
+	sccFault func(scc int) error
 }
 
 const maxSummaryAccesses = 200000

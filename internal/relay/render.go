@@ -1,0 +1,40 @@
+package relay
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render serializes the report deterministically: race pairs in canonical
+// (sorted) order with roots and locksets, pruned pairs with provenance,
+// and per-function summary volumes in bottom-up callgraph order. Two
+// reports over the same program render byte-identically iff the analysis
+// results agree, which is what the determinism-under-parallelism tests
+// diff between sequential and parallel runs.
+func (r *Report) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pairs: %d\n", len(r.Pairs))
+	for _, p := range r.Pairs {
+		fmt.Fprintf(&sb, "  %s\n", renderPair(p))
+	}
+	fmt.Fprintf(&sb, "pruned: %d\n", len(r.Pruned))
+	for _, pp := range r.Pruned {
+		fmt.Fprintf(&sb, "  %-13s %s\n", pp.Reason, renderPair(pp.Pair))
+	}
+	fmt.Fprintf(&sb, "summaries:\n")
+	for _, fn := range r.CG.BottomUp() {
+		sum := r.Summaries[fn]
+		if sum == nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %s: %d accesses net+%v net-%v\n",
+			fn.Name, len(sum.Accesses), sum.NetPlus, sum.NetMinus)
+	}
+	return sb.String()
+}
+
+func renderPair(p *RacePair) string {
+	return fmt.Sprintf("%s@%s:%s n%d [w=%v ls=%v] <-> %s@%s:%s n%d [w=%v ls=%v]",
+		p.RootA.Name, p.A.Fn.Name, p.A.Pos, p.A.Node, p.A.Write, p.A.Lockset,
+		p.RootB.Name, p.B.Fn.Name, p.B.Pos, p.B.Node, p.B.Write, p.B.Lockset)
+}
