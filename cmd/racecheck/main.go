@@ -3,6 +3,11 @@
 // summaries on request. Output is deterministic (pairs are ordered by
 // source position), so it can be diffed across runs.
 //
+// With -certify it also runs the Chimera weak-lock instrumentation and
+// the static translation validator (internal/certify) over the result,
+// printing the certificate verdict and exiting nonzero unless coverage,
+// balance and lock-order checks all pass.
+//
 // Usage:
 //
 //	racecheck prog.mc
@@ -12,6 +17,17 @@
 //	racecheck -parallel 4 prog.mc
 //	                        # fan the summary computation over 4 workers;
 //	                        # output is byte-identical to -parallel 1
+//	racecheck -certify prog.mc
+//	                        # instrument (default config "all") and certify
+//	racecheck -certify -config instr -mhp prog.mc
+//	                        # certify a specific config over the refined report
+//	racecheck -certify -instrumented inst.mc prog.mc
+//	                        # certify a pre-instrumented file against
+//	                        # prog.mc's race report (translation validation
+//	                        # of external or hand-edited output)
+//	racecheck -certify -bench all -certout certs/
+//	                        # certify every embedded benchmark (or one, by
+//	                        # name) and write the JSON certificates to a dir
 package main
 
 import (
@@ -19,9 +35,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
+	"repro/internal/bench"
+	"repro/internal/certify"
 	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/instrument"
 	"repro/internal/mhp"
 	"repro/internal/minic/parser"
 	"repro/internal/minic/types"
@@ -32,6 +54,23 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// optionsFor maps a configuration name (without the "+mhp" suffix) to
+// instrumenter options; it mirrors the bench harness's configuration
+// vocabulary.
+func optionsFor(name string) (instrument.Options, bool) {
+	switch name {
+	case "instr":
+		return instrument.NaiveOptions(), true
+	case "instr+func":
+		return instrument.Options{FuncLocks: true}, true
+	case "instr+loop":
+		return instrument.Options{LoopLocks: true, LoopBodyThreshold: 14}, true
+	case "all":
+		return instrument.AllOptions(), true
+	}
+	return instrument.Options{}, false
+}
+
 func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("racecheck", flag.ContinueOnError)
 	fs.SetOutput(errOut)
@@ -39,9 +78,33 @@ func run(args []string, out, errOut io.Writer) int {
 	showCFG := fs.Bool("cfg", false, "print each racy function's control-flow graph")
 	useMHP := fs.Bool("mhp", false, "apply the static may-happen-in-parallel refinement")
 	parallel := fs.Int("parallel", 1, "worker count for the summary computation (1 = sequential)")
+	doCertify := fs.Bool("certify", false, "instrument and run the static DRF/deadlock-freedom certifier")
+	config := fs.String("config", "all", "instrumentation config for -certify: instr, instr+func, instr+loop, all")
+	certOut := fs.String("certout", "", "directory to write certificate JSON files to (with -certify)")
+	instrumented := fs.String("instrumented", "", "pre-instrumented source to certify against the original's report (with -certify)")
+	benchName := fs.String("bench", "", "certify an embedded benchmark by name, or \"all\" (with -certify)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	opts, okConfig := optionsFor(*config)
+	if *doCertify && !okConfig {
+		fmt.Fprintf(errOut, "racecheck: unknown -config %q\n", *config)
+		return 2
+	}
+	label := *config
+	if *useMHP {
+		label += "+mhp"
+	}
+
+	if *benchName != "" {
+		if !*doCertify || fs.NArg() != 0 || *instrumented != "" {
+			fs.Usage()
+			return 2
+		}
+		return runBench(*benchName, label, opts, *useMHP, *certOut, out, errOut)
+	}
+
 	if fs.NArg() != 1 {
 		fs.Usage()
 		return 2
@@ -116,6 +179,107 @@ func run(args []string, out, errOut io.Writer) int {
 			loops := g.NaturalLoops()
 			fmt.Fprintf(out, "  %d natural loop(s)\n", len(loops))
 		}
+	}
+
+	if !*doCertify {
+		return 0
+	}
+
+	// Certification: validate the instrumented output (either freshly
+	// produced here, or a pre-instrumented file given explicitly)
+	// against the report computed above.
+	name := strings.TrimSuffix(filepath.Base(fs.Arg(0)), filepath.Ext(fs.Arg(0)))
+	var instSrc string
+	if *instrumented != "" {
+		b, err := os.ReadFile(*instrumented)
+		if err != nil {
+			fmt.Fprintln(errOut, "racecheck:", err)
+			return 1
+		}
+		instSrc = string(b)
+	} else {
+		res, err := instrument.Instrument(rep, nil, opts)
+		if err != nil {
+			fmt.Fprintln(errOut, "racecheck: instrument:", err)
+			return 1
+		}
+		instSrc = res.Source
+	}
+	cert, err := certify.Certify(rep, instSrc, name, label)
+	if err != nil {
+		fmt.Fprintln(errOut, "racecheck: certify:", err)
+		return 1
+	}
+	return reportCert(cert, *certOut, out, errOut)
+}
+
+// runBench certifies embedded benchmarks: the full pipeline (analysis,
+// profile, instrumentation) runs per benchmark and the instrumented
+// output is certified against the same report it was derived from.
+func runBench(name, label string, opts instrument.Options, useMHP bool, certOut string, out, errOut io.Writer) int {
+	var list []*bench.Benchmark
+	if name == "all" {
+		list = bench.All()
+	} else {
+		b := bench.ByName(name)
+		if b == nil {
+			fmt.Fprintf(errOut, "racecheck: unknown benchmark %q\n", name)
+			return 2
+		}
+		list = []*bench.Benchmark{b}
+	}
+	status := 0
+	for _, b := range list {
+		prog, err := core.Load(b.Name, b.FullSource())
+		if err != nil {
+			fmt.Fprintf(errOut, "racecheck: %s: %v\n", b.Name, err)
+			return 1
+		}
+		rep := prog.Races
+		if useMHP {
+			rep = prog.RefinedRaces()
+		}
+		conc := prog.ProfileNonConcurrency(b.ProfileWorld, b.ProfileRuns, 10_000)
+		ip, err := prog.InstrumentWith(rep, conc, opts)
+		if err != nil {
+			fmt.Fprintf(errOut, "racecheck: %s: %v\n", b.Name, err)
+			return 1
+		}
+		cert, _, err := ip.Certify(label)
+		if err != nil {
+			fmt.Fprintf(errOut, "racecheck: %s: certify: %v\n", b.Name, err)
+			return 1
+		}
+		if rc := reportCert(cert, certOut, out, errOut); rc != 0 {
+			status = rc
+		}
+	}
+	return status
+}
+
+// reportCert prints the verdict, optionally writes the JSON certificate,
+// and returns the process exit status the certificate warrants.
+func reportCert(cert *certify.Certificate, certOut string, out, errOut io.Writer) int {
+	fmt.Fprintln(out, cert.Summary())
+	data, err := certify.Render(cert)
+	if err != nil {
+		fmt.Fprintln(errOut, "racecheck: render certificate:", err)
+		return 1
+	}
+	if certOut != "" {
+		if err := os.MkdirAll(certOut, 0o755); err != nil {
+			fmt.Fprintln(errOut, "racecheck:", err)
+			return 1
+		}
+		fname := fmt.Sprintf("%s_%s.cert.json", cert.Program, strings.ReplaceAll(cert.Config, "+", "_"))
+		if err := os.WriteFile(filepath.Join(certOut, fname), data, 0o644); err != nil {
+			fmt.Fprintln(errOut, "racecheck:", err)
+			return 1
+		}
+	}
+	if !cert.OK {
+		fmt.Fprint(errOut, string(data))
+		return 1
 	}
 	return 0
 }

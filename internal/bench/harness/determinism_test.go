@@ -111,8 +111,9 @@ func TestSuiteDeterministicUnderParallelism(t *testing.T) {
 	}
 	for i := range seqEntries {
 		a, b := seqEntries[i], parEntries[i]
-		// AnalysisWallNS is a timing, not an analysis result.
+		// Wall-clock fields are timings, not analysis results.
 		a.AnalysisWallNS, b.AnalysisWallNS = 0, 0
+		a.CertifyWallNS, b.CertifyWallNS = 0, 0
 		if a != b {
 			t.Errorf("row %d differs:\nsequential: %+v\nparallel:   %+v", i, a, b)
 		}

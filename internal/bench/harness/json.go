@@ -27,6 +27,14 @@ type JSONEntry struct {
 	RecordOverhead float64 `json:"record_overhead"`
 	ReplayOverhead float64 `json:"replay_overhead"`
 	ReplayMatches  bool    `json:"replay_matches"`
+
+	// Certified reports whether the static DRF/deadlock-freedom certifier
+	// (internal/certify) validated this row's instrumented output against
+	// its race report; CertifyWallNS is the certifier's wall-clock cost
+	// (one-time per benchmark × config, memoized alongside the
+	// instrumentation).
+	Certified     bool  `json:"certified"`
+	CertifyWallNS int64 `json:"certify_wall_ns"`
 }
 
 // JSONReport is the machine-readable export document. Entries are sorted
@@ -71,6 +79,10 @@ func (s *Suite) MeasureJSON(configNames []string) ([]JSONEntry, error) {
 			return nil, err
 		}
 		rep := c.P.ReportFor(c.Config)
+		cert, certWall, err := ip.Certify(c.Config)
+		if err != nil {
+			return nil, err
+		}
 		out[i] = JSONEntry{
 			Bench:          m.Bench,
 			Config:         m.Config,
@@ -81,6 +93,8 @@ func (s *Suite) MeasureJSON(configNames []string) ([]JSONEntry, error) {
 			RecordOverhead: m.RecordOverhead,
 			ReplayOverhead: m.ReplayOverhead,
 			ReplayMatches:  m.ReplayMatches,
+			Certified:      cert.OK,
+			CertifyWallNS:  certWall,
 		}
 	}
 	SortEntries(out)

@@ -33,18 +33,21 @@ func TestJSONSchemaGolden(t *testing.T) {
 				StaticPairs: 3, PrunedPairs: 0, WeakLocks: 2,
 				AnalysisWallNS: 1_000_000,
 				RecordOverhead: 1.25, ReplayOverhead: 1.10, ReplayMatches: true,
+				Certified: true, CertifyWallNS: 400_000,
 			},
 			{
 				Bench: "aget", Config: "instr+mhp",
 				StaticPairs: 5, PrunedPairs: 2, WeakLocks: 4,
 				AnalysisWallNS: 1_500_000,
 				RecordOverhead: 1.50, ReplayOverhead: 1.20, ReplayMatches: true,
+				Certified: true, CertifyWallNS: 500_000,
 			},
 			{
 				Bench: "aget", Config: "all",
 				StaticPairs: 7, PrunedPairs: 0, WeakLocks: 6,
 				AnalysisWallNS: 1_500_000,
 				RecordOverhead: 1.75, ReplayOverhead: 1.30, ReplayMatches: true,
+				Certified: true, CertifyWallNS: 600_000,
 			},
 		},
 	}
@@ -105,6 +108,12 @@ func TestMeasureJSONRowOrder(t *testing.T) {
 		}
 		if !e.ReplayMatches {
 			t.Errorf("%s/%s: replay did not match recording", e.Bench, e.Config)
+		}
+		if !e.Certified {
+			t.Errorf("%s/%s: instrumented output failed certification", e.Bench, e.Config)
+		}
+		if e.CertifyWallNS <= 0 {
+			t.Errorf("%s/%s: certify_wall_ns = %d, want > 0", e.Bench, e.Config, e.CertifyWallNS)
 		}
 	}
 }

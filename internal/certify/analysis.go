@@ -1,0 +1,701 @@
+package certify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cfg"
+	"repro/internal/minic/ast"
+	"repro/internal/minic/types"
+	"repro/internal/weaklock"
+)
+
+// Lock node names in the order graph: weak-locks are identified by their
+// table ID alone ("wl:7") because the VM's mutual exclusion is per-ID —
+// the same component lock can be acquired at loop granularity at one
+// site and instruction granularity at another. Real mutexes are keyed by
+// the printed text of their lock() argument ("mu:&m"); two different
+// addresses with identical text conservatively merge into one node
+// (over-approximate, so spurious merging can only add edges, never hide
+// a cycle between distinctly-named locks).
+
+// weakEntry is one held weak-lock in acquisition order. kind is the
+// granularity of the FIRST (non-reentrant) acquire — a site attribute
+// the VM remembers for its discipline check — and depth counts
+// reentrant acquires of the same ID.
+type weakEntry struct {
+	id    int64
+	kind  int64
+	depth int
+}
+
+// state is the abstract held-lock state at a program point: the stack of
+// held weak-locks (must-held: joins require equality, mismatches fail
+// closed) and the may-held set of real mutexes (joins take the union —
+// branch-dependent mutex usage in the original program is legal and must
+// not fail balance; the union only over-approximates order edges).
+type state struct {
+	weak []weakEntry
+	mu   map[string]bool
+}
+
+func newState() *state {
+	return &state{mu: make(map[string]bool)}
+}
+
+func (s *state) clone() *state {
+	c := &state{weak: make([]weakEntry, len(s.weak)), mu: make(map[string]bool, len(s.mu))}
+	copy(c.weak, s.weak)
+	for k := range s.mu {
+		c.mu[k] = true
+	}
+	return c
+}
+
+func weakEqual(a, b []weakEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// weakIDs returns the held weak-lock IDs, sorted, for coverage
+// snapshots.
+func (s *state) weakIDs() []int64 {
+	if len(s.weak) == 0 {
+		return nil
+	}
+	ids := make([]int64, len(s.weak))
+	for i, e := range s.weak {
+		ids[i] = e.id
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// heldNames returns order-graph node names for everything held.
+func (s *state) heldNames() []string {
+	var names []string
+	for _, e := range s.weak {
+		names = append(names, weakName(e.id))
+	}
+	for m := range s.mu {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func weakName(id int64) string    { return fmt.Sprintf("wl:%d", id) }
+func mutexName(arg string) string { return "mu:" + arg }
+
+// fnAnalysis holds the per-function dataflow results the coverage check
+// consumes: the CFG and, for every reachable simple statement and branch
+// condition, the weak-lock IDs held when it executes.
+type fnAnalysis struct {
+	fn *types.FuncInfo
+	g  *cfg.Graph
+
+	// stmtHeld maps each reachable simple statement to the weak-lock IDs
+	// held when the statement executes (state after any preceding
+	// wl_acquire in the same block). condHeld does the same for branch
+	// condition expressions, which evaluate in the block's exit state.
+	stmtHeld map[ast.Stmt][]int64
+	condHeld map[ast.Expr][]int64
+}
+
+// analysis is the whole-program result of the balance/order pass.
+type analysis struct {
+	info  *types.Info
+	funcs []*fnAnalysis
+
+	// summaries maps function name -> transitively acquired lock names
+	// (weak and mutex), for interprocedural order edges at call sites.
+	summaries map[string]map[string]bool
+
+	// Order graph.
+	lockNodes map[string]bool
+	edges     map[[2]string]bool
+
+	balanceViolations []string
+	timeoutReliant    map[string]bool
+}
+
+// analyze runs balance/order over every function of the reparsed
+// instrumented program. Everything is iterated in declaration order so
+// results (and their diagnostics) are deterministic.
+func analyze(info *types.Info) *analysis {
+	a := &analysis{
+		info:           info,
+		summaries:      make(map[string]map[string]bool),
+		lockNodes:      make(map[string]bool),
+		edges:          make(map[[2]string]bool),
+		timeoutReliant: make(map[string]bool),
+	}
+	a.buildSummaries()
+	for _, fi := range info.FuncList {
+		if fi.Decl == nil {
+			continue
+		}
+		a.funcs = append(a.funcs, a.analyzeFn(fi))
+	}
+	return a
+}
+
+// --- interprocedural acquire summaries ---
+
+// buildSummaries computes, for every function, the set of lock names it
+// may acquire transitively through direct calls. Spawned thread bodies
+// are excluded: a child thread's acquires do not nest inside the
+// spawner's held locks.
+func (a *analysis) buildSummaries() {
+	direct := make(map[string]map[string]bool) // fn -> syntactic acquires
+	callees := make(map[string][]string)       // fn -> direct callees
+	for _, fi := range a.info.FuncList {
+		if fi.Decl == nil {
+			continue
+		}
+		acq := make(map[string]bool)
+		var outs []string
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.Call)
+			if !ok {
+				return true
+			}
+			obj := a.info.CallTargets[call.ID()]
+			if obj == nil {
+				return true
+			}
+			switch obj.Kind {
+			case types.ObjFunc:
+				outs = append(outs, obj.Name)
+			case types.ObjBuiltin:
+				switch obj.Builtin {
+				case types.BWlAcquire:
+					if id, _, ok := wlArgs(call); ok {
+						acq[weakName(id)] = true
+					}
+				case types.BLock:
+					if len(call.Args) == 1 {
+						acq[mutexName(ast.PrintExpr(call.Args[0]))] = true
+					}
+				case types.BSpawn:
+					// Do not descend into the spawned function; its
+					// argument expressions still get visited below.
+					return true
+				}
+			}
+			return true
+		})
+		direct[fi.Name] = acq
+		callees[fi.Name] = outs
+	}
+
+	// Transitive closure, iterated in declaration order to a fixpoint.
+	for name, acq := range direct {
+		cp := make(map[string]bool, len(acq))
+		for k := range acq {
+			cp[k] = true
+		}
+		a.summaries[name] = cp
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range a.info.FuncList {
+			if fi.Decl == nil {
+				continue
+			}
+			sum := a.summaries[fi.Name]
+			for _, callee := range callees[fi.Name] {
+				for lock := range a.summaries[callee] {
+					if !sum[lock] {
+						sum[lock] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// wlArgs extracts the constant (id, kind) of a wl_acquire/wl_release
+// call. The instrumenter always emits integer literals here; anything
+// else is unanalyzable and the caller fails closed.
+func wlArgs(call *ast.Call) (id, kind int64, ok bool) {
+	if len(call.Args) < 2 {
+		return 0, 0, false
+	}
+	k, ok1 := call.Args[0].(*ast.IntLit)
+	i, ok2 := call.Args[1].(*ast.IntLit)
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	return i.Value, k.Value, true
+}
+
+// --- per-function dataflow ---
+
+func (a *analysis) analyzeFn(fi *types.FuncInfo) *fnAnalysis {
+	fa := &fnAnalysis{
+		fn:       fi,
+		g:        cfg.Build(fi.Decl),
+		stmtHeld: make(map[ast.Stmt][]int64),
+		condHeld: make(map[ast.Expr][]int64),
+	}
+	g := fa.g
+
+	// Blocks reachable from entry; unreachable blocks (e.g. dead code
+	// after a return, which can contain the instrumenter's dead releases)
+	// never execute and are excluded from every check.
+	reach := make(map[*cfg.Block]bool)
+	var dfs func(*cfg.Block)
+	dfs = func(b *cfg.Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+	}
+	dfs(g.Entry)
+
+	rpo := g.ReversePostOrder()
+	out := make(map[*cfg.Block]*state)
+
+	inState := func(b *cfg.Block) *state {
+		if b == g.Entry {
+			return newState()
+		}
+		var st *state
+		for _, p := range b.Preds {
+			ps := out[p]
+			if ps == nil {
+				continue
+			}
+			if st == nil {
+				st = ps.clone()
+				continue
+			}
+			// Mutex may-join; the weak must-join equality check is
+			// deferred to the reporting pass below so each mismatch is
+			// reported exactly once, from the fixpoint states.
+			for m := range ps.mu {
+				st.mu[m] = true
+			}
+		}
+		if st == nil {
+			st = newState()
+		}
+		return st
+	}
+
+	// Fixpoint (silent): the weak component stabilizes after one pass —
+	// its join just adopts the first available predecessor — and the
+	// mutex may-sets grow monotonically.
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			st := inState(b)
+			a.transfer(fa, b, st, false)
+			prev := out[b]
+			if prev == nil || !weakEqual(prev.weak, st.weak) || !mutexEqual(prev.mu, st.mu) {
+				out[b] = st
+				changed = true
+			}
+		}
+	}
+
+	// Reporting pass over the stabilized states, in block-ID order for
+	// deterministic diagnostics.
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		if b == g.Exit {
+			// Every path into exit must have released all weak-locks.
+			for _, p := range b.Preds {
+				ps := out[p]
+				if ps == nil {
+					continue
+				}
+				for _, e := range ps.weak {
+					a.balancef("%s: %s held at exit of %s", fi.Name, weakName(e.id), fi.Name)
+				}
+			}
+			continue
+		}
+		// Fail-closed join check: all predecessors must agree on the
+		// held weak-lock stack.
+		var first *state
+		var firstPred *cfg.Block
+		for _, p := range b.Preds {
+			ps := out[p]
+			if ps == nil {
+				continue
+			}
+			if first == nil {
+				first, firstPred = ps, p
+				continue
+			}
+			if !weakEqual(first.weak, ps.weak) {
+				a.balancef("%s: mismatched weak-lock held-sets at join (block %d): [%s] from block %d vs [%s] from block %d",
+					fi.Name, b.ID, weakStackString(first.weak), firstPred.ID, weakStackString(ps.weak), p.ID)
+			}
+		}
+		st := inState(b)
+		a.transfer(fa, b, st, true)
+	}
+	return fa
+}
+
+func mutexEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func weakStackString(ws []weakEntry) string {
+	parts := make([]string, len(ws))
+	for i, e := range ws {
+		parts[i] = weakName(e.id)
+	}
+	return strings.Join(parts, " ")
+}
+
+// transfer interprets one block's statements and branch conditions over
+// st. When rec is set it records coverage snapshots, balance violations,
+// discipline (timeout-reliance) findings and order-graph edges; the
+// fixpoint iteration calls it silently.
+func (a *analysis) transfer(fa *fnAnalysis, b *cfg.Block, st *state, rec bool) {
+	for _, s := range b.Stmts {
+		a.transferStmt(fa, s, st, rec)
+	}
+	// Branch conditions evaluate after the block's statements.
+	if rec {
+		ids := st.weakIDs()
+		for _, c := range b.Conds {
+			fa.condHeld[c] = ids
+			a.visitCalls(fa, c, st, true)
+		}
+	} else {
+		for _, c := range b.Conds {
+			a.visitCalls(fa, c, st, false)
+		}
+	}
+}
+
+func (a *analysis) transferStmt(fa *fnAnalysis, s ast.Stmt, st *state, rec bool) {
+	// wl_acquire / wl_release only ever appear as bare expression
+	// statements emitted by the instrumenter.
+	if es, ok := s.(*ast.ExprStmt); ok {
+		if call, ok := es.X.(*ast.Call); ok {
+			if obj := a.info.CallTargets[call.ID()]; obj != nil && obj.Kind == types.ObjBuiltin {
+				switch obj.Builtin {
+				case types.BWlAcquire:
+					a.weakAcquire(fa, call, st, rec)
+					return
+				case types.BWlRelease:
+					a.weakRelease(fa, call, st, rec)
+					return
+				}
+			}
+		}
+	}
+
+	// The statement's memory accesses execute under the current held
+	// set; snapshot it for the coverage check before interpreting any
+	// calls the statement makes.
+	if rec {
+		fa.stmtHeld[s] = st.weakIDs()
+	}
+
+	switch s := s.(type) {
+	case *ast.DeclStmt:
+		if s.Decl.Init != nil {
+			a.visitCalls(fa, s.Decl.Init, st, rec)
+		}
+	case *ast.AssignStmt:
+		a.visitCalls(fa, s.LHS, st, rec)
+		a.visitCalls(fa, s.RHS, st, rec)
+	case *ast.IncDecStmt:
+		a.visitCalls(fa, s.X, st, rec)
+	case *ast.ExprStmt:
+		a.visitCalls(fa, s.X, st, rec)
+	case *ast.ReturnStmt:
+		if s.X != nil {
+			a.visitCalls(fa, s.X, st, rec)
+		}
+	}
+}
+
+// visitCalls interprets the calls inside an expression: real mutex
+// lock/unlock, direct user-function calls (whose transitive acquires
+// order after everything currently held), and indirect calls (which are
+// unanalyzable — holding anything across one is flagged as relying on
+// timeout recovery).
+func (a *analysis) visitCalls(fa *fnAnalysis, e ast.Expr, st *state, rec bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.Call)
+		if !ok {
+			return true
+		}
+		obj := a.info.CallTargets[call.ID()]
+		if obj == nil {
+			// Indirect call: callee unknown, its lock acquisitions are
+			// unanalyzable. Anything held here may order arbitrarily.
+			if rec && (len(st.weak) > 0 || len(st.mu) > 0) {
+				a.timeoutf("%s:%s: indirect call with locks held [%s]",
+					fa.fn.Name, call.Pos(), strings.Join(st.heldNames(), " "))
+			}
+			return true
+		}
+		switch obj.Kind {
+		case types.ObjFunc:
+			if rec {
+				for lock := range a.summaries[obj.Name] {
+					a.lockNodes[lock] = true
+					for _, held := range st.heldNames() {
+						if held != lock {
+							a.edge(held, lock)
+						}
+					}
+				}
+			}
+		case types.ObjBuiltin:
+			switch obj.Builtin {
+			case types.BLock:
+				if len(call.Args) == 1 {
+					a.mutexLock(fa, call, st, rec)
+				}
+			case types.BUnlock:
+				if len(call.Args) == 1 {
+					delete(st.mu, mutexName(ast.PrintExpr(call.Args[0])))
+				}
+			case types.BSpawn:
+				// The spawned function runs in a fresh thread with an
+				// empty held set; its acquires do not nest under ours.
+				return true
+			}
+		}
+		return true
+	})
+}
+
+func (a *analysis) weakAcquire(fa *fnAnalysis, call *ast.Call, st *state, rec bool) {
+	id, kind, ok := wlArgs(call)
+	if !ok {
+		if rec {
+			a.balancef("%s:%s: wl_acquire with non-constant kind/id", fa.fn.Name, call.Pos())
+		}
+		return
+	}
+	name := weakName(id)
+	if rec {
+		a.lockNodes[name] = true
+	}
+
+	// Reentrant acquire: the VM keys held weak-locks by ID alone and
+	// permits nested reacquisition at any granularity.
+	for i := range st.weak {
+		if st.weak[i].id == id {
+			st.weak[i].depth++
+			return
+		}
+	}
+
+	if rec {
+		// Discipline (mirrors vm/sync.go): a fresh acquire must be
+		// strictly above the maximum held (kind, id); otherwise the
+		// runtime falls back to timeout recovery.
+		maxI := -1
+		for i, e := range st.weak {
+			if maxI == -1 || e.kind > st.weak[maxI].kind ||
+				(e.kind == st.weak[maxI].kind && e.id > st.weak[maxI].id) {
+				maxI = i
+			}
+		}
+		if maxI >= 0 {
+			last := st.weak[maxI]
+			if last.kind > kind || (last.kind == kind && last.id >= id) {
+				a.timeoutf("%s:%s: wl_acquire(%s, %d) out of order: %s (kind %s) already held",
+					fa.fn.Name, call.Pos(), weaklock.Kind(kind), id, weakName(last.id), weaklock.Kind(last.kind))
+			}
+		}
+		// Order edges: everything currently held precedes the new lock.
+		for _, held := range st.heldNames() {
+			if held != name {
+				a.edge(held, name)
+			}
+		}
+	}
+	st.weak = append(st.weak, weakEntry{id: id, kind: kind, depth: 1})
+}
+
+func (a *analysis) weakRelease(fa *fnAnalysis, call *ast.Call, st *state, rec bool) {
+	id, _, ok := wlArgs(call)
+	if !ok {
+		if rec {
+			a.balancef("%s:%s: wl_release with non-constant kind/id", fa.fn.Name, call.Pos())
+		}
+		return
+	}
+	for i := len(st.weak) - 1; i >= 0; i-- {
+		if st.weak[i].id != id {
+			continue
+		}
+		st.weak[i].depth--
+		if st.weak[i].depth == 0 {
+			if rec && i != len(st.weak)-1 {
+				a.balancef("%s:%s: non-LIFO release of %s while %s held inside it",
+					fa.fn.Name, call.Pos(), weakName(id), weakStackString(st.weak[i+1:]))
+			}
+			st.weak = append(st.weak[:i], st.weak[i+1:]...)
+		}
+		return
+	}
+	if rec {
+		a.balancef("%s:%s: release of unheld %s", fa.fn.Name, call.Pos(), weakName(id))
+	}
+}
+
+func (a *analysis) mutexLock(fa *fnAnalysis, call *ast.Call, st *state, rec bool) {
+	name := mutexName(ast.PrintExpr(call.Args[0]))
+	if rec {
+		a.lockNodes[name] = true
+		for _, held := range st.heldNames() {
+			// A self-edge is real for mutexes: they are non-reentrant,
+			// so re-locking while (possibly) held is a deadlock risk the
+			// cycle report must surface.
+			a.edge(held, name)
+		}
+	}
+	st.mu[name] = true
+}
+
+func (a *analysis) edge(from, to string) {
+	a.lockNodes[from] = true
+	a.lockNodes[to] = true
+	a.edges[[2]string{from, to}] = true
+}
+
+func (a *analysis) balancef(format string, args ...any) {
+	a.balanceViolations = append(a.balanceViolations, fmt.Sprintf(format, args...))
+}
+
+func (a *analysis) timeoutf(format string, args ...any) {
+	a.timeoutReliant[fmt.Sprintf(format, args...)] = true
+}
+
+func (a *analysis) balanceResult() BalanceResult {
+	res := BalanceResult{Functions: len(a.funcs)}
+	res.Violations = append(res.Violations, a.balanceViolations...)
+	sort.Strings(res.Violations)
+	res.Violations = dedup(res.Violations)
+	res.OK = len(res.Violations) == 0
+	return res
+}
+
+func (a *analysis) orderResult() OrderResult {
+	res := OrderResult{Locks: len(a.lockNodes), Edges: len(a.edges)}
+	for s := range a.timeoutReliant {
+		res.TimeoutReliant = append(res.TimeoutReliant, s)
+	}
+	sort.Strings(res.TimeoutReliant)
+	res.Cycles = lockCycles(a.lockNodes, a.edges)
+	res.OK = len(res.Cycles) == 0 && len(res.TimeoutReliant) == 0
+	return res
+}
+
+func dedup(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		if len(out) == 0 || out[len(out)-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// lockCycles runs Tarjan's SCC over the order graph and returns the
+// strongly connected lock groups that admit a deadlock: any SCC with
+// more than one node, or a single node with a self-edge (a non-reentrant
+// mutex re-locked while held). Nodes within a cycle and the cycle list
+// itself are sorted for deterministic output.
+func lockCycles(nodes map[string]bool, edges map[[2]string]bool) [][]string {
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	succs := make(map[string][]string)
+	for e := range edges {
+		succs[e[0]] = append(succs[e[0]], e[1])
+	}
+	for _, s := range succs {
+		sort.Strings(s)
+	}
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	next := 0
+	var cycles [][]string
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succs[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 || edges[[2]string{v, v}] {
+				sort.Strings(scc)
+				cycles = append(cycles, scc)
+			}
+		}
+	}
+	for _, v := range names {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	sort.Slice(cycles, func(i, j int) bool {
+		return strings.Join(cycles[i], ",") < strings.Join(cycles[j], ",")
+	})
+	return cycles
+}

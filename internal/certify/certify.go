@@ -1,0 +1,184 @@
+// Package certify is a static translation validator for Chimera's
+// weak-lock instrumentation pass (paper §2.2–§2.3).
+//
+// The instrumenter promises three properties that the rest of the system
+// takes on faith: every RELAY race pair is guarded by a common weak-lock
+// (so the recorded acquisition order of that lock orders the racy
+// accesses and replay is deterministic), weak-lock acquire/release
+// brackets are balanced on every control-flow path, and weak-locks are
+// acquired under the deadlock-freedom discipline (func < loop < bb <
+// instr, ascending IDs within a granularity). The instrumenter's own
+// bookkeeping asserts all three, but a bug there would silently undermine
+// the soundness argument — `internal/instrument` explicitly notes the
+// ordering discipline "cannot be guaranteed" and leans on runtime timeout
+// recovery.
+//
+// This package turns the promises into a machine-checkable certificate.
+// It REPARSES the instrumented MiniC source (the actual pass output, not
+// the instrumenter's in-memory plan), rebuilds control-flow graphs with
+// internal/cfg, and re-derives every judgment from scratch:
+//
+//   - coverage: race pairs from the report are independently regrouped
+//     into connected components (union-find over the pair graph, not the
+//     instrumenter's component map), each racy access is located in the
+//     instrumented text by (function, expression) occurrence matching,
+//     and the pair is certified only if a common weak-lock is held at
+//     BOTH endpoints on ALL control-flow paths (a must-hold forward
+//     dataflow; occurrences that cannot be located fail the pair).
+//   - balance: the same dataflow verifies that weak-lock brackets are
+//     balanced and well nested (LIFO) on every path of every function's
+//     CFG; joins with mismatched held-sets fail closed.
+//   - order: a static lock-order graph over real mutexes plus weak-locks
+//     (edge A→B when B is acquired while A is held, including through
+//     calls via interprocedural acquire summaries) either certifies
+//     deadlock-freedom — no cycles, no discipline violations — or
+//     enumerates exactly the acquisition sites that rely on the runtime
+//     timeout mechanism.
+//
+// The certificate is deterministic: it is a pure function of the race
+// report and the instrumented source text, so certificates are
+// byte-identical across analysis worker counts and are diffable in CI.
+package certify
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/minic/parser"
+	"repro/internal/minic/types"
+	"repro/internal/relay"
+)
+
+// Schema is the certificate JSON schema version.
+const Schema = 1
+
+// Certificate is the machine-readable result of the three checks for one
+// instrumented program.
+type Certificate struct {
+	Schema  int    `json:"schema"`
+	Program string `json:"program"`
+	Config  string `json:"config"`
+
+	// OK is the conjunction of the three per-check verdicts.
+	OK bool `json:"ok"`
+
+	Coverage CoverageResult `json:"coverage"`
+	Balance  BalanceResult  `json:"balance"`
+	Order    OrderResult    `json:"order"`
+}
+
+// CoverageResult reports whether every race pair is guarded by a common
+// weak-lock at both endpoints on all paths.
+type CoverageResult struct {
+	OK bool `json:"ok"`
+
+	// Pairs and Covered count the race pairs checked and certified.
+	Pairs   int `json:"pairs"`
+	Covered int `json:"covered"`
+
+	// Components is the number of connected components of the pair
+	// graph, recomputed independently of the instrumenter.
+	Components int `json:"components"`
+
+	// Uncovered lists the failing pairs with diagnostics.
+	Uncovered []UncoveredPair `json:"uncovered,omitempty"`
+}
+
+// UncoveredPair is one race pair that failed coverage. Positions refer to
+// the original (pre-instrumentation) source.
+type UncoveredPair struct {
+	A      string `json:"a"`
+	B      string `json:"b"`
+	Reason string `json:"reason"`
+}
+
+// BalanceResult reports whether weak-lock brackets are balanced and well
+// nested on every path of every function.
+type BalanceResult struct {
+	OK bool `json:"ok"`
+
+	// Functions is the number of function CFGs analyzed.
+	Functions int `json:"functions"`
+
+	// Violations lists balance failures ("release of unheld lock",
+	// "mismatched held-sets at join", "held at exit", non-LIFO release),
+	// with instrumented-source positions.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// OrderResult reports deadlock-freedom of the combined real-mutex +
+// weak-lock order graph.
+type OrderResult struct {
+	OK bool `json:"ok"`
+
+	// Locks is the number of distinct lock nodes observed (weak-locks by
+	// (kind,id) acquisition site identity collapse to their table ID;
+	// real mutexes are keyed by their lock() argument expression).
+	Locks int `json:"locks"`
+
+	// Edges is the number of distinct order edges (A held while B
+	// acquired).
+	Edges int `json:"edges"`
+
+	// Cycles enumerates the strongly connected lock groups that admit a
+	// deadlock; empty when deadlock-freedom is certified.
+	Cycles [][]string `json:"cycles,omitempty"`
+
+	// TimeoutReliant lists the acquisition sites that violate the static
+	// discipline and therefore rely on the runtime timeout mechanism:
+	// out-of-order weak-lock acquires and acquires under an
+	// unanalyzable (indirect) call.
+	TimeoutReliant []string `json:"timeout_reliant,omitempty"`
+}
+
+// Certify checks the instrumented source against the race report the
+// instrumentation was derived from (for "+mhp" configurations, the
+// MHP-refined report). It is independent of the instrumenter's internal
+// state: everything is recomputed from the report and the source text.
+//
+// The returned certificate is a pure function of (rep, instrumentedSrc),
+// so it is byte-identical across analysis worker counts. An error means
+// the instrumented source did not even parse or type-check — a
+// translation failure more basic than any certificate check.
+func Certify(rep *relay.Report, instrumentedSrc, program, config string) (*Certificate, error) {
+	file, err := parser.Parse(program+".chimera", instrumentedSrc)
+	if err != nil {
+		return nil, fmt.Errorf("certify %s: reparse: %w", program, err)
+	}
+	info, err := types.Check(file)
+	if err != nil {
+		return nil, fmt.Errorf("certify %s: recheck: %w", program, err)
+	}
+
+	an := analyze(info)
+
+	cert := &Certificate{Schema: Schema, Program: program, Config: config}
+	cert.Balance = an.balanceResult()
+	cert.Order = an.orderResult()
+	cert.Coverage = checkCoverage(rep, an)
+	cert.OK = cert.Coverage.OK && cert.Balance.OK && cert.Order.OK
+	return cert, nil
+}
+
+// Render serializes a certificate with stable formatting (trailing
+// newline included) for writing to disk and byte-comparison in tests.
+func Render(c *Certificate) ([]byte, error) {
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Summary renders a one-line human-readable verdict.
+func (c *Certificate) Summary() string {
+	verdict := "OK"
+	if !c.OK {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("certificate %s: %s/%s coverage %d/%d pairs (%d components), balance %d function(s) %d violation(s), order %d lock(s) %d edge(s) %d cycle(s) %d timeout-reliant",
+		verdict, c.Program, c.Config,
+		c.Coverage.Covered, c.Coverage.Pairs, c.Coverage.Components,
+		c.Balance.Functions, len(c.Balance.Violations),
+		c.Order.Locks, c.Order.Edges, len(c.Order.Cycles), len(c.Order.TimeoutReliant))
+}

@@ -1,0 +1,528 @@
+package certify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/minic/ast"
+	"repro/internal/relay"
+)
+
+// The coverage check re-establishes the instrumenter's central claim —
+// every race pair is protected by a common weak-lock — without using the
+// instrumenter's node tables. The difficulty is that the instrumented
+// source is a REPARSE: its AST has fresh node IDs and positions, so the
+// report's racy nodes (original-program IDs) cannot be looked up
+// directly. Instead each racy access is located textually.
+//
+// A bare expression text like "segwords" is too ambiguous — the same
+// variable legitimately appears unguarded at non-racy sites (e.g. reads
+// after all joins), and even whole statements repeat verbatim (radix
+// runs `int my_key = (kf[j] >> shift) & mask;` once per barrier phase
+// under different locks). Two facts pin an access down:
+//
+//   - the report records each access's anchor — its innermost simple
+//     statement, or the if/while/for whose condition holds it — and the
+//     instrumenter never rewrites a racy statement's text;
+//   - the instrumenter inserts statements but never reorders or deletes
+//     the original ones, so the k-th occurrence of a statement text in
+//     execution-order walk of the original function corresponds to the
+//     k-th occurrence in the instrumented function.
+//
+// An occurrence of the racy expression therefore counts if it appears in
+// the ordinal-matched anchor statement (or condition), or inside any
+// "__wlc"/"__wlh"/"__wlr" capture temp — those synthesized declarations
+// carry original condition/call/return expressions, so one of them may
+// BE the racy occurrence after lowering; including them can only shrink
+// the credited lockset (conservative). The access is credited with the
+// weak-locks held at ALL counted occurrences (intersection): when we
+// cannot tell which occurrence is the racy one, the least-protected one
+// wins and the pair fails closed. If the anchor cannot be located at all
+// (lowered away), the check falls back to intersecting over every
+// occurrence of the expression text in the function — strictly more
+// conservative. Occurrences inside wl_acquire/wl_release operands and
+// "__wlb" loop-bound captures (new reads the instrumenter synthesized,
+// not the original access) are never counted.
+
+// anchorKind distinguishes how an access is anchored in the original
+// program.
+type anchorKind int
+
+const (
+	anchorStmt anchorKind = iota // innermost simple statement
+	anchorCond                   // if/while/for condition expression
+	anchorNone                   // anchor unavailable: whole-function fallback
+)
+
+// accessSite is the locatable identity of one racy access: the ordinal-th
+// statement (or condition) with this text, in execution-order walk of
+// the access's function.
+type accessSite struct {
+	fn         string
+	exprText   string
+	anchorKind anchorKind
+	anchorText string
+	ordinal    int
+}
+
+// checkCoverage certifies every race pair of rep against the dataflow
+// snapshots in an.
+func checkCoverage(rep *relay.Report, an *analysis) CoverageResult {
+	res := CoverageResult{Pairs: len(rep.Pairs)}
+	res.Components = componentCount(rep)
+	if len(rep.Pairs) == 0 {
+		res.OK = true
+		return res
+	}
+
+	sites, texts := resolveSites(rep)
+
+	// Intersections of held weak-lock ID sets, one slot per distinct
+	// site; located marks sites with at least one counted occurrence.
+	held := make(map[accessSite][]int64)
+	located := make(map[accessSite]bool)
+
+	perFn := make(map[string][]accessSite)
+	for _, s := range sites {
+		perFn[s.fn] = append(perFn[s.fn], s)
+	}
+
+	for _, fa := range an.funcs {
+		wanted := perFn[fa.fn.Name]
+		if len(wanted) == 0 {
+			continue
+		}
+		scanAnchored(fa, wanted, held, located)
+	}
+	// Whole-function fallback for anchors that were lowered away.
+	for _, fa := range an.funcs {
+		var missing []accessSite
+		for _, s := range perFn[fa.fn.Name] {
+			if !located[s] {
+				missing = append(missing, s)
+			}
+		}
+		if len(missing) > 0 {
+			scanFallback(fa, missing, held, located)
+		}
+	}
+
+	for _, p := range rep.Pairs {
+		sa, sb := sites[p.A], sites[p.B]
+		va, vb := texts[p.A.Node], texts[p.B.Node]
+		if !located[sa] || !located[sb] {
+			miss := va
+			if located[sa] {
+				miss = vb
+			}
+			res.Uncovered = append(res.Uncovered, UncoveredPair{
+				A: accessString(p.A, va), B: accessString(p.B, vb),
+				Reason: fmt.Sprintf("access %q not located in instrumented source", miss),
+			})
+			continue
+		}
+		if len(intersectIDs(held[sa], held[sb])) == 0 {
+			res.Uncovered = append(res.Uncovered, UncoveredPair{
+				A: accessString(p.A, va), B: accessString(p.B, vb),
+				Reason: fmt.Sprintf("no common weak-lock (A holds %s, B holds %s)",
+					idSetString(held[sa]), idSetString(held[sb])),
+			})
+			continue
+		}
+		res.Covered++
+	}
+
+	sort.Slice(res.Uncovered, func(i, j int) bool {
+		a, b := res.Uncovered[i], res.Uncovered[j]
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		if a.B != b.B {
+			return a.B < b.B
+		}
+		return a.Reason < b.Reason
+	})
+	res.OK = res.Covered == res.Pairs
+	return res
+}
+
+// execWalk visits a function body's simple statements and branch
+// conditions in execution order — the order the instrumenter preserves.
+// A for's post-statement is visited after its body, matching the lowered
+// while(1) form where the post migrates to the body's end. onCond
+// receives the anchoring control statement along with the condition.
+func execWalk(body *ast.Block, onStmt func(ast.Stmt), onCond func(anchor ast.Stmt, cond ast.Expr)) {
+	var walkStmt func(s ast.Stmt)
+	walkList := func(b *ast.Block) {
+		for _, s := range b.Stmts {
+			walkStmt(s)
+		}
+	}
+	walkStmt = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.Block:
+			walkList(s)
+		case *ast.IfStmt:
+			onCond(s, s.CondE)
+			walkList(s.Then)
+			if s.Else != nil {
+				walkStmt(s.Else)
+			}
+		case *ast.WhileStmt:
+			onCond(s, s.CondE)
+			walkList(s.Body)
+		case *ast.ForStmt:
+			if s.Init != nil {
+				walkStmt(s.Init)
+			}
+			if s.CondE != nil {
+				onCond(s, s.CondE)
+			}
+			walkList(s.Body)
+			if s.Post != nil {
+				walkStmt(s.Post)
+			}
+		case *ast.BreakStmt, *ast.ContinueStmt:
+			// No expressions.
+		default:
+			onStmt(s)
+		}
+	}
+	walkList(body)
+}
+
+func stmtText(s ast.Stmt) string {
+	return strings.TrimSuffix(ast.PrintStmt(s, 0), "\n")
+}
+
+// scanAnchored walks one instrumented function in execution order,
+// counting same-text occurrences, and credits each wanted site with the
+// weak-locks held at its ordinal-matched anchor (plus every capture-temp
+// occurrence of its expression).
+func scanAnchored(fa *fnAnalysis, wanted []accessSite, held map[accessSite][]int64, located map[accessSite]bool) {
+	record := func(s accessSite, ids []int64) {
+		if !located[s] {
+			located[s] = true
+			held[s] = ids
+			return
+		}
+		held[s] = intersectIDs(held[s], ids)
+	}
+	scanFor := func(root ast.Expr, ids []int64, match func(accessSite) bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			ex, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			t := ast.PrintExpr(ex)
+			for _, s := range wanted {
+				if s.exprText == t && match(s) {
+					record(s, ids)
+				}
+			}
+			return true
+		})
+	}
+
+	stmtSeen := make(map[string]int)
+	condSeen := make(map[string]int)
+
+	execWalk(fa.fn.Decl.Body,
+		func(s ast.Stmt) {
+			if isWlOpStmt(fa, s) {
+				return
+			}
+			if d, ok := s.(*ast.DeclStmt); ok && isWlTemp(d.Decl.Name) {
+				if strings.HasPrefix(d.Decl.Name, "__wlb") {
+					return
+				}
+				ids, reachable := fa.stmtHeld[s]
+				if reachable && d.Decl.Init != nil {
+					scanFor(d.Decl.Init, ids, func(accessSite) bool { return true })
+				}
+				return
+			}
+			text := stmtText(s)
+			ord := stmtSeen[text]
+			stmtSeen[text] = ord + 1
+			ids, reachable := fa.stmtHeld[s]
+			if !reachable {
+				return
+			}
+			match := func(site accessSite) bool {
+				return site.anchorKind == anchorStmt && site.anchorText == text && site.ordinal == ord
+			}
+			scanStmt(s, ids, func(e ast.Expr, ids []int64) { scanFor(e, ids, match) })
+		},
+		func(_ ast.Stmt, cond ast.Expr) {
+			text := ast.PrintExpr(cond)
+			ord := condSeen[text]
+			condSeen[text] = ord + 1
+			ids, reachable := fa.condHeld[cond]
+			if !reachable {
+				return
+			}
+			match := func(site accessSite) bool {
+				return site.anchorKind == anchorCond && site.anchorText == text && site.ordinal == ord
+			}
+			scanFor(cond, ids, match)
+		})
+}
+
+// scanFallback intersects over every countable occurrence of each
+// missing site's expression text, anywhere in the function.
+func scanFallback(fa *fnAnalysis, missing []accessSite, held map[accessSite][]int64, located map[accessSite]bool) {
+	record := func(s accessSite, ids []int64) {
+		if !located[s] {
+			located[s] = true
+			held[s] = ids
+			return
+		}
+		held[s] = intersectIDs(held[s], ids)
+	}
+	scanAll := func(root ast.Expr, ids []int64) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			ex, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			t := ast.PrintExpr(ex)
+			for _, s := range missing {
+				if s.exprText == t {
+					record(s, ids)
+				}
+			}
+			return true
+		})
+	}
+	for _, b := range fa.g.Blocks {
+		for _, s := range b.Stmts {
+			ids, reachable := fa.stmtHeld[s]
+			if !reachable {
+				continue
+			}
+			if d, ok := s.(*ast.DeclStmt); ok && strings.HasPrefix(d.Decl.Name, "__wlb") {
+				continue
+			}
+			// Other capture temps (__wlc/__wlh/__wlr) participate like
+			// ordinary statements here.
+			scanStmt(s, ids, scanAll)
+		}
+		for _, c := range b.Conds {
+			if ids, ok := fa.condHeld[c]; ok {
+				scanAll(c, ids)
+			}
+		}
+	}
+}
+
+// isWlOpStmt reports whether s is a wl_acquire/wl_release expression
+// statement (instrumentation apparatus, carrying no original accesses).
+func isWlOpStmt(fa *fnAnalysis, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.Call)
+	if !ok {
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		return id.Name == "wl_acquire" || id.Name == "wl_release"
+	}
+	return false
+}
+
+func isWlTemp(name string) bool {
+	return strings.HasPrefix(name, "__wl")
+}
+
+// resolveSites maps every access mentioned by the report's pairs to its
+// locatable site, printing the racy lvalue and its anchor from the
+// ORIGINAL program's AST and computing the anchor's same-text ordinal.
+func resolveSites(rep *relay.Report) (map[*relay.Access]accessSite, map[ast.NodeID]string) {
+	need := make(map[ast.NodeID]bool)
+	fns := make(map[string]*ast.FuncDecl)
+	for _, p := range rep.Pairs {
+		for _, a := range []*relay.Access{p.A, p.B} {
+			need[a.Node] = true
+			need[a.Stmt] = true
+			if a.Fn.Decl != nil {
+				fns[a.Fn.Name] = a.Fn.Decl
+			}
+		}
+	}
+	nodes := make(map[ast.NodeID]ast.Node, len(need))
+	ast.InspectFile(rep.Info.File, func(n ast.Node) bool {
+		if need[n.ID()] {
+			nodes[n.ID()] = n
+		}
+		return true
+	})
+
+	ordinals := make(map[string]*ordIndex, len(fns))
+	for name, decl := range fns {
+		idx := &ordIndex{stmts: make(map[string][]ast.NodeID), conds: make(map[string][]ast.NodeID)}
+		execWalk(decl.Body,
+			func(s ast.Stmt) {
+				t := stmtText(s)
+				idx.stmts[t] = append(idx.stmts[t], s.ID())
+			},
+			func(anchor ast.Stmt, cond ast.Expr) {
+				t := ast.PrintExpr(cond)
+				idx.conds[t] = append(idx.conds[t], anchor.ID())
+			})
+		ordinals[name] = idx
+	}
+	ordinalOf := func(ids []ast.NodeID, want ast.NodeID) int {
+		for i, id := range ids {
+			if id == want {
+				return i
+			}
+		}
+		return -1
+	}
+
+	texts := make(map[ast.NodeID]string)
+	sites := make(map[*relay.Access]accessSite)
+	for _, p := range rep.Pairs {
+		for _, a := range []*relay.Access{p.A, p.B} {
+			if _, done := sites[a]; done {
+				continue
+			}
+			site := accessSite{fn: a.Fn.Name, anchorKind: anchorNone}
+			if e, ok := nodes[a.Node].(ast.Expr); ok {
+				site.exprText = ast.PrintExpr(e)
+				texts[a.Node] = site.exprText
+			}
+			idx := ordinals[a.Fn.Name]
+			switch anchor := nodes[a.Stmt].(type) {
+			case *ast.DeclStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.ExprStmt, *ast.ReturnStmt:
+				text := stmtText(anchor.(ast.Stmt))
+				if ord := ordinalOf(idx.stmts[text], a.Stmt); ord >= 0 {
+					site.anchorKind, site.anchorText, site.ordinal = anchorStmt, text, ord
+				}
+			case *ast.IfStmt:
+				site = condSite(site, idx, ast.PrintExpr(anchor.CondE), a.Stmt)
+			case *ast.WhileStmt:
+				site = condSite(site, idx, ast.PrintExpr(anchor.CondE), a.Stmt)
+			case *ast.ForStmt:
+				if anchor.CondE != nil {
+					site = condSite(site, idx, ast.PrintExpr(anchor.CondE), a.Stmt)
+				}
+			}
+			sites[a] = site
+		}
+	}
+	return sites, texts
+}
+
+// ordIndex holds one function's execution-order ordinals: statement
+// text -> stmt node IDs, and condition text -> anchoring control-stmt
+// node IDs.
+type ordIndex struct {
+	stmts map[string][]ast.NodeID
+	conds map[string][]ast.NodeID
+}
+
+func condSite(site accessSite, idx *ordIndex, text string, anchorID ast.NodeID) accessSite {
+	for i, id := range idx.conds[text] {
+		if id == anchorID {
+			site.anchorKind, site.anchorText, site.ordinal = anchorCond, text, i
+			break
+		}
+	}
+	return site
+}
+
+// scanStmt feeds a statement's expressions to scan.
+func scanStmt(s ast.Stmt, ids []int64, scan func(ast.Expr, []int64)) {
+	switch s := s.(type) {
+	case *ast.DeclStmt:
+		if s.Decl.Init != nil {
+			scan(s.Decl.Init, ids)
+		}
+	case *ast.AssignStmt:
+		scan(s.LHS, ids)
+		scan(s.RHS, ids)
+	case *ast.IncDecStmt:
+		scan(s.X, ids)
+	case *ast.ExprStmt:
+		scan(s.X, ids)
+	case *ast.ReturnStmt:
+		if s.X != nil {
+			scan(s.X, ids)
+		}
+	}
+}
+
+// componentCount unions the race pairs' endpoints and counts the
+// connected components of the pair graph — the certifier's independent
+// recomputation of the instrumenter's lock-component grouping.
+func componentCount(rep *relay.Report) int {
+	parent := make(map[ast.NodeID]ast.NodeID)
+	var find func(x ast.NodeID) ast.NodeID
+	find = func(x ast.NodeID) ast.NodeID {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	add := func(x ast.NodeID) {
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+	}
+	for _, p := range rep.Pairs {
+		add(p.A.Node)
+		add(p.B.Node)
+		ra, rb := find(p.A.Node), find(p.B.Node)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	n := 0
+	for x := range parent {
+		if find(x) == x {
+			n++
+		}
+	}
+	return n
+}
+
+func accessString(a *relay.Access, text string) string {
+	rw := "read"
+	if a.Write {
+		rw = "write"
+	}
+	if text == "" {
+		text = "?"
+	}
+	return fmt.Sprintf("%s %s in %s at %s", rw, text, a.Fn.Name, a.Pos)
+}
+
+func intersectIDs(a, b []int64) []int64 {
+	in := make(map[int64]bool, len(b))
+	for _, x := range b {
+		in[x] = true
+	}
+	var out []int64
+	for _, x := range a {
+		if in[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func idSetString(ids []int64) string {
+	if len(ids) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = weakName(id)
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

@@ -22,6 +22,13 @@ type Block struct {
 	Succs []*Block
 	Preds []*Block
 
+	// Conds are the branch condition expressions evaluated at the end of
+	// this block, after Stmts: an if's condition is evaluated in the block
+	// the IfStmt was reached in, a loop's condition in its head block.
+	// Dataflow clients (e.g. the certifier's held-lock analysis) use this
+	// to attribute condition-expression reads to the block's exit state.
+	Conds []ast.Expr
+
 	// Label describes the block's role for debugging ("entry", "exit",
 	// "loop.head", ...).
 	Label string
@@ -134,6 +141,7 @@ func (b *builder) stmt(s ast.Stmt, cur *Block) *Block {
 	case *ast.IfStmt:
 		// cur evaluates the condition (kept in cur's statements implicitly;
 		// conditions are expressions, not statements).
+		cur.Conds = append(cur.Conds, s.CondE)
 		thenB := b.newBlock("if.then")
 		b.link(cur, thenB)
 		afterB := b.newBlock("if.after")
@@ -156,6 +164,7 @@ func (b *builder) stmt(s ast.Stmt, cur *Block) *Block {
 	case *ast.WhileStmt:
 		head := b.newBlock("loop.head")
 		head.LoopStmt = s
+		head.Conds = append(head.Conds, s.CondE)
 		b.link(cur, head)
 		body := b.newBlock("loop.body")
 		after := b.newBlock("loop.after")
@@ -177,6 +186,9 @@ func (b *builder) stmt(s ast.Stmt, cur *Block) *Block {
 		}
 		head := b.newBlock("loop.head")
 		head.LoopStmt = s
+		if s.CondE != nil {
+			head.Conds = append(head.Conds, s.CondE)
+		}
 		b.link(cur, head)
 		body := b.newBlock("loop.body")
 		after := b.newBlock("loop.after")
@@ -219,7 +231,7 @@ func (b *builder) prune() {
 	dfs(b.g.Entry)
 	var kept []*Block
 	for _, blk := range b.g.Blocks {
-		if reach[blk] || len(blk.Stmts) > 0 {
+		if reach[blk] || len(blk.Stmts) > 0 || len(blk.Conds) > 0 {
 			kept = append(kept, blk)
 		}
 	}
@@ -228,14 +240,14 @@ func (b *builder) prune() {
 		// Drop edges to pruned blocks.
 		var succs []*Block
 		for _, s := range blk.Succs {
-			if reach[s] || len(s.Stmts) > 0 {
+			if reach[s] || len(s.Stmts) > 0 || len(s.Conds) > 0 {
 				succs = append(succs, s)
 			}
 		}
 		blk.Succs = succs
 		var preds []*Block
 		for _, p := range blk.Preds {
-			if reach[p] || len(p.Stmts) > 0 {
+			if reach[p] || len(p.Stmts) > 0 || len(p.Conds) > 0 {
 				preds = append(preds, p)
 			}
 		}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/callgraph"
+	"repro/internal/certify"
 	"repro/internal/instrument"
 	"repro/internal/mhp"
 	"repro/internal/minic/ast"
@@ -186,6 +187,34 @@ type Instrumented struct {
 	Prog   *Program // the reparsed, recompiled instrumented program
 	Table  *weaklock.Table
 	Report *instrument.Result
+
+	// Rep is the race report the instrumentation was derived from (the
+	// MHP-refined report under "+mhp" configs). The certifier validates
+	// the instrumented source against exactly this report.
+	Rep *relay.Report
+
+	certOnce sync.Once
+	cert     *certify.Certificate
+	certWall int64
+	certErr  error
+}
+
+// Certify runs the static translation validator (internal/certify) over
+// the instrumented source: race-pair coverage, weak-lock balance, and
+// lock-order deadlock-freedom, recomputed independently of the
+// instrumenter's bookkeeping. The certificate is computed once per
+// Instrumented and shared — like RefinedRaces it is part of the
+// read-only artifact a Cache hands out, safe for concurrent pipeline
+// workers. The config label is stamped into the certificate on the
+// first call. The returned wall time is the certification cost of that
+// first computation, in nanoseconds.
+func (ip *Instrumented) Certify(config string) (*certify.Certificate, int64, error) {
+	ip.certOnce.Do(func() {
+		start := time.Now()
+		ip.cert, ip.certErr = certify.Certify(ip.Rep, ip.Report.Source, ip.Orig.Name, config)
+		ip.certWall = time.Since(start).Nanoseconds()
+	})
+	return ip.cert, ip.certWall, ip.certErr
 }
 
 // Instrument applies the weak-lock transformation and recompiles.
@@ -220,7 +249,7 @@ func (p *Program) InstrumentWith(rep *relay.Report, conc *profile.Concurrency, o
 	if err != nil {
 		return nil, fmt.Errorf("reload instrumented %s: %w\n--- source ---\n%s", p.Name, err, res.Source)
 	}
-	return &Instrumented{Orig: p, Prog: ip, Table: res.Table, Report: res}, nil
+	return &Instrumented{Orig: p, Prog: ip, Table: res.Table, Report: res, Rep: rep}, nil
 }
 
 // Record executes the instrumented program while logging inputs and sync

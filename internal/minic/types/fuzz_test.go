@@ -1,0 +1,59 @@
+package types_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/minic/ast"
+	"repro/internal/minic/parser"
+	"repro/internal/minic/types"
+)
+
+// FuzzTypes asserts two properties of the type checker on arbitrary
+// parseable input:
+//
+//  1. Totality: Check returns an *Info or an error, never panics — the
+//     checker sits directly behind every CLI entry point, so a grammar
+//     corner that parses but crashes Check is a user-visible crash.
+//  2. Print stability: a program Check accepts still checks after a
+//     Print → reparse round trip. The instrumenter and the certifier
+//     both re-enter the front end through printed source, so an
+//     accepted program whose printed form is rejected would break the
+//     pipeline downstream.
+//
+// Run longer locally with:
+//
+//	go test ./internal/minic/types -fuzz FuzzTypes -fuzztime 30s
+func FuzzTypes(f *testing.F) {
+	for _, b := range bench.All() {
+		f.Add(b.FullSource())
+	}
+	f.Add("int main(void) { return 0; }")
+	f.Add("int g; void w(int x) { lock(&g); g = g + x; unlock(&g); }")
+	f.Add("int main(void) { wl_acquire(3, 1, 0, 10); wl_release(3, 1); return 0; }")
+	f.Add("int main(void) { return missing; }")
+	f.Add("void f(int x) { } int main(void) { f(1, 2); return 0; }")
+	f.Add("struct p { int x; }; int main(void) { struct p q; return q.y; }")
+	f.Add("int a[4]; int main(void) { return a; }")
+	f.Add("int main(void) { int t = spawn(main); join(t); return 0; }")
+	f.Add("void v(void) { } int main(void) { return v(); }")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := parser.Parse("fuzz.mc", src)
+		if err != nil {
+			return // unparseable input; the parser fuzz target owns this space
+		}
+		info, err := types.Check(file)
+		if err != nil {
+			return // rejected program; only crashes count
+		}
+		_ = info
+		printed := ast.Print(file)
+		reparsed, err := parser.Parse("fuzz-reprint.mc", printed)
+		if err != nil {
+			t.Fatalf("Print emitted unparsable source: %v\n--- printed ---\n%s", err, printed)
+		}
+		if _, err := types.Check(reparsed); err != nil {
+			t.Fatalf("accepted program rejected after Print round trip: %v\n--- printed ---\n%s\n--- original ---\n%s", err, printed, src)
+		}
+	})
+}
