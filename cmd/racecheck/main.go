@@ -28,6 +28,14 @@
 //	racecheck -certify -bench all -certout certs/
 //	                        # certify every embedded benchmark (or one, by
 //	                        # name) and write the JSON certificates to a dir
+//	racecheck -dynamic prog.mc
+//	                        # run the program and report dynamic races from
+//	                        # the FastTrack-epoch checker attached as a
+//	                        # batched event sink
+//	racecheck -dynamic -checker both -seed 7 -bench radix
+//	                        # run a benchmark under schedule seed 7 with the
+//	                        # epoch checker and the full-vector oracle on
+//	                        # one event stream; exit nonzero if they diverge
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/certify"
@@ -45,9 +54,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/instrument"
 	"repro/internal/mhp"
+	"repro/internal/minic/ast"
 	"repro/internal/minic/parser"
 	"repro/internal/minic/types"
+	"repro/internal/oskit"
 	"repro/internal/relay"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -82,9 +94,38 @@ func run(args []string, out, errOut io.Writer) int {
 	config := fs.String("config", "all", "instrumentation config for -certify: instr, instr+func, instr+loop, all")
 	certOut := fs.String("certout", "", "directory to write certificate JSON files to (with -certify)")
 	instrumented := fs.String("instrumented", "", "pre-instrumented source to certify against the original's report (with -certify)")
-	benchName := fs.String("bench", "", "certify an embedded benchmark by name, or \"all\" (with -certify)")
+	benchName := fs.String("bench", "", "an embedded benchmark by name, or \"all\" (with -certify or -dynamic)")
+	dynamic := fs.Bool("dynamic", false, "run the program and report dynamic races from the event-sink checker")
+	checker := fs.String("checker", "epoch", "dynamic race checker for -dynamic: epoch, vector, or both")
+	seed := fs.Uint64("seed", 1, "schedule seed for -dynamic runs")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *dynamic {
+		if *benchName != "" {
+			if fs.NArg() != 0 {
+				fs.Usage()
+				return 2
+			}
+			return runDynamicBench(*benchName, *checker, *seed, out, errOut)
+		}
+		if fs.NArg() != 1 {
+			fs.Usage()
+			return 2
+		}
+		src, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(errOut, "racecheck:", err)
+			return 1
+		}
+		name := strings.TrimSuffix(filepath.Base(fs.Arg(0)), filepath.Ext(fs.Arg(0)))
+		prog, err := core.Load(name, string(src))
+		if err != nil {
+			fmt.Fprintln(errOut, "racecheck:", err)
+			return 1
+		}
+		return runDynamic(name, prog, oskit.NewWorld(*seed), *seed, *checker, out, errOut)
 	}
 
 	opts, okConfig := optionsFor(*config)
@@ -211,6 +252,104 @@ func run(args []string, out, errOut io.Writer) int {
 		return 1
 	}
 	return reportCert(cert, *certOut, out, errOut)
+}
+
+// runDynamic executes one program with the selected dynamic race
+// checker(s) attached as batched event sinks and prints the verdict.
+// With -checker both the epoch checker and the full-vector oracle observe
+// one event stream of a single execution and must agree.
+func runDynamic(name string, prog *core.Program, world *oskit.World, seed uint64, checker string, out, errOut io.Writer) int {
+	var chks []trace.RaceChecker
+	switch checker {
+	case "epoch":
+		chks = []trace.RaceChecker{trace.NewChecker(0)}
+	case "vector":
+		chks = []trace.RaceChecker{trace.NewVectorChecker(0)}
+	case "both":
+		chks = []trace.RaceChecker{trace.NewChecker(0), trace.NewVectorChecker(0)}
+	default:
+		fmt.Fprintf(errOut, "racecheck: unknown -checker %q (want epoch, vector, or both)\n", checker)
+		return 2
+	}
+	start := time.Now()
+	r := core.CheckDynamicRacesWith(prog, nil, core.RunConfig{World: world, Seed: seed}, chks...)
+	wall := time.Since(start)
+	if r.Err != nil {
+		fmt.Fprintf(errOut, "racecheck: %s: run: %v\n", name, r.Err)
+		return 1
+	}
+	races := chks[0].Races()
+	fmt.Fprintf(out, "%s: %d dynamic race(s) (checker=%s, seed=%d, wall=%s)\n",
+		name, len(races), checker, seed, wall.Round(time.Microsecond))
+	if ec, ok := chks[0].(*trace.EpochChecker); ok {
+		fmt.Fprintf(out, "  checker share: %s\n", time.Duration(ec.WallNS()).Round(time.Microsecond))
+	}
+	for _, rc := range races {
+		fmt.Fprintf(out, "  %s\n", rc)
+	}
+	if checker == "both" {
+		if !sameVerdicts(chks[0].Races(), chks[1].Races()) {
+			fmt.Fprintf(errOut, "racecheck: %s: epoch and vector checkers diverged:\n  epoch:  %v\n  vector: %v\n",
+				name, chks[0].Races(), chks[1].Races())
+			return 1
+		}
+		fmt.Fprintln(out, "  epoch and full-vector verdicts agree")
+	}
+	return 0
+}
+
+// runDynamicBench runs the dynamic checker over embedded benchmarks'
+// original (uninstrumented) programs under their evaluation worlds.
+func runDynamicBench(name, checker string, seed uint64, out, errOut io.Writer) int {
+	var list []*bench.Benchmark
+	if name == "all" {
+		list = bench.All()
+	} else {
+		b := bench.ByName(name)
+		if b == nil {
+			fmt.Fprintf(errOut, "racecheck: unknown benchmark %q\n", name)
+			return 2
+		}
+		list = []*bench.Benchmark{b}
+	}
+	status := 0
+	for _, b := range list {
+		prog, err := core.Load(b.Name, b.FullSource())
+		if err != nil {
+			fmt.Fprintf(errOut, "racecheck: %s: %v\n", b.Name, err)
+			return 1
+		}
+		if rc := runDynamic(b.Name, prog, b.EvalWorld(4), seed, checker, out, errOut); rc != 0 {
+			status = rc
+		}
+	}
+	return status
+}
+
+// sameVerdicts compares two race lists as deduplicated canonical
+// (node, node) pair sets — the equivalence the differential tests pin.
+func sameVerdicts(a, b []trace.Race) bool {
+	set := func(rs []trace.Race) map[[2]ast.NodeID]bool {
+		m := make(map[[2]ast.NodeID]bool, len(rs))
+		for _, r := range rs {
+			x, y := r.NodeA, r.NodeB
+			if x > y {
+				x, y = y, x
+			}
+			m[[2]ast.NodeID{x, y}] = true
+		}
+		return m
+	}
+	sa, sb := set(a), set(b)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for k := range sa {
+		if !sb[k] {
+			return false
+		}
+	}
+	return true
 }
 
 // runBench certifies embedded benchmarks: the full pipeline (analysis,

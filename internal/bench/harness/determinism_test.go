@@ -114,6 +114,9 @@ func TestSuiteDeterministicUnderParallelism(t *testing.T) {
 		// Wall-clock fields are timings, not analysis results.
 		a.AnalysisWallNS, b.AnalysisWallNS = 0, 0
 		a.CertifyWallNS, b.CertifyWallNS = 0, 0
+		a.RecordWallNS, b.RecordWallNS = 0, 0
+		a.ReplayWallNS, b.ReplayWallNS = 0, 0
+		a.CheckerWallNS, b.CheckerWallNS = 0, 0
 		if a != b {
 			t.Errorf("row %d differs:\nsequential: %+v\nparallel:   %+v", i, a, b)
 		}

@@ -22,6 +22,7 @@ import (
 	"math"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/oskit"
 	"repro/internal/profile"
 	"repro/internal/relay"
+	"repro/internal/trace"
 	"repro/internal/vm"
 	"repro/internal/weaklock"
 )
@@ -286,6 +288,26 @@ type Measurement struct {
 	InputLogKB float64
 	OrderLogKB float64
 
+	// Streamed chunked-log sizes in compressed bytes, from the LogWriter
+	// attached to the recording run: the whole recording stream and the
+	// order-stream share of its chunks.
+	RecordLogBytes int64
+	OrderLogBytes  int64
+
+	// Real wall-clock nanoseconds of the dynamic phases. Unlike the
+	// simulated makespans (and every ratio derived from them) these vary
+	// run to run and machine to machine; EXPERIMENTS.md documents the
+	// methodology.
+	RecordWallNS int64
+	ReplayWallNS int64
+
+	// CheckerWallNS is the wall time the epoch race checker spent
+	// consuming the instrumented run's event stream (a separate checked
+	// run); CheckerRaces is its verdict count — 0 for a correctly
+	// instrumented program under the extended synchronization set.
+	CheckerWallNS int64
+	CheckerRaces  int
+
 	Timeouts int64
 
 	// ReplayMatches is true when replay bit-matched the recording.
@@ -358,10 +380,15 @@ func (s *Suite) measure(p *Prepared, configName string, workers int) (*Measureme
 	m.NativeMakespan = native.Makespan
 
 	rcRec := core.RunConfig{World: p.B.EvalWorld(workers), Seed: s.Cfg.Seed, Table: ip.Table, HeapWords: s.Cfg.HeapWords}
-	recRes, log := ip.Record(rcRec)
+	var cw countWriter
+	recStart := time.Now()
+	recRes, log, lw := ip.RecordTo(rcRec, &cw)
+	m.RecordWallNS = time.Since(recStart).Nanoseconds()
 	if recRes.Err != nil {
 		return nil, fmt.Errorf("%s/%s record: %w", p.B.Name, configName, recRes.Err)
 	}
+	m.RecordLogBytes = cw.n
+	m.OrderLogBytes = lw.OrderBytesWritten()
 	m.RecordMakespan = recRes.Makespan
 	m.RecordOverhead = ratio(recRes.Makespan, native.Makespan)
 	m.Syscalls = log.InputCount()
@@ -375,9 +402,11 @@ func (s *Suite) measure(p *Prepared, configName string, workers int) (*Measureme
 	m.OrderLogKB = log.OrderLogKB()
 	m.Timeouts = recRes.WLStats.Timeouts
 
+	repStart := time.Now()
 	repRes, err := ip.Replay(log, core.RunConfig{
 		World: p.B.EvalWorld(workers), Seed: s.Cfg.ReplaySeed, Table: ip.Table, HeapWords: s.Cfg.HeapWords,
 	})
+	m.ReplayWallNS = time.Since(repStart).Nanoseconds()
 	if err != nil {
 		m.ReplayErr = err.Error()
 	} else {
@@ -388,7 +417,29 @@ func (s *Suite) measure(p *Prepared, configName string, workers int) (*Measureme
 			m.ReplayErr = "replay hash mismatch"
 		}
 	}
+
+	// A separate checked run: the epoch checker consumes the instrumented
+	// program's batched event stream (it is a pure observer, so the
+	// measured record/replay runs above are untouched).
+	chk := trace.NewChecker(0)
+	chkRes := core.CheckDynamicRacesWith(ip.Prog, ip.Table, core.RunConfig{
+		World: p.B.EvalWorld(workers), Seed: s.Cfg.Seed, HeapWords: s.Cfg.HeapWords,
+	}, chk)
+	if chkRes.Err != nil {
+		return nil, fmt.Errorf("%s/%s checker run: %w", p.B.Name, configName, chkRes.Err)
+	}
+	m.CheckerWallNS = chk.WallNS()
+	m.CheckerRaces = chk.RaceCount()
 	return m, nil
+}
+
+// countWriter counts bytes streamed through it (the recording's total
+// on-disk size, without buffering the stream).
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
 }
 
 func ratio(a, b int64) float64 {

@@ -28,6 +28,19 @@ type JSONEntry struct {
 	ReplayOverhead float64 `json:"replay_overhead"`
 	ReplayMatches  bool    `json:"replay_matches"`
 
+	// Streamed chunked-log sizes in compressed bytes: the whole recording
+	// stream and the order-stream share of its chunks.
+	RecordLogBytes int64 `json:"record_log_bytes"`
+	OrderLogBytes  int64 `json:"order_log_bytes"`
+
+	// Real wall-clock nanoseconds of the dynamic phases: the recording run
+	// (with the log streaming to a writer), the gated replay run, and the
+	// epoch race checker's share of a separate checked run. Unlike every
+	// simulated metric these vary run to run; see EXPERIMENTS.md.
+	RecordWallNS  int64 `json:"record_wall_ns"`
+	ReplayWallNS  int64 `json:"replay_wall_ns"`
+	CheckerWallNS int64 `json:"checker_wall_ns"`
+
 	// Certified reports whether the static DRF/deadlock-freedom certifier
 	// (internal/certify) validated this row's instrumented output against
 	// its race report; CertifyWallNS is the certifier's wall-clock cost
@@ -93,6 +106,11 @@ func (s *Suite) MeasureJSON(configNames []string) ([]JSONEntry, error) {
 			RecordOverhead: m.RecordOverhead,
 			ReplayOverhead: m.ReplayOverhead,
 			ReplayMatches:  m.ReplayMatches,
+			RecordLogBytes: m.RecordLogBytes,
+			OrderLogBytes:  m.OrderLogBytes,
+			RecordWallNS:   m.RecordWallNS,
+			ReplayWallNS:   m.ReplayWallNS,
+			CheckerWallNS:  m.CheckerWallNS,
 			Certified:      cert.OK,
 			CertifyWallNS:  certWall,
 		}

@@ -33,6 +33,8 @@ func TestJSONSchemaGolden(t *testing.T) {
 				StaticPairs: 3, PrunedPairs: 0, WeakLocks: 2,
 				AnalysisWallNS: 1_000_000,
 				RecordOverhead: 1.25, ReplayOverhead: 1.10, ReplayMatches: true,
+				RecordLogBytes: 2_048, OrderLogBytes: 512,
+				RecordWallNS: 900_000, ReplayWallNS: 700_000, CheckerWallNS: 300_000,
 				Certified: true, CertifyWallNS: 400_000,
 			},
 			{
@@ -40,6 +42,8 @@ func TestJSONSchemaGolden(t *testing.T) {
 				StaticPairs: 5, PrunedPairs: 2, WeakLocks: 4,
 				AnalysisWallNS: 1_500_000,
 				RecordOverhead: 1.50, ReplayOverhead: 1.20, ReplayMatches: true,
+				RecordLogBytes: 4_096, OrderLogBytes: 1_024,
+				RecordWallNS: 1_100_000, ReplayWallNS: 800_000, CheckerWallNS: 350_000,
 				Certified: true, CertifyWallNS: 500_000,
 			},
 			{
@@ -47,6 +51,8 @@ func TestJSONSchemaGolden(t *testing.T) {
 				StaticPairs: 7, PrunedPairs: 0, WeakLocks: 6,
 				AnalysisWallNS: 1_500_000,
 				RecordOverhead: 1.75, ReplayOverhead: 1.30, ReplayMatches: true,
+				RecordLogBytes: 8_192, OrderLogBytes: 2_048,
+				RecordWallNS: 1_300_000, ReplayWallNS: 900_000, CheckerWallNS: 400_000,
 				Certified: true, CertifyWallNS: 600_000,
 			},
 		},
@@ -114,6 +120,18 @@ func TestMeasureJSONRowOrder(t *testing.T) {
 		}
 		if e.CertifyWallNS <= 0 {
 			t.Errorf("%s/%s: certify_wall_ns = %d, want > 0", e.Bench, e.Config, e.CertifyWallNS)
+		}
+		if e.RecordLogBytes <= 0 || e.OrderLogBytes <= 0 {
+			t.Errorf("%s/%s: streamed log sizes not populated: record=%d order=%d",
+				e.Bench, e.Config, e.RecordLogBytes, e.OrderLogBytes)
+		}
+		if e.RecordLogBytes <= e.OrderLogBytes {
+			t.Errorf("%s/%s: whole stream (%d bytes) must exceed its order share (%d bytes)",
+				e.Bench, e.Config, e.RecordLogBytes, e.OrderLogBytes)
+		}
+		if e.RecordWallNS <= 0 || e.ReplayWallNS <= 0 || e.CheckerWallNS <= 0 {
+			t.Errorf("%s/%s: wall-clock fields not populated: rec=%d rep=%d chk=%d",
+				e.Bench, e.Config, e.RecordWallNS, e.ReplayWallNS, e.CheckerWallNS)
 		}
 	}
 }

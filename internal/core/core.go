@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -255,25 +256,45 @@ func (p *Program) InstrumentWith(rep *relay.Report, conc *profile.Concurrency, o
 // Record executes the instrumented program while logging inputs and sync
 // order; it returns the run result and the log.
 func (ip *Instrumented) Record(rc RunConfig) (*vm.Result, *replay.Log) {
-	rec := replay.NewRecorder(rc.World, rc.Cost)
-	cfg := rc.vmConfig()
-	cfg.Inputs = rec
-	cfg.Monitor = rec
-	cfg.WL = ip.Table
-	r := vm.Run(ip.Prog.Code, cfg)
-	return r, rec.Log()
+	return RecordProgram(ip.Prog, ip.Table, rc)
+}
+
+// RecordTo is Record with the log additionally streamed to w; see
+// RecordProgramTo.
+func (ip *Instrumented) RecordTo(rc RunConfig, w io.Writer) (*vm.Result, *replay.Log, *replay.LogWriter) {
+	return RecordProgramTo(ip.Prog, ip.Table, rc, w)
 }
 
 // RecordProgram records an arbitrary program (e.g. the DRF-only baseline
 // on an uninstrumented program).
 func RecordProgram(p *Program, table *weaklock.Table, rc RunConfig) (*vm.Result, *replay.Log) {
+	r, log, _ := RecordProgramTo(p, table, rc, nil)
+	return r, log
+}
+
+// RecordProgramTo records like RecordProgram while additionally streaming
+// the log to w in the chunked on-disk format as records are committed. The
+// returned LogWriter is already closed; its byte counters attribute the
+// compressed stream to inputs vs sync order (nil when w is nil). Streaming
+// adds no simulated cost — the cost model already charges for logging.
+func RecordProgramTo(p *Program, table *weaklock.Table, rc RunConfig, w io.Writer) (*vm.Result, *replay.Log, *replay.LogWriter) {
 	rec := replay.NewRecorder(rc.World, rc.Cost)
+	var lw *replay.LogWriter
+	if w != nil {
+		lw = replay.NewLogWriter(w)
+		rec.AttachWriter(lw)
+	}
 	cfg := rc.vmConfig()
 	cfg.Inputs = rec
 	cfg.Monitor = rec
 	cfg.WL = table
 	r := vm.Run(p.Code, cfg)
-	return r, rec.Log()
+	if lw != nil {
+		if err := lw.Close(); err != nil && r.Err == nil {
+			r.Err = fmt.Errorf("record stream: %w", err)
+		}
+	}
+	return r, rec.Log(), lw
 }
 
 // ReplayProgram re-executes a program against a recording; the seed may
@@ -347,15 +368,25 @@ func (ip *Instrumented) RunDeterministic(rc RunConfig) *vm.Result {
 	return vm.Run(ip.Prog.Code, cfg)
 }
 
-// CheckDynamicRaces runs the program under the vector-clock checker and
-// returns the distinct races observed. For instrumented programs pass the
-// weak-lock table so weak-lock edges count as synchronization.
+// CheckDynamicRaces runs the program under the happens-before race checker
+// (FastTrack-style adaptive epochs) and returns the distinct races
+// observed. For instrumented programs pass the weak-lock table so
+// weak-lock edges count as synchronization.
 func CheckDynamicRaces(p *Program, table *weaklock.Table, rc RunConfig) ([]trace.Race, *vm.Result) {
 	chk := trace.NewChecker(0)
+	r := CheckDynamicRacesWith(p, table, rc, chk)
+	return chk.Races(), r
+}
+
+// CheckDynamicRacesWith runs the program with explicit race checkers
+// attached as batched event sinks — the epoch checker for production, the
+// full-vector oracle for differential testing. Passing both runs them over
+// the one event stream of a single execution.
+func CheckDynamicRacesWith(p *Program, table *weaklock.Table, rc RunConfig, chks ...trace.RaceChecker) *vm.Result {
 	cfg := rc.vmConfig()
 	cfg.WL = table
-	cfg.Trace = chk
-	cfg.SyncEvents = chk
-	r := vm.Run(p.Code, cfg)
-	return chk.Races(), r
+	for _, chk := range chks {
+		cfg.Sinks = append(cfg.Sinks, chk)
+	}
+	return vm.Run(p.Code, cfg)
 }

@@ -1,0 +1,153 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/minic/parser"
+	"repro/internal/minic/types"
+	"repro/internal/oskit"
+	"repro/internal/vm"
+)
+
+// realLog records an actual concurrent run with input operations, so the
+// fuzz corpora are seeded with genuinely-shaped logs rather than only
+// hand-built ones.
+func realLog(f *testing.F) *Log {
+	f.Helper()
+	src := `
+int m;
+int g;
+void worker(int n) {
+    for (int i = 0; i < 5; i++) {
+        lock(&m);
+        g = g + rnd(10);
+        unlock(&m);
+    }
+}
+int main(void) {
+    int fd = open(5);
+    int buf[4];
+    read(fd, buf, 4);
+    int t1 = spawn(worker, 1);
+    int t2 = spawn(worker, 2);
+    join(t1); join(t2);
+    print(g + buf[0]);
+    return 0;
+}
+`
+	file := parser.MustParse("fuzzseed.mc", src)
+	info := types.MustCheck(file)
+	p, err := vm.Compile(info)
+	if err != nil {
+		f.Fatal(err)
+	}
+	w := oskit.NewWorld(1)
+	w.AddFile(5, []int64{10, 20, 30, 40})
+	rec := NewRecorder(w, vm.DefaultCost())
+	r := vm.Run(p, vm.Config{Inputs: rec, Monitor: rec, Seed: 9})
+	if r.Err != nil {
+		f.Fatal(r.Err)
+	}
+	return rec.Log()
+}
+
+// seedVariants adds data plus truncated and bit-flipped mutants of it.
+func seedVariants(f *testing.F, data []byte) {
+	f.Helper()
+	f.Add(data)
+	if len(data) > 1 {
+		f.Add(data[:len(data)/2])
+		f.Add(data[:len(data)-1])
+		for _, pos := range []int{0, len(data) / 3, len(data) - 1} {
+			mut := append([]byte{}, data...)
+			mut[pos] ^= 0x20
+			f.Add(mut)
+		}
+	}
+}
+
+// FuzzDecodeInput checks the input-log decoder never panics and never
+// accepts bytes it cannot canonically round-trip.
+func FuzzDecodeInput(f *testing.F) {
+	seedVariants(f, realLog(f).InputBytes())
+	seedVariants(f, sampleLog().InputBytes())
+	f.Add(words(0))
+	f.Add(words(1, 0, 1, 1, 2, 20)) // the dn-bounds regression shape
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeInput(data)
+		if err != nil {
+			return
+		}
+		a := &Log{Inputs: m, Orders: map[vm.SyncKey][]OrderRec{}}
+		m2, err := DecodeInput(a.InputBytes())
+		if err != nil {
+			t.Fatalf("accepted input log failed to round-trip: %v", err)
+		}
+		b := &Log{Inputs: m2, Orders: map[vm.SyncKey][]OrderRec{}}
+		if !logsEqual(a, b) {
+			t.Fatalf("input log round-trip mismatch")
+		}
+	})
+}
+
+// FuzzDecodeOrder is the order-log counterpart of FuzzDecodeInput.
+func FuzzDecodeOrder(f *testing.F) {
+	seedVariants(f, realLog(f).OrderBytes())
+	seedVariants(f, sampleLog().OrderBytes())
+	f.Add(words(0))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeOrder(data)
+		if err != nil {
+			return
+		}
+		a := &Log{Inputs: map[int][]InputRec{}, Orders: m}
+		m2, err := DecodeOrder(a.OrderBytes())
+		if err != nil {
+			t.Fatalf("accepted order log failed to round-trip: %v", err)
+		}
+		b := &Log{Inputs: map[int][]InputRec{}, Orders: m2}
+		if !logsEqual(a, b) {
+			t.Fatalf("order log round-trip mismatch")
+		}
+	})
+}
+
+// FuzzReadLog drives the chunked container format: corrupt streams must
+// error (CRC, lengths, framing), and accepted streams must round-trip.
+func FuzzReadLog(f *testing.F) {
+	var real bytes.Buffer
+	if _, err := realLog(f).WriteTo(&real); err != nil {
+		f.Fatal(err)
+	}
+	seedVariants(f, real.Bytes())
+	var sample bytes.Buffer
+	if _, err := sampleLog().WriteTo(&sample); err != nil {
+		f.Fatal(err)
+	}
+	seedVariants(f, sample.Bytes())
+	var empty bytes.Buffer
+	if _, err := NewLog().WriteTo(&empty); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	f.Add([]byte("CHIMLOG2"))
+	f.Add([]byte("CHIMLOG1junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ReadLog(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := l.WriteTo(&buf); err != nil {
+			t.Fatalf("accepted log failed to re-encode: %v", err)
+		}
+		l2, err := ReadLog(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded log failed to decode: %v", err)
+		}
+		if !logsEqual(l, l2) {
+			t.Fatalf("chunked log round-trip mismatch")
+		}
+	})
+}

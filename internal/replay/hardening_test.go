@@ -1,0 +1,127 @@
+package replay
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func words(vs ...int64) []byte {
+	var buf bytes.Buffer
+	for _, v := range vs {
+		binary.Write(&buf, binary.LittleEndian, v)
+	}
+	return buf.Bytes()
+}
+
+// TestDecodeInputBoundsRegression pins the fix for the dn bounds check:
+// a data length can be well under len(data) *bytes* yet exceed the words
+// actually remaining, which previously passed validation and failed only
+// after over-allocating. All such inputs must now fail cleanly up front.
+func TestDecodeInputBoundsRegression(t *testing.T) {
+	// 1 tid group, tid 0, 1 record: op=1 val=2 dn=20 — but zero words
+	// remain. 20 < len(data)=48 passed the old check.
+	bad := words(1, 0, 1, 1, 2, 20)
+	if _, err := DecodeInput(bad); err == nil {
+		t.Fatalf("dn beyond remaining words must be rejected")
+	}
+
+	// Boundary: dn exactly equal to the remaining words is valid.
+	good := words(1, 0, 1, 1, 2, 2, 11, 22)
+	m, err := DecodeInput(good)
+	if err != nil {
+		t.Fatalf("dn == remaining words must decode: %v", err)
+	}
+	if got := m[0][0].Data; len(got) != 2 || got[0] != 11 || got[1] != 22 {
+		t.Fatalf("boundary decode wrong: %v", got)
+	}
+
+	// Negative and absurd counts at every level fail rather than allocate.
+	for _, data := range [][]byte{
+		words(-1),
+		words(1, 0, -5),
+		words(1 << 40),
+		words(1, 0, 1, 1, 2, -3),
+	} {
+		if _, err := DecodeInput(data); err == nil {
+			t.Fatalf("corrupt count must be rejected: %v", data)
+		}
+	}
+
+	// Trailing garbage after a well-formed log is corruption, not padding.
+	if _, err := DecodeInput(append(words(0), 0xde)); err == nil {
+		t.Fatalf("trailing bytes must be rejected")
+	}
+}
+
+// TestDecodeOrderValidation checks record-level validation of the order
+// stream: unknown sync classes and hook-only event kinds never decode.
+func TestDecodeOrderValidation(t *testing.T) {
+	for _, data := range [][]byte{
+		words(1, 99, 0, 0), // bad class
+		words(1, int64(vm.SyncMutex), 7, 1, int64(vm.EvJoin)), // hook-only kind
+		words(1, int64(vm.SyncMutex), 7, 3, 0, 0),             // count > remaining
+		words(1, int64(vm.SyncMutex), 7, -1),                  // negative count
+		append(words(1, int64(vm.SyncMutex), 7, 1, 0), 1, 2),  // trailing bytes
+	} {
+		if _, err := DecodeOrder(data); err == nil {
+			t.Fatalf("corrupt order log must be rejected: %v", data)
+		}
+	}
+}
+
+// TestLogWriterCounters checks the per-stream compressed byte attribution:
+// both counters populate when both streams carry records, and together
+// they account for every byte except the magic and end marker.
+func TestLogWriterCounters(t *testing.T) {
+	var buf bytes.Buffer
+	lw := NewLogWriter(&buf)
+	lw.Input(0, InputRec{Op: 1, Val: 2, Data: []int64{3, 4}})
+	lw.Order(vm.SyncKey{Class: vm.SyncMutex, ID: 9}, OrderRec{Tid: 1, Kind: vm.EvAcquire})
+	if err := lw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lw.InputBytesWritten() <= 0 || lw.OrderBytesWritten() <= 0 {
+		t.Fatalf("counters not populated: in=%d ord=%d",
+			lw.InputBytesWritten(), lw.OrderBytesWritten())
+	}
+	if want := int64(buf.Len()) - 8 - 13; lw.InputBytesWritten()+lw.OrderBytesWritten() != want {
+		t.Fatalf("counter sum %d != stream minus framing %d",
+			lw.InputBytesWritten()+lw.OrderBytesWritten(), want)
+	}
+}
+
+// TestChunkCorruptionDetected flips single bytes across an encoded log and
+// requires every corruption either to be detected or to decode to the
+// identical log (a flip inside gzip padding can be inert) — never a
+// silently different log, never a panic.
+func TestChunkCorruptionDetected(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if _, err := l.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	for i := range orig {
+		mut := append([]byte{}, orig...)
+		mut[i] ^= 0x40
+		got, err := ReadLog(bytes.NewReader(mut))
+		if err == nil && !logsEqual(l, got) {
+			t.Fatalf("byte %d flip silently accepted as a different log", i)
+		}
+	}
+
+	// Truncations at every length must error.
+	for n := 0; n < len(orig); n++ {
+		if _, err := ReadLog(bytes.NewReader(orig[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes must be rejected", n)
+		}
+	}
+
+	// Trailing garbage after the end marker must error.
+	if _, err := ReadLog(bytes.NewReader(append(append([]byte{}, orig...), 0))); err == nil {
+		t.Fatalf("trailing garbage after end marker must be rejected")
+	}
+}

@@ -199,7 +199,14 @@ type Recorder struct {
 	log  *Log
 	live vm.LiveInputs
 	cost vm.CostModel
+	lw   *LogWriter // optional streaming tee (AttachWriter)
 }
+
+// AttachWriter tees every logged record into lw as it is committed, so a
+// recording streams to disk while the run is still executing. The caller
+// owns lw and must Close it after the run. Attaching adds no simulated
+// cost — the CostModel already charges for logging.
+func (r *Recorder) AttachWriter(lw *LogWriter) { r.lw = lw }
 
 // NewRecorder returns a recorder over the given OS.
 func NewRecorder(os vm.OS, cost vm.CostModel) *Recorder {
@@ -223,6 +230,9 @@ func (r *Recorder) Input(tid int, op types.BuiltinOp, args []int64, sendData []i
 		rec.Data = append([]int64{}, data...)
 	}
 	r.log.Inputs[tid] = append(r.log.Inputs[tid], rec)
+	if r.lw != nil {
+		r.lw.Input(tid, rec)
+	}
 	cost := r.cost.LogEvent + r.cost.LogWord*int64(len(data))
 	return val, data, ready, cost, nil
 }
@@ -232,7 +242,11 @@ func (r *Recorder) TryProceed(key vm.SyncKey, kind vm.SyncEventKind, tid int) bo
 
 // Commit implements vm.SyncMonitor: append to the order log.
 func (r *Recorder) Commit(key vm.SyncKey, kind vm.SyncEventKind, tid int, now int64) int64 {
-	r.log.Orders[key] = append(r.log.Orders[key], OrderRec{Tid: int32(tid), Kind: kind})
+	rec := OrderRec{Tid: int32(tid), Kind: kind}
+	r.log.Orders[key] = append(r.log.Orders[key], rec)
+	if r.lw != nil {
+		r.lw.Order(key, rec)
+	}
 	return r.cost.LogEvent
 }
 
@@ -240,9 +254,11 @@ func (r *Recorder) Commit(key vm.SyncKey, kind vm.SyncEventKind, tid int, now in
 // together with its deterministic anchor (paper §2.3's planned DoublePlay
 // mechanism, here fully implemented).
 func (r *Recorder) CommitForced(key vm.SyncKey, tid int, anchor vm.ForcedAnchor, now int64) int64 {
-	r.log.Orders[key] = append(r.log.Orders[key], OrderRec{
-		Tid: int32(tid), Kind: vm.EvWLForcedRelease, Anchor: anchor,
-	})
+	rec := OrderRec{Tid: int32(tid), Kind: vm.EvWLForcedRelease, Anchor: anchor}
+	r.log.Orders[key] = append(r.log.Orders[key], rec)
+	if r.lw != nil {
+		r.lw.Order(key, rec)
+	}
 	return r.cost.LogEvent
 }
 

@@ -1,0 +1,219 @@
+package replay
+
+// StreamReplayer: replay straight from a chunked log stream without
+// materializing the whole Log. Chunks are pulled (and CRC-verified) lazily
+// as the per-thread input queues and per-key order queues drain, so memory
+// is bounded by how far the replayed schedule runs ahead of the stream
+// order, not by the recording's length.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/minic/types"
+	"repro/internal/vm"
+)
+
+// Interface conformance: a StreamReplayer drives a replay run exactly like
+// the in-memory Replayer.
+var (
+	_ vm.SyncMonitor       = (*StreamReplayer)(nil)
+	_ vm.PreemptionMonitor = (*StreamReplayer)(nil)
+	_ vm.InputProvider     = (*StreamReplayer)(nil)
+)
+
+// StreamReplayer replays a recording from an io.ReadSeeker holding the
+// chunked log format. Construction prescans the stream once for forced
+// weak-lock preemptions — the VM needs each thread's next preemption
+// anchor up front (NextForced), which no finite lookahead bounds — then
+// seeks back and decodes incrementally.
+type StreamReplayer struct {
+	cur    *LogCursor
+	cost   vm.CostModel
+	inputQ map[int][]InputRec
+	orderQ map[vm.SyncKey][]OrderRec
+	forced map[int][]forcedRec
+	eof    bool
+	err    error
+}
+
+// NewStreamReplayer returns a replayer over a chunked log stream.
+func NewStreamReplayer(r io.ReadSeeker, cost vm.CostModel) (*StreamReplayer, error) {
+	if cost == (vm.CostModel{}) {
+		cost = vm.DefaultCost()
+	}
+	forced := make(map[int][]forcedRec)
+	pre := NewLogCursor(r)
+	for {
+		rec, err := pre.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !rec.IsInput && rec.Order.Kind == vm.EvWLForcedRelease {
+			tid := int(rec.Order.Tid)
+			forced[tid] = append(forced[tid], forcedRec{key: rec.Key, anchor: rec.Order.Anchor})
+		}
+	}
+	// Within a thread the anchors give the true order (a thread executes
+	// its preemptions one at a time), same as the in-memory Replayer.
+	for tid := range forced {
+		recs := forced[tid]
+		sort.Slice(recs, func(i, j int) bool {
+			if recs[i].anchor.Instr != recs[j].anchor.Instr {
+				return recs[i].anchor.Instr < recs[j].anchor.Instr
+			}
+			return recs[i].anchor.Sync < recs[j].anchor.Sync
+		})
+		forced[tid] = recs
+	}
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("replay: rewind after forced-preemption prescan: %w", err)
+	}
+	return &StreamReplayer{
+		cur:    NewLogCursor(r),
+		cost:   cost,
+		inputQ: make(map[int][]InputRec),
+		orderQ: make(map[vm.SyncKey][]OrderRec),
+		forced: forced,
+	}, nil
+}
+
+// pull decodes one more record into the queues; false at end of stream or
+// on a corrupt stream (recorded in err).
+func (s *StreamReplayer) pull() bool {
+	if s.eof || s.err != nil {
+		return false
+	}
+	rec, err := s.cur.Next()
+	if err == io.EOF {
+		s.eof = true
+		return false
+	}
+	if err != nil {
+		s.err = err
+		return false
+	}
+	if rec.IsInput {
+		s.inputQ[rec.Tid] = append(s.inputQ[rec.Tid], rec.Input)
+	} else {
+		s.orderQ[rec.Key] = append(s.orderQ[rec.Key], rec.Order)
+	}
+	return true
+}
+
+// pullOrder ensures at least one pending order record on key.
+func (s *StreamReplayer) pullOrder(key vm.SyncKey) bool {
+	for len(s.orderQ[key]) == 0 {
+		if !s.pull() {
+			return false
+		}
+	}
+	return true
+}
+
+// pullInput ensures at least one pending input record for tid.
+func (s *StreamReplayer) pullInput(tid int) bool {
+	for len(s.inputQ[tid]) == 0 {
+		if !s.pull() {
+			return false
+		}
+	}
+	return true
+}
+
+// diverge records a divergence; the VM surfaces it as a run error.
+func (s *StreamReplayer) diverge(format string, args ...any) error {
+	if s.err == nil {
+		s.err = fmt.Errorf("replay divergence: "+format, args...)
+	}
+	return s.err
+}
+
+// Err returns the first divergence or stream error detected, if any.
+func (s *StreamReplayer) Err() error { return s.err }
+
+// Input implements vm.InputProvider.
+func (s *StreamReplayer) Input(tid int, op types.BuiltinOp, args []int64, sendData []int64, now int64) (int64, []int64, int64, int64, error) {
+	if !s.pullInput(tid) {
+		return 0, nil, now, 0, s.diverge("thread %d performed more input ops than recorded (%s)", tid, types.BuiltinName(op))
+	}
+	rec := s.inputQ[tid][0]
+	if rec.Op != op {
+		return 0, nil, now, 0, s.diverge("thread %d input op mismatch: got %s, recorded %s",
+			tid, types.BuiltinName(op), types.BuiltinName(rec.Op))
+	}
+	s.inputQ[tid] = s.inputQ[tid][1:]
+	return rec.Val, rec.Data, now, s.cost.ReplayGate, nil
+}
+
+// TryProceed implements vm.SyncMonitor: a thread may proceed only when it
+// is the next recorded actor on the object.
+func (s *StreamReplayer) TryProceed(key vm.SyncKey, kind vm.SyncEventKind, tid int) bool {
+	if !s.pullOrder(key) {
+		s.diverge("extra %s op on %s by thread %d", kind, key, tid)
+		return false
+	}
+	return s.orderQ[key][0].Tid == int32(tid)
+}
+
+// Commit implements vm.SyncMonitor: consume the head record on the key.
+func (s *StreamReplayer) Commit(key vm.SyncKey, kind vm.SyncEventKind, tid int, now int64) int64 {
+	if !s.pullOrder(key) || s.orderQ[key][0].Tid != int32(tid) {
+		s.diverge("commit out of order on %s by thread %d", key, tid)
+		return s.cost.ReplayGate
+	}
+	if got := s.orderQ[key][0].Kind; got != kind {
+		s.diverge("op kind mismatch on %s: got %s, recorded %s", key, kind, got)
+	}
+	s.orderQ[key] = s.orderQ[key][1:]
+	return s.cost.ReplayGate
+}
+
+// CommitForced implements vm.PreemptionMonitor.
+func (s *StreamReplayer) CommitForced(key vm.SyncKey, tid int, anchor vm.ForcedAnchor, now int64) int64 {
+	if !s.pullOrder(key) ||
+		s.orderQ[key][0].Kind != vm.EvWLForcedRelease ||
+		s.orderQ[key][0].Tid != int32(tid) {
+		s.diverge("forced preemption on %s by thread %d not next in the log", key, tid)
+		return s.cost.ReplayGate
+	}
+	s.orderQ[key] = s.orderQ[key][1:]
+	if q := s.forced[tid]; len(q) > 0 {
+		s.forced[tid] = q[1:]
+	}
+	return s.cost.ReplayGate
+}
+
+// NextForced implements vm.PreemptionMonitor.
+func (s *StreamReplayer) NextForced(tid int) (vm.SyncKey, vm.ForcedAnchor, bool) {
+	q := s.forced[tid]
+	if len(q) == 0 {
+		return vm.SyncKey{}, vm.ForcedAnchor{}, false
+	}
+	return q[0].key, q[0].anchor, true
+}
+
+// Drained reports whether the entire stream was consumed (a fully faithful
+// replay consumes everything).
+func (s *StreamReplayer) Drained() bool {
+	for s.pull() {
+	}
+	if !s.eof {
+		return false
+	}
+	for _, q := range s.inputQ {
+		if len(q) != 0 {
+			return false
+		}
+	}
+	for _, q := range s.orderQ {
+		if len(q) != 0 {
+			return false
+		}
+	}
+	return true
+}

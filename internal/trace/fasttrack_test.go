@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/minic/ast"
+	"repro/internal/vm"
+)
+
+// raceKey canonicalizes a race to its deduplication identity.
+func raceKey(r Race) [2]ast.NodeID {
+	a, b := r.NodeA, r.NodeB
+	if a > b {
+		a, b = b, a
+	}
+	return [2]ast.NodeID{a, b}
+}
+
+func sameVerdicts(t *testing.T, ep *EpochChecker, vc *VectorChecker) {
+	t.Helper()
+	er, vr := ep.Races(), vc.Races()
+	if len(er) != len(vr) {
+		t.Fatalf("race count diverged: epoch=%d vector=%d\nepoch: %v\nvector: %v",
+			len(er), len(vr), er, vr)
+	}
+	for i := range er {
+		if raceKey(er[i]) != raceKey(vr[i]) {
+			t.Fatalf("race %d diverged: epoch=%v vector=%v", i, er[i], vr[i])
+		}
+	}
+}
+
+// TestEpochDifferentialRandom feeds identical random event streams (synthetic
+// accesses + lock operations over a few threads, addresses, and nodes) to the
+// epoch checker and the full-vector oracle and requires identical verdicts.
+func TestEpochDifferentialRandom(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ep := NewChecker(0)
+		vc := NewVectorChecker(0)
+		both := []RaceChecker{ep, vc}
+
+		nthreads := 2 + rng.Intn(3)
+		for _, c := range both {
+			for tid := 1; tid < nthreads; tid++ {
+				c.SyncEvent(vm.SyncKey{Class: vm.SyncSpawn, ID: int64(tid)}, vm.EvSpawn, 0, 0)
+			}
+		}
+		steps := 200 + rng.Intn(200)
+		for i := 0; i < steps; i++ {
+			tid := rng.Intn(nthreads)
+			switch rng.Intn(10) {
+			case 0:
+				key := vm.SyncKey{Class: vm.SyncMutex, ID: int64(rng.Intn(2))}
+				for _, c := range both {
+					c.SyncEvent(key, vm.EvAcquire, tid, 0)
+				}
+			case 1:
+				key := vm.SyncKey{Class: vm.SyncMutex, ID: int64(rng.Intn(2))}
+				for _, c := range both {
+					c.SyncEvent(key, vm.EvRelease, tid, 0)
+				}
+			default:
+				addr := int64(rng.Intn(6))
+				write := rng.Intn(3) == 0
+				// Node models the static statement: mostly a function of
+				// (addr, write) like instrumented code, occasionally an
+				// alias to stress differently-attributed same-epoch reads.
+				node := ast.NodeID(int(addr)*2 + 100)
+				if write {
+					node++
+				}
+				if rng.Intn(8) == 0 {
+					node += 50
+				}
+				for _, c := range both {
+					c.Access(tid, addr, write, node, 0)
+				}
+			}
+		}
+		sameVerdicts(t, ep, vc)
+	}
+}
+
+// TestEpochPromotion exercises the read-epoch → read-vector promotion: two
+// concurrent readers followed by an unordered write must report both
+// read/write races, same as the oracle.
+func TestEpochPromotion(t *testing.T) {
+	ep := NewChecker(0)
+	vc := NewVectorChecker(0)
+	for _, c := range []RaceChecker{ep, vc} {
+		c.SyncEvent(vm.SyncKey{Class: vm.SyncSpawn, ID: 1}, vm.EvSpawn, 0, 0)
+		c.SyncEvent(vm.SyncKey{Class: vm.SyncSpawn, ID: 2}, vm.EvSpawn, 0, 0)
+		c.Access(1, 8, false, 11, 0) // concurrent readers, distinct nodes
+		c.Access(2, 8, false, 22, 0)
+		c.Access(0, 8, true, 33, 0) // unordered write races both reads
+	}
+	if n := ep.RaceCount(); n != 2 {
+		t.Fatalf("want 2 read/write races after promotion, got %d: %v", n, ep.Races())
+	}
+	sameVerdicts(t, ep, vc)
+}
+
+// TestEpochSameEpochFastPath re-runs the same access many times within one
+// epoch; the checker must neither duplicate reports nor grow state.
+func TestEpochSameEpochFastPath(t *testing.T) {
+	ep := NewChecker(0)
+	ep.SyncEvent(vm.SyncKey{Class: vm.SyncSpawn, ID: 1}, vm.EvSpawn, 0, 0)
+	for i := 0; i < 1000; i++ {
+		ep.Access(1, 4, true, 7, 0)
+		ep.Access(1, 4, false, 8, 0)
+	}
+	s := ep.shadow[4]
+	if len(s.reads) != 0 {
+		t.Fatalf("same-thread re-reads must stay in epoch mode, got %d reads", len(s.reads))
+	}
+	if ep.RaceCount() != 0 {
+		t.Fatalf("single-thread accesses raced: %v", ep.Races())
+	}
+}
+
+// TestEpochDrainMatchesHooks feeds one stream via the batched sink and the
+// same stream via the legacy hooks; verdicts must match.
+func TestEpochDrainMatchesHooks(t *testing.T) {
+	events := []vm.Event{
+		{Kind: vm.EventSync, Sync: vm.EvSpawn, Class: vm.SyncSpawn, Tid: 0, Addr: 1},
+		{Kind: vm.EventSync, Sync: vm.EvSpawn, Class: vm.SyncSpawn, Tid: 0, Addr: 2},
+		{Kind: vm.EventWrite, Tid: 1, Addr: 16, Node: 5},
+		{Kind: vm.EventRead, Tid: 2, Addr: 16, Node: 6},
+		{Kind: vm.EventWrite, Tid: 0, Addr: 16, Node: 7},
+	}
+	sink := NewChecker(0)
+	sink.Drain(events[:3])
+	sink.Drain(events[3:]) // split across batches
+
+	hook := NewChecker(0)
+	for _, e := range events {
+		switch e.Kind {
+		case vm.EventSync:
+			hook.SyncEvent(e.Key(), e.Sync, int(e.Tid), e.Clock)
+		case vm.EventRead:
+			hook.Access(int(e.Tid), e.Addr, false, e.Node, e.Clock)
+		case vm.EventWrite:
+			hook.Access(int(e.Tid), e.Addr, true, e.Node, e.Clock)
+		}
+	}
+	sameVerdicts(t, sink, mustVector(hook))
+}
+
+// mustVector adapts a second EpochChecker for sameVerdicts' signature by
+// replaying its verdicts through a VectorChecker-shaped comparison. (The
+// helper only reads Races(), so a thin wrapper suffices.)
+func mustVector(ep *EpochChecker) *VectorChecker {
+	vc := NewVectorChecker(0)
+	vc.rep = ep.rep
+	return vc
+}
+
+// TestVCGrowthBounded sanity-checks that epoch mode avoids allocating read
+// vectors for exchange-ordered handoffs (lock-protected counter).
+func TestVCGrowthBounded(t *testing.T) {
+	ep := NewChecker(0)
+	key := vm.SyncKey{Class: vm.SyncMutex, ID: 1}
+	ep.SyncEvent(vm.SyncKey{Class: vm.SyncSpawn, ID: 1}, vm.EvSpawn, 0, 0)
+	// Two threads ping-pong a counter under a lock: read then write inside
+	// the critical section, attribution constant per op as instrumented
+	// code produces.
+	for i := 0; i < 100; i++ {
+		tid := i % 2
+		ep.SyncEvent(key, vm.EvAcquire, tid, 0)
+		ep.Access(tid, 64, false, 40, 0)
+		ep.Access(tid, 64, true, 41, 0)
+		ep.SyncEvent(key, vm.EvRelease, tid, 0)
+	}
+	if ep.RaceCount() != 0 {
+		t.Fatalf("lock-protected counter raced: %v", ep.Races())
+	}
+	if s := ep.shadow[64]; len(s.reads) != 0 {
+		t.Fatalf("ordered handoff must not promote to a read vector (got %d entries)", len(s.reads))
+	}
+}

@@ -1,7 +1,17 @@
 // Package trace implements a dynamic happens-before data-race checker over
-// the VM's access and sync-event streams, in the style of vector-clock
-// detectors (FastTrack-like, but with full vectors for simplicity — the
-// simulated programs are small).
+// the VM's batched observation event stream. Two interchangeable checkers
+// share one verdict semantics:
+//
+//   - EpochChecker (the default, NewChecker) uses FastTrack-style adaptive
+//     epochs (Flanagan & Freund, PLDI 2009): the last write is a single
+//     epoch, reads are a single epoch that is promoted to a per-thread
+//     read vector only when genuinely concurrent reads appear, and
+//     same-epoch re-accesses take an O(1) fast path with no vector-clock
+//     comparison at all.
+//   - VectorChecker (NewVectorChecker) is the original full-vector
+//     implementation, kept as the oracle for differential testing: on any
+//     event stream both checkers report exactly the same set of racy
+//     (node, node) pairs and the same race-free verdicts.
 //
 // Its role in the reproduction is validation: the checker must find races
 // in the original benchmarks, and must find *none* in the
@@ -13,7 +23,8 @@
 // holders with disjoint address ranges exchange no happens-before edge in
 // reality, but this checker joins on the lock identity. That is the same
 // granularity at which the recorder logs, so "race-free under the new sync
-// set" is checked at exactly the level the replay guarantee needs.
+// set" is checked at exactly the level the replay guarantee needs. Both
+// checkers implement it identically (hbState is shared).
 package trace
 
 import (
@@ -26,12 +37,6 @@ import (
 
 // VC is a vector clock.
 type VC []uint32
-
-func (v VC) clone() VC {
-	n := make(VC, len(v))
-	copy(n, v)
-	return n
-}
 
 func (v *VC) ensure(n int) {
 	for len(*v) < n {
@@ -49,7 +54,7 @@ func (v *VC) join(o VC) {
 	}
 }
 
-// leq reports whether epoch (tid, clk) happens-before-or-equals v.
+// covers reports whether epoch (tid, clk) happens-before-or-equals v.
 func (v VC) covers(tid int, clk uint32) bool {
 	if tid >= len(v) {
 		return clk == 0
@@ -78,46 +83,145 @@ func (r Race) String() string {
 		r.Addr, k(r.WriteA), r.NodeA, r.TidA, k(r.WriteB), r.NodeB, r.TidB)
 }
 
+// access is one recorded access epoch: who, at what clock, at which
+// source node.
 type access struct {
 	tid  int
 	clk  uint32
 	node ast.NodeID
 }
 
-type cell struct {
-	write access
-	hasW  bool
-	reads []access
+// RaceChecker is the common surface of both checker implementations: a VM
+// observer (batched sink, with the legacy per-call hooks kept for direct
+// embedding in tests) that accumulates race verdicts.
+type RaceChecker interface {
+	vm.EventSink
+	vm.TraceHook
+	vm.SyncEventHook
+	Races() []Race
+	RaceCount() int
 }
 
-// Checker implements vm.TraceHook and vm.SyncEventHook.
-type Checker struct {
-	vcs    []VC
-	objVC  map[vm.SyncKey]VC
-	shadow map[int64]*cell
+var (
+	_ RaceChecker = (*EpochChecker)(nil)
+	_ RaceChecker = (*VectorChecker)(nil)
+)
 
+// ---------------------------------------------------------------------------
+// Shared happens-before state
+
+// hbState maintains the thread and sync-object vector clocks of the
+// extended synchronization set. Both checkers delegate to it, so the
+// happens-before relation — including the documented loop-lock
+// lock-identity granularity — is identical by construction.
+type hbState struct {
+	vcs   []VC
+	objVC map[vm.SyncKey]VC
+}
+
+func newHBState() hbState {
+	return hbState{objVC: make(map[vm.SyncKey]VC)}
+}
+
+func (h *hbState) vc(tid int) *VC {
+	for len(h.vcs) <= tid {
+		t := len(h.vcs)
+		v := make(VC, t+1)
+		v[t] = 1
+		h.vcs = append(h.vcs, v)
+	}
+	return &h.vcs[tid]
+}
+
+func (h *hbState) tick(tid int) {
+	v := h.vc(tid)
+	v.ensure(tid + 1)
+	(*v)[tid]++
+}
+
+// clockOf returns thread tid's own component of its clock.
+func (h *hbState) clockOf(tid int) uint32 {
+	v := *h.vc(tid)
+	if tid < len(v) {
+		return v[tid]
+	}
+	return 0
+}
+
+// syncEvent maintains the happens-before relation of the extended
+// synchronization set (original sync + weak-locks + spawn/join).
+func (h *hbState) syncEvent(key vm.SyncKey, kind vm.SyncEventKind, tid int) {
+	switch kind {
+	case vm.EvAcquire, vm.EvWLAcquire, vm.EvCondWake, vm.EvBarrierRelease:
+		// Acquire-like: thread joins the object's clock.
+		if o, ok := h.objVC[key]; ok {
+			h.vc(tid).join(o)
+		}
+
+	case vm.EvRelease, vm.EvWLRelease, vm.EvWLForcedRelease,
+		vm.EvCondSignal, vm.EvCondBcast, vm.EvBarrierArrive:
+		// Release-like: object joins the thread's clock; thread advances.
+		o := h.objVC[key]
+		o.join(*h.vc(tid))
+		h.objVC[key] = o
+		h.tick(tid)
+
+	case vm.EvCondWait:
+		// The mutex release is delivered separately; the wait itself
+		// contributes no extra edge.
+
+	case vm.EvSpawn:
+		// key.ID is the child tid: child starts after the parent's
+		// current point.
+		child := int(key.ID)
+		h.vc(child).join(*h.vc(tid))
+		h.tick(child) // child's own component
+		h.tick(tid)
+
+	case vm.EvJoin:
+		child := int(key.ID)
+		h.vc(tid).join(*h.vc(child))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Shared race reporting
+
+// reporter deduplicates and retains race verdicts by (node, node) pair.
+type reporter struct {
 	races   []Race
 	seen    map[[2]ast.NodeID]bool
 	maxRace int
 }
 
-// NewChecker returns a checker; at most maxRaces distinct (node, node)
-// races are retained (0 means a generous default).
-func NewChecker(maxRaces int) *Checker {
+func newReporter(maxRaces int) reporter {
 	if maxRaces == 0 {
 		maxRaces = 10000
 	}
-	return &Checker{
-		objVC:   make(map[vm.SyncKey]VC),
-		shadow:  make(map[int64]*cell),
-		seen:    make(map[[2]ast.NodeID]bool),
-		maxRace: maxRaces,
-	}
+	return reporter{seen: make(map[[2]ast.NodeID]bool), maxRace: maxRaces}
 }
 
-// Races returns the distinct races found, ordered.
-func (c *Checker) Races() []Race {
-	out := append([]Race{}, c.races...)
+func (rp *reporter) report(addr int64, prev access, prevW bool, cur access, curW bool) {
+	a, b := prev.node, cur.node
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]ast.NodeID{a, b}
+	if rp.seen[key] || len(rp.races) >= rp.maxRace {
+		return
+	}
+	rp.seen[key] = true
+	rp.races = append(rp.races, Race{
+		Addr:  addr,
+		NodeA: prev.node, NodeB: cur.node,
+		TidA: prev.tid, TidB: cur.tid,
+		WriteA: prevW, WriteB: curW,
+	})
+}
+
+// sorted returns the distinct races, ordered by node pair.
+func (rp *reporter) sorted() []Race {
+	out := append([]Race{}, rp.races...)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].NodeA != out[j].NodeA {
 			return out[i].NodeA < out[j].NodeA
@@ -127,65 +231,62 @@ func (c *Checker) Races() []Race {
 	return out
 }
 
+// ---------------------------------------------------------------------------
+// VectorChecker: the full-vector oracle
+
+// vcCell is the full shadow state of one address: the last write and the
+// latest read of every thread since that write.
+type vcCell struct {
+	write access
+	hasW  bool
+	reads []access
+}
+
+// VectorChecker is the original full-vector happens-before checker, kept
+// as the differential-testing oracle for EpochChecker. Every access does
+// full vector-clock work against the complete read set; verdicts are the
+// reference semantics.
+type VectorChecker struct {
+	hb     hbState
+	shadow map[int64]*vcCell
+	rep    reporter
+}
+
+// NewVectorChecker returns the full-vector oracle checker; at most
+// maxRaces distinct (node, node) races are retained (0 means a generous
+// default).
+func NewVectorChecker(maxRaces int) *VectorChecker {
+	return &VectorChecker{
+		hb:     newHBState(),
+		shadow: make(map[int64]*vcCell),
+		rep:    newReporter(maxRaces),
+	}
+}
+
+// Races returns the distinct races found, ordered.
+func (c *VectorChecker) Races() []Race { return c.rep.sorted() }
+
 // RaceCount returns the number of distinct races.
-func (c *Checker) RaceCount() int { return len(c.races) }
-
-func (c *Checker) vc(tid int) *VC {
-	for len(c.vcs) <= tid {
-		t := len(c.vcs)
-		v := make(VC, t+1)
-		v[t] = 1
-		c.vcs = append(c.vcs, v)
-	}
-	return &c.vcs[tid]
-}
-
-func (c *Checker) tick(tid int) {
-	v := c.vc(tid)
-	v.ensure(tid + 1)
-	(*v)[tid]++
-}
-
-func (c *Checker) report(addr int64, prev access, prevW bool, cur access, curW bool) {
-	a, b := prev.node, cur.node
-	if a > b {
-		a, b = b, a
-	}
-	key := [2]ast.NodeID{a, b}
-	if c.seen[key] || len(c.races) >= c.maxRace {
-		return
-	}
-	c.seen[key] = true
-	c.races = append(c.races, Race{
-		Addr:  addr,
-		NodeA: prev.node, NodeB: cur.node,
-		TidA: prev.tid, TidB: cur.tid,
-		WriteA: prevW, WriteB: curW,
-	})
-}
+func (c *VectorChecker) RaceCount() int { return len(c.rep.races) }
 
 // Access implements vm.TraceHook.
-func (c *Checker) Access(tid int, addr int64, write bool, node ast.NodeID, clock int64) {
-	v := *c.vc(tid)
-	clk := uint32(0)
-	if tid < len(v) {
-		clk = v[tid]
-	}
-	cur := access{tid: tid, clk: clk, node: node}
+func (c *VectorChecker) Access(tid int, addr int64, write bool, node ast.NodeID, clock int64) {
+	v := *c.hb.vc(tid)
+	cur := access{tid: tid, clk: c.hb.clockOf(tid), node: node}
 
 	s, ok := c.shadow[addr]
 	if !ok {
-		s = &cell{}
+		s = &vcCell{}
 		c.shadow[addr] = s
 	}
 
 	if write {
 		if s.hasW && s.write.tid != tid && !v.covers(s.write.tid, s.write.clk) {
-			c.report(addr, s.write, true, cur, true)
+			c.rep.report(addr, s.write, true, cur, true)
 		}
 		for _, rd := range s.reads {
 			if rd.tid != tid && !v.covers(rd.tid, rd.clk) {
-				c.report(addr, rd, false, cur, true)
+				c.rep.report(addr, rd, false, cur, true)
 			}
 		}
 		s.write = cur
@@ -194,7 +295,7 @@ func (c *Checker) Access(tid int, addr int64, write bool, node ast.NodeID, clock
 		return
 	}
 	if s.hasW && s.write.tid != tid && !v.covers(s.write.tid, s.write.clk) {
-		c.report(addr, s.write, true, cur, false)
+		c.rep.report(addr, s.write, true, cur, false)
 	}
 	// Keep at most one read epoch per thread (the latest).
 	for i := range s.reads {
@@ -206,38 +307,22 @@ func (c *Checker) Access(tid int, addr int64, write bool, node ast.NodeID, clock
 	s.reads = append(s.reads, cur)
 }
 
-// SyncEvent implements vm.SyncEventHook, maintaining the happens-before
-// relation of the extended synchronization set.
-func (c *Checker) SyncEvent(key vm.SyncKey, kind vm.SyncEventKind, tid int, clock int64) {
-	switch kind {
-	case vm.EvAcquire, vm.EvWLAcquire, vm.EvCondWake, vm.EvBarrierRelease:
-		// Acquire-like: thread joins the object's clock.
-		if o, ok := c.objVC[key]; ok {
-			c.vc(tid).join(o)
+// SyncEvent implements vm.SyncEventHook.
+func (c *VectorChecker) SyncEvent(key vm.SyncKey, kind vm.SyncEventKind, tid int, clock int64) {
+	c.hb.syncEvent(key, kind, tid)
+}
+
+// Drain implements vm.EventSink.
+func (c *VectorChecker) Drain(events []vm.Event) {
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case vm.EventRead:
+			c.Access(int(e.Tid), e.Addr, false, e.Node, e.Clock)
+		case vm.EventWrite:
+			c.Access(int(e.Tid), e.Addr, true, e.Node, e.Clock)
+		case vm.EventSync:
+			c.hb.syncEvent(e.Key(), e.Sync, int(e.Tid))
 		}
-
-	case vm.EvRelease, vm.EvWLRelease, vm.EvWLForcedRelease,
-		vm.EvCondSignal, vm.EvCondBcast, vm.EvBarrierArrive:
-		// Release-like: object joins the thread's clock; thread advances.
-		o := c.objVC[key]
-		o.join(*c.vc(tid))
-		c.objVC[key] = o
-		c.tick(tid)
-
-	case vm.EvCondWait:
-		// The mutex release is delivered separately; the wait itself
-		// contributes no extra edge.
-
-	case vm.EvSpawn:
-		// key.ID is the child tid: child starts after the parent's
-		// current point.
-		child := int(key.ID)
-		c.vc(child).join(*c.vc(tid))
-		c.tick(int(key.ID)) // child's own component
-		c.tick(tid)
-
-	case vm.EvJoin:
-		child := int(key.ID)
-		c.vc(tid).join(*c.vc(child))
 	}
 }

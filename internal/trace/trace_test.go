@@ -10,7 +10,7 @@ import (
 	"repro/internal/weaklock"
 )
 
-func runChecked(t *testing.T, src string, seed uint64) *Checker {
+func runChecked(t *testing.T, src string, seed uint64) *EpochChecker {
 	t.Helper()
 	f := parser.MustParse("t.mc", src)
 	info := types.MustCheck(f)

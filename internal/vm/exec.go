@@ -119,6 +119,13 @@ type machine struct {
 
 	gateWaiters map[SyncKey][]*thread
 
+	// Event-sink runtime: the hot loop appends to events (a plain slice,
+	// no interface dispatch) and flushEvents drains full batches to sinks.
+	// observing gates emission so un-observed runs pay only a branch.
+	sinks     []EventSink
+	events    []Event
+	observing bool
+
 	output []byte
 
 	counters Counters
@@ -176,11 +183,20 @@ func newMachine(p *Program, cfg Config) *machine {
 		maxSteps:    cfg.MaxSteps,
 		wlTimeout:   cfg.WLTimeout,
 	}
+	m.sinks = append(m.sinks, cfg.Sinks...)
+	if cfg.Trace != nil || cfg.SyncEvents != nil {
+		m.sinks = append(m.sinks, &hookSink{trace: cfg.Trace, syncs: cfg.SyncEvents})
+	}
+	if len(m.sinks) > 0 {
+		m.observing = true
+		m.events = make([]Event, 0, EventBatchSize)
+	}
 	copy(m.mem[GlobalBase:], p.GlobalWords)
 	return m
 }
 
 func (m *machine) result() *Result {
+	m.flushEvents() // deliver the tail batch before observers are read
 	r := &Result{
 		Output:   m.output,
 		ExitCode: m.exitCode,
@@ -491,8 +507,8 @@ func (m *machine) step(t *thread) bool {
 		}
 		t.push(m.mem[addr])
 		m.counters.MemOps++
-		if m.cfg.Trace != nil {
-			m.cfg.Trace.Access(t.id, addr, false, in.Node, t.clock)
+		if m.observing {
+			m.emitAccess(t.id, addr, false, in.Node, t.clock)
 		}
 
 	case OpStore:
@@ -504,8 +520,8 @@ func (m *machine) step(t *thread) bool {
 		}
 		m.mem[addr] = v
 		m.counters.MemOps++
-		if m.cfg.Trace != nil {
-			m.cfg.Trace.Access(t.id, addr, true, in.Node, t.clock)
+		if m.observing {
+			m.emitAccess(t.id, addr, true, in.Node, t.clock)
 		}
 
 	case OpDup:

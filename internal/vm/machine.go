@@ -224,13 +224,23 @@ type Config struct {
 	Monitor SyncMonitor
 
 	// Trace observes memory accesses. Nil disables (it is expensive).
+	// Delivery is batched: the hook is invoked from sink drains, in
+	// program order, not synchronously per instruction.
 	Trace TraceHook
 
 	// Funcs observes function entry/exit. Nil disables.
 	Funcs FuncHook
 
-	// SyncEvents observes every sync operation. Nil disables.
+	// SyncEvents observes every sync operation. Nil disables. Like Trace,
+	// delivery is batched through the event-sink runtime.
 	SyncEvents SyncEventHook
+
+	// Sinks receive the batched observation event stream (memory accesses
+	// and sync operations, in program order). This is the preferred
+	// observer interface: the interpreter hot loop appends to a flat
+	// buffer and sinks pay one dispatch per EventBatchSize events. Trace
+	// and SyncEvents are adapted onto the same stream internally.
+	Sinks []EventSink
 
 	// WL is the weak-lock table; required if the program executes wl_*
 	// builtins.

@@ -216,10 +216,13 @@ func (m *machine) wakeGated(key SyncKey) {
 	}
 }
 
-// syncEvent delivers a sync operation to the observation hook.
+// syncEvent delivers a sync operation to the observation event stream; it
+// is interleaved with memory-access events in exact program order so
+// happens-before observers reconstruct the same relation the old
+// synchronous hooks saw.
 func (m *machine) syncEvent(key SyncKey, kind SyncEventKind, tid int, clock int64) {
-	if m.cfg.SyncEvents != nil {
-		m.cfg.SyncEvents.SyncEvent(key, kind, tid, clock)
+	if m.observing {
+		m.emitSync(key, kind, tid, clock)
 	}
 }
 
