@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/replay"
+	"repro/internal/vm"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata fixtures")
+
+// writeFixture builds the checked-in sample log. The fixture is committed
+// as a binary (log *reading* is deterministic everywhere; gzip *output*
+// may differ across Go releases, so we pin the bytes rather than
+// regenerate on the fly) and refreshed only via -update.
+func writeFixture(t *testing.T, path string) {
+	t.Helper()
+	var buf bytes.Buffer
+	lw := replay.NewLogWriter(&buf)
+	for i := 0; i < 10; i++ {
+		lw.Input(i%3, replay.InputRec{Op: 3, Val: int64(100 + i)})
+	}
+	lw.Input(1, replay.InputRec{Op: 5, Val: 4, Data: []int64{7, 8, 9, 10}})
+	mu := vm.SyncKey{Class: vm.SyncMutex, ID: 32}
+	wl := vm.SyncKey{Class: vm.SyncWeakLock, ID: 0}
+	sp := vm.SyncKey{Class: vm.SyncSpawn, ID: 0}
+	lw.Order(sp, replay.OrderRec{Tid: 0, Kind: vm.EvSpawn})
+	for i := 0; i < 4; i++ {
+		lw.Order(mu, replay.OrderRec{Tid: int32(i % 2), Kind: vm.EvAcquire})
+		lw.Order(mu, replay.OrderRec{Tid: int32(i % 2), Kind: vm.EvRelease})
+	}
+	lw.Order(wl, replay.OrderRec{Tid: 1, Kind: vm.EvWLAcquire})
+	lw.Order(wl, replay.OrderRec{
+		Tid: 0, Kind: vm.EvWLForcedRelease,
+		Anchor: vm.ForcedAnchor{Instr: 12345, Sync: 6, Blocked: true},
+	})
+	lw.Order(wl, replay.OrderRec{Tid: 1, Kind: vm.EvWLRelease})
+	if err := lw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("write fixture: %v", err)
+	}
+}
+
+func TestGolden(t *testing.T) {
+	clog := filepath.Join("testdata", "sample.clog")
+	golden := filepath.Join("testdata", "sample.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		writeFixture(t, clog)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-chunks", clog}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errOut.String())
+	}
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("output drifted from golden (regenerate with -update):\n--- got ---\n%s\n--- want ---\n%s", out.Bytes(), want)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", filepath.Join("testdata", "sample.clog")}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{
+		`"total_bytes"`, `"order_by_class"`, `"weaklock"`, `"wlforce"`, `"compression_ratio"`,
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("JSON output missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: code = %d, want 2", code)
+	}
+	errOut.Reset()
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.clog")}, &out, &errOut); code != 1 {
+		t.Errorf("missing file: code = %d, want 1", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.clog")
+	if err := os.WriteFile(bad, []byte("NOTALOG!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errOut.Reset()
+	if code := run([]string{bad}, &out, &errOut); code != 1 {
+		t.Errorf("corrupt file: code = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "not a chimera log") {
+		t.Errorf("corrupt file: stderr = %q, want mention of bad magic", errOut.String())
+	}
+}

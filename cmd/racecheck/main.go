@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/bench/harness"
 	"repro/internal/certify"
 	"repro/internal/cfg"
 	"repro/internal/core"
@@ -98,8 +99,19 @@ func run(args []string, out, errOut io.Writer) int {
 	dynamic := fs.Bool("dynamic", false, "run the program and report dynamic races from the event-sink checker")
 	checker := fs.String("checker", "epoch", "dynamic race checker for -dynamic: epoch, vector, or both")
 	seed := fs.Uint64("seed", 1, "schedule seed for -dynamic runs")
+	tracePath := fs.String("trace", "", "write a Chrome/Perfetto trace of the observed pipeline to this file (with -dynamic)")
+	metricsPath := fs.String("metrics", "", "write the observability metrics report (JSON) to this file (with -dynamic)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *tracePath != "" || *metricsPath != "" {
+		if !*dynamic {
+			fmt.Fprintln(errOut, "racecheck: -trace/-metrics require -dynamic")
+			return 2
+		}
+		return runObserved(fs, *benchName, *checker, *seed, *config, *useMHP, *parallel,
+			*tracePath, *metricsPath, out, errOut)
 	}
 
 	if *dynamic {
@@ -252,6 +264,137 @@ func run(args []string, out, errOut io.Writer) int {
 		return 1
 	}
 	return reportCert(cert, *certOut, out, errOut)
+}
+
+// runObserved runs the fully observed pipeline (analyze → … → record →
+// replay → dynamic check) for one benchmark or source file and writes the
+// Perfetto trace and/or the metrics report. Output files are created
+// before any work runs, and an unwritable path is its own failure class
+// (exit 3) so scripts can tell "could not write the artifacts" from
+// "the pipeline failed".
+func runObserved(fs *flag.FlagSet, benchName, checker string, seed uint64, config string, useMHP bool, parallel int, tracePath, metricsPath string, out, errOut io.Writer) int {
+	if checker != "epoch" && checker != "vector" {
+		fmt.Fprintf(errOut, "racecheck: -trace/-metrics support -checker epoch or vector, not %q\n", checker)
+		return 2
+	}
+	if _, ok := optionsFor(config); !ok {
+		fmt.Fprintf(errOut, "racecheck: unknown -config %q\n", config)
+		return 2
+	}
+	label := config
+	if useMHP {
+		label += "+mhp"
+	}
+
+	var target harness.ObserveTarget
+	switch {
+	case benchName == "all":
+		fmt.Fprintln(errOut, "racecheck: -trace/-metrics observe a single benchmark, not -bench all")
+		return 2
+	case benchName != "":
+		if fs.NArg() != 0 {
+			fs.Usage()
+			return 2
+		}
+		b := bench.ByName(benchName)
+		if b == nil {
+			fmt.Fprintf(errOut, "racecheck: unknown benchmark %q\n", benchName)
+			return 2
+		}
+		target = harness.TargetFor(b)
+	default:
+		if fs.NArg() != 1 {
+			fs.Usage()
+			return 2
+		}
+		src, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(errOut, "racecheck:", err)
+			return 1
+		}
+		name := strings.TrimSuffix(filepath.Base(fs.Arg(0)), filepath.Ext(fs.Arg(0)))
+		target = harness.ObserveTarget{
+			Name:         name,
+			Source:       string(src),
+			ProfileWorld: func(run int) *oskit.World { return oskit.NewWorld(seed + uint64(run)) },
+			ProfileRuns:  5,
+			EvalWorld:    func(int) *oskit.World { return oskit.NewWorld(seed) },
+		}
+	}
+
+	// Open every requested artifact up front: a path we cannot write is
+	// reported before minutes of pipeline work, with a distinct exit code.
+	outputs := make(map[string]*os.File)
+	for _, path := range []string{tracePath, metricsPath} {
+		if path == "" {
+			continue
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(errOut, "racecheck: cannot write output artifact: %v\n", err)
+			return 3
+		}
+		defer f.Close()
+		outputs[path] = f
+	}
+
+	obsn, err := harness.Observe(target, harness.ObserveOptions{
+		Config:   label,
+		Parallel: parallel,
+		Seed:     seed,
+		Checker:  checker,
+	})
+	if err != nil {
+		fmt.Fprintf(errOut, "racecheck: %s: %v\n", target.Name, err)
+		return 1
+	}
+
+	if tracePath != "" {
+		data, err := obsn.Tracer.Perfetto()
+		if err == nil {
+			_, err = outputs[tracePath].Write(data)
+		}
+		if err != nil {
+			fmt.Fprintf(errOut, "racecheck: write %s: %v\n", tracePath, err)
+			return 3
+		}
+	}
+	if metricsPath != "" {
+		data, err := obsn.Report.Marshal()
+		if err == nil {
+			_, err = outputs[metricsPath].Write(data)
+		}
+		if err != nil {
+			fmt.Fprintf(errOut, "racecheck: write %s: %v\n", metricsPath, err)
+			return 3
+		}
+	}
+
+	rpt := obsn.Report
+	fmt.Fprintf(out, "%s [%s]: %d stage span(s), %d weak-lock site(s), %d dynamic race(s)\n",
+		rpt.Program, rpt.Config, len(rpt.Stages), len(rpt.WeakLocks.Sites), rpt.Checker.Races)
+	fmt.Fprintf(out, "  weak-lock acquires %d (order-log acquire entries %d), releases %d, forced %d, timeouts %d\n",
+		rpt.WeakLocks.Acquires, rpt.WeakLocks.AcquireOrderEntries,
+		rpt.WeakLocks.Releases, rpt.WeakLocks.Forced, rpt.WeakLocks.Timeouts)
+	fmt.Fprintf(out, "  log %d bytes (%d input / %d order records), events %d in %d batches\n",
+		rpt.Log.TotalBytes, rpt.Log.InputRecords, rpt.Log.OrderRecords,
+		rpt.Events.Emitted, rpt.Events.Batches)
+	if !obsn.ReplayMatches {
+		fmt.Fprintf(errOut, "racecheck: %s: replay did not match the recording\n", target.Name)
+		return 1
+	}
+	if rpt.WeakLocks.Acquires != rpt.WeakLocks.AcquireOrderEntries {
+		fmt.Fprintf(errOut, "racecheck: %s: per-site acquire total %d disagrees with order log %d\n",
+			target.Name, rpt.WeakLocks.Acquires, rpt.WeakLocks.AcquireOrderEntries)
+		return 1
+	}
+	if tracePath != "" {
+		fmt.Fprintf(out, "  trace written to %s\n", tracePath)
+	}
+	if metricsPath != "" {
+		fmt.Fprintf(out, "  metrics written to %s\n", metricsPath)
+	}
+	return 0
 }
 
 // runDynamic executes one program with the selected dynamic race

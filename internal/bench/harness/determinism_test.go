@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -110,15 +111,26 @@ func TestSuiteDeterministicUnderParallelism(t *testing.T) {
 		t.Fatalf("row count differs: sequential %d, parallel %d", len(seqEntries), len(parEntries))
 	}
 	for i := range seqEntries {
-		a, b := seqEntries[i], parEntries[i]
-		// Wall-clock fields are timings, not analysis results.
-		a.AnalysisWallNS, b.AnalysisWallNS = 0, 0
-		a.CertifyWallNS, b.CertifyWallNS = 0, 0
-		a.RecordWallNS, b.RecordWallNS = 0, 0
-		a.ReplayWallNS, b.ReplayWallNS = 0, 0
-		a.CheckerWallNS, b.CheckerWallNS = 0, 0
+		a, b := entryJSON(t, seqEntries[i]), entryJSON(t, parEntries[i])
 		if a != b {
-			t.Errorf("row %d differs:\nsequential: %+v\nparallel:   %+v", i, a, b)
+			t.Errorf("row %d differs:\nsequential: %s\nparallel:   %s", i, a, b)
 		}
 	}
+}
+
+// entryJSON renders one row with its wall-clock fields (timings, not
+// analysis results) zeroed, for byte comparison. The Metrics block is a
+// pointer, so rows are compared by rendered value, not identity.
+func entryJSON(t *testing.T, e JSONEntry) string {
+	t.Helper()
+	e.AnalysisWallNS = 0
+	e.CertifyWallNS = 0
+	e.RecordWallNS = 0
+	e.ReplayWallNS = 0
+	e.CheckerWallNS = 0
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/instrument"
+	"repro/internal/obs"
 	"repro/internal/oskit"
 	"repro/internal/profile"
 	"repro/internal/relay"
@@ -313,6 +314,12 @@ type Measurement struct {
 	// ReplayMatches is true when replay bit-matched the recording.
 	ReplayMatches bool
 	ReplayErr     string
+
+	// Metrics is the observability block exported into the JSON rows:
+	// per-weak-lock-site counters, event-stream stats from the checked
+	// run, and the per-stream log breakdown. Every field is simulated and
+	// deterministic (no wall times).
+	Metrics *obs.RowMetrics
 }
 
 // Measure runs native + record + replay for one benchmark/config at the
@@ -420,16 +427,46 @@ func (s *Suite) measure(p *Prepared, configName string, workers int) (*Measureme
 
 	// A separate checked run: the epoch checker consumes the instrumented
 	// program's batched event stream (it is a pure observer, so the
-	// measured record/replay runs above are untouched).
+	// measured record/replay runs above are untouched). An EventCounter
+	// rides the same stream and attributes it for the metrics block.
 	chk := trace.NewChecker(0)
+	counter := &obs.EventCounter{}
 	chkRes := core.CheckDynamicRacesWith(ip.Prog, ip.Table, core.RunConfig{
 		World: p.B.EvalWorld(workers), Seed: s.Cfg.Seed, HeapWords: s.Cfg.HeapWords,
+		Sinks: []vm.EventSink{counter},
 	}, chk)
 	if chkRes.Err != nil {
 		return nil, fmt.Errorf("%s/%s checker run: %w", p.B.Name, configName, chkRes.Err)
 	}
 	m.CheckerWallNS = chk.WallNS()
 	m.CheckerRaces = chk.RaceCount()
+
+	wl := obs.WeakLocksFrom(ip.Table, recRes.WLSites)
+	wl.Timeouts = recRes.WLStats.Timeouts
+	wl.OrderLogEntries = int64(log.OrderCount(vm.SyncWeakLock))
+	wl.AcquireOrderEntries = countAcquireEntries(log)
+	ws := lw.Stats()
+	m.Metrics = &obs.RowMetrics{
+		Schema: obs.Schema,
+		Makespans: obs.Makespans{
+			Native: native.Makespan,
+			Record: recRes.Makespan,
+			Replay: m.ReplayMakespan,
+		},
+		WeakLocks: wl,
+		Events:    counter.Events(chkRes.Counters.EventsEmitted, chkRes.Counters.EventBatches),
+		Log: obs.LogStreams{
+			TotalBytes:    cw.n,
+			InputChunks:   ws.InputChunks,
+			OrderChunks:   ws.OrderChunks,
+			InputRecords:  ws.InputRecords,
+			OrderRecords:  ws.OrderRecords,
+			InputRawBytes: ws.InputRawBytes,
+			OrderRawBytes: ws.OrderRawBytes,
+			InputBytes:    ws.InputBytes,
+			OrderBytes:    ws.OrderBytes,
+		},
+	}
 	return m, nil
 }
 

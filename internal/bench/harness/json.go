@@ -3,6 +3,8 @@ package harness
 import (
 	"encoding/json"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // JSONEntry is one benchmark/configuration data point in the
@@ -48,6 +50,11 @@ type JSONEntry struct {
 	// instrumentation).
 	Certified     bool  `json:"certified"`
 	CertifyWallNS int64 `json:"certify_wall_ns"`
+
+	// Metrics is the observability block: per-stage makespans,
+	// per-weak-lock-site counters, event-stream stats and the log-stream
+	// breakdown. Every field in it is simulated and deterministic.
+	Metrics *obs.RowMetrics `json:"metrics,omitempty"`
 }
 
 // JSONReport is the machine-readable export document. Entries are sorted
@@ -113,6 +120,7 @@ func (s *Suite) MeasureJSON(configNames []string) ([]JSONEntry, error) {
 			CheckerWallNS:  m.CheckerWallNS,
 			Certified:      cert.OK,
 			CertifyWallNS:  certWall,
+			Metrics:        m.Metrics,
 		}
 	}
 	SortEntries(out)

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 // update regenerates the golden files:
@@ -54,6 +55,25 @@ func TestJSONSchemaGolden(t *testing.T) {
 				RecordLogBytes: 8_192, OrderLogBytes: 2_048,
 				RecordWallNS: 1_300_000, ReplayWallNS: 900_000, CheckerWallNS: 400_000,
 				Certified: true, CertifyWallNS: 600_000,
+				Metrics: &obs.RowMetrics{
+					Schema:    obs.Schema,
+					Makespans: obs.Makespans{Native: 10_000, Record: 17_500, Replay: 13_000},
+					WeakLocks: &obs.WeakLocks{
+						Sites: []obs.Site{
+							{ID: 0, Kind: "func", Name: "clique0", Acquires: 40, Releases: 40, Contended: 3, StallCycles: 900},
+							{ID: 1, Kind: "instr", Name: "site1", Acquires: 10, Releases: 10, Forced: 1},
+						},
+						Acquires: 50, Releases: 50, Forced: 1, Timeouts: 1,
+						OrderLogEntries: 101, AcquireOrderEntries: 50,
+					},
+					Events: &obs.Events{Emitted: 5_000, Batches: 2, Reads: 3_000, Writes: 1_500, Syncs: 500},
+					Log: obs.LogStreams{
+						TotalBytes: 8_192, InputChunks: 1, OrderChunks: 2,
+						InputRecords: 12, OrderRecords: 101,
+						InputRawBytes: 384, OrderRawBytes: 3_232,
+						InputBytes: 96, OrderBytes: 2_048,
+					},
+				},
 			},
 		},
 	}
@@ -132,6 +152,48 @@ func TestMeasureJSONRowOrder(t *testing.T) {
 		if e.RecordWallNS <= 0 || e.ReplayWallNS <= 0 || e.CheckerWallNS <= 0 {
 			t.Errorf("%s/%s: wall-clock fields not populated: rec=%d rep=%d chk=%d",
 				e.Bench, e.Config, e.RecordWallNS, e.ReplayWallNS, e.CheckerWallNS)
+		}
+		mtr := e.Metrics
+		if mtr == nil {
+			t.Fatalf("%s/%s: metrics block missing", e.Bench, e.Config)
+		}
+		if mtr.Schema != obs.Schema {
+			t.Errorf("%s/%s: metrics schema = %d, want %d", e.Bench, e.Config, mtr.Schema, obs.Schema)
+		}
+		wl := mtr.WeakLocks
+		if len(wl.Sites) != e.WeakLocks {
+			t.Errorf("%s/%s: %d site rows, want %d (one per weak lock)",
+				e.Bench, e.Config, len(wl.Sites), e.WeakLocks)
+		}
+		// The runtime accounting invariant: per-site committed operations
+		// are exactly the lock's order-log records.
+		if wl.Acquires+wl.Releases+wl.Forced != wl.OrderLogEntries {
+			t.Errorf("%s/%s: acquires %d + releases %d + forced %d != order-log entries %d",
+				e.Bench, e.Config, wl.Acquires, wl.Releases, wl.Forced, wl.OrderLogEntries)
+		}
+		if wl.Acquires != wl.AcquireOrderEntries {
+			t.Errorf("%s/%s: per-site acquire total %d != EvWLAcquire order entries %d",
+				e.Bench, e.Config, wl.Acquires, wl.AcquireOrderEntries)
+		}
+		var siteAcq int64
+		for _, st := range wl.Sites {
+			siteAcq += st.Acquires
+		}
+		if siteAcq != wl.Acquires {
+			t.Errorf("%s/%s: site acquire sum %d != total %d", e.Bench, e.Config, siteAcq, wl.Acquires)
+		}
+		// Log-stream consistency with the row's own byte counters.
+		if mtr.Log.TotalBytes != e.RecordLogBytes {
+			t.Errorf("%s/%s: metrics log total %d != record_log_bytes %d",
+				e.Bench, e.Config, mtr.Log.TotalBytes, e.RecordLogBytes)
+		}
+		if mtr.Log.OrderBytes != e.OrderLogBytes {
+			t.Errorf("%s/%s: metrics order bytes %d != order_log_bytes %d",
+				e.Bench, e.Config, mtr.Log.OrderBytes, e.OrderLogBytes)
+		}
+		if mtr.Events.Emitted <= 0 || mtr.Events.Reads+mtr.Events.Writes+mtr.Events.Syncs != mtr.Events.Emitted {
+			t.Errorf("%s/%s: event stream accounting off: emitted=%d reads=%d writes=%d syncs=%d",
+				e.Bench, e.Config, mtr.Events.Emitted, mtr.Events.Reads, mtr.Events.Writes, mtr.Events.Syncs)
 		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Cache is a concurrency-safe, content-addressed store of analysis
@@ -42,6 +44,13 @@ func NewCache() *Cache {
 // LoadParallel(workers) on first use and returning the shared artifact on
 // every subsequent call.
 func (c *Cache) Load(name, src string, workers int) (*Program, error) {
+	return c.LoadTraced(name, src, workers, nil)
+}
+
+// LoadTraced is Load with the miss-path analysis traced into tr (see
+// LoadParallelTraced). On a hit the cached artifact is returned and tr
+// records nothing — the stages never ran; the hit shows up in Stats.
+func (c *Cache) LoadTraced(name, src string, workers int, tr *obs.Tracer) (*Program, error) {
 	h := sha256.New()
 	h.Write([]byte(name))
 	h.Write([]byte{0})
@@ -60,7 +69,7 @@ func (c *Cache) Load(name, src string, workers int) (*Program, error) {
 	fresh := false
 	e.once.Do(func() {
 		fresh = true
-		e.prog, e.err = LoadParallel(name, src, workers)
+		e.prog, e.err = LoadParallelTraced(name, src, workers, tr)
 	})
 	if fresh {
 		c.misses.Add(1)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/minic/ast"
 	"repro/internal/minic/parser"
 	"repro/internal/minic/types"
+	"repro/internal/obs"
 	"repro/internal/oskit"
 	"repro/internal/pointsto"
 	"repro/internal/profile"
@@ -65,22 +66,49 @@ func Load(name, src string) (*Program, error) {
 // over `workers` goroutines (relay.AnalyzeParallel). The resulting
 // analysis is byte-identical to the sequential one for any worker count.
 func LoadParallel(name, src string, workers int) (*Program, error) {
+	return LoadParallelTraced(name, src, workers, nil)
+}
+
+// LoadParallelTraced is LoadParallel with each analysis stage wrapped in a
+// span of tr (nil disables tracing at zero cost). Stage attributes carry
+// the headline artifact sizes: SCC/wave counts on the call graph, pair
+// counts on RELAY.
+func LoadParallelTraced(name, src string, workers int, tr *obs.Tracer) (*Program, error) {
 	start := time.Now()
+	sp := tr.Start("lex-parse")
 	file, err := parser.Parse(name, src)
+	sp.SetAttr("bytes", int64(len(src))).End()
 	if err != nil {
 		return nil, fmt.Errorf("parse %s: %w", name, err)
 	}
+	sp = tr.Start("typecheck")
 	info, err := types.Check(file)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("check %s: %w", name, err)
 	}
+	sp = tr.Start("compile")
 	code, err := vm.Compile(info)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("compile %s: %w", name, err)
 	}
+	sp.SetAttr("funcs", int64(len(code.Funcs))).End()
+	sp = tr.Start("points-to")
 	pta := pointsto.Analyze(info)
+	sp.End()
+	sp = tr.Start("callgraph")
 	cg := callgraph.Build(info, pta)
+	sp.SetAttr("sccs", int64(len(cg.SCCs))).
+		SetAttr("waves", int64(len(cg.Waves()))).End()
+	sp = tr.Start("relay")
 	races := relay.AnalyzeParallel(info, pta, cg, workers)
+	// No workers attribute here: analysis parallelism is an execution
+	// detail, and the stage attributes must be a pure function of the
+	// source so masked metrics reports compare byte-identically.
+	sp.SetAttr("pairs", int64(len(races.Pairs))).
+		SetAttr("racy_funcs", int64(len(races.RacyFuncs))).
+		SetAttr("racy_nodes", int64(len(races.RacyNodes))).End()
 	return &Program{
 		Name: name, Source: src, File: file, Info: info,
 		PTA: pta, CG: cg, Races: races, Code: code,
@@ -133,6 +161,10 @@ type RunConfig struct {
 	CheckLockOrder bool
 	// MaxThreads overrides the thread limit if nonzero.
 	MaxThreads int
+	// Sinks are additional batched event sinks (e.g. the observability
+	// layer's counters) attached to the run. Attaching any sink turns on
+	// event emission for the run.
+	Sinks []vm.EventSink
 }
 
 func (rc RunConfig) vmConfig() vm.Config {
@@ -145,6 +177,7 @@ func (rc RunConfig) vmConfig() vm.Config {
 		HeapWords:      rc.HeapWords,
 		CheckLockOrder: rc.CheckLockOrder,
 		MaxThreads:     rc.MaxThreads,
+		Sinks:          rc.Sinks,
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"repro/internal/clique"
 	"repro/internal/minic/ast"
 	"repro/internal/minic/types"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/relay"
 	"repro/internal/symbolic"
@@ -59,6 +60,11 @@ type Options struct {
 	// so a function racing with several partners acquires several locks.
 	// Ablation knob; the paper's configuration shares via cliques.
 	PerPairFuncLocks bool
+
+	// Tracer, when non-nil, records a span per instrumentation stage
+	// (clique/function-lock assignment, site-lock assignment and
+	// granularity decisions, rewrite).
+	Tracer *obs.Tracer
 }
 
 // NaiveOptions is the paper's "instr" configuration: every race guarded at
@@ -155,12 +161,26 @@ func Instrument(rep *relay.Report, conc *profile.Concurrency, opts Options) (*Re
 	if ins.opts.LoopBodyThreshold == 0 {
 		ins.opts.LoopBodyThreshold = 14
 	}
+	tr := opts.Tracer
+	sp := tr.Start("locate")
 	ins.locate()
 	ins.splitPairs()
+	sp.SetAttr("func_pairs", int64(ins.res.FuncHandledPairs)).
+		SetAttr("site_pairs", int64(ins.res.SiteHandledPairs)).End()
+	sp = tr.Start("clique-func-locks")
 	ins.assignFuncLocks()
+	if ins.res.Cliques != nil {
+		sp.SetAttr("cliques", int64(len(ins.res.Cliques.Cliques)))
+	}
+	sp.SetAttr("func_locks", int64(len(ins.res.FuncLockOf))).End()
+	sp = tr.Start("site-locks")
 	ins.assignSiteLocks()
 	ins.decideSites()
+	sp.SetAttr("sites", int64(len(ins.res.Sites))).
+		SetAttr("locks", int64(ins.res.Table.Len())).End()
+	sp = tr.Start("rewrite")
 	src, err := ins.rewrite()
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,144 @@
+// Package obs is the observability layer: a hierarchical span tracer for
+// the pipeline stages, counter aggregation for the runtime (weak-lock
+// sites, event batches, log streams, analysis cache), a schema-versioned
+// JSON metrics report, and a Chrome/Perfetto trace-event export.
+//
+// The layer is deterministic and low-overhead by construction:
+//
+//   - A nil *Tracer (and the nil *Span it hands out) is the disabled
+//     tracer: every method is a nil-safe no-op that performs no
+//     allocation, so instrumented call sites cost one pointer test when
+//     observability is off.
+//   - The clock is injectable (NewTracerWithClock), so tests can drive
+//     spans with a virtual clock; wall-clock durations are the only
+//     nondeterministic values the layer produces, and Report.MaskWall
+//     zeroes them all for byte-equality determinism tests.
+//   - All aggregation output is stably ordered: sites sort by lock ID,
+//     stages flatten in span start order, attributes keep insertion
+//     order, and JSON rendering is canonical.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer records a forest of hierarchical spans. Spans started while
+// another span is open nest under it automatically (the tracer keeps an
+// open-span stack), which matches the pipeline's single-goroutine
+// orchestration; Start/End must be called from one goroutine at a time
+// (a mutex keeps concurrent misuse memory-safe, not meaningful).
+type Tracer struct {
+	mu    sync.Mutex
+	clock func() int64
+	roots []*Span
+	stack []*Span
+}
+
+// NewTracer returns a tracer driven by the process monotonic clock,
+// with time zero at the call.
+func NewTracer() *Tracer {
+	base := time.Now()
+	return NewTracerWithClock(func() int64 { return time.Since(base).Nanoseconds() })
+}
+
+// NewTracerWithClock returns a tracer driven by the given monotonic
+// nanosecond clock. The clock must never go backwards.
+func NewTracerWithClock(clock func() int64) *Tracer {
+	return &Tracer{clock: clock}
+}
+
+// Start opens a span as a child of the innermost open span (or as a new
+// root). On a nil tracer it returns nil, which is the valid disabled span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := &Span{tr: t, Name: name, StartNS: t.clock()}
+	if n := len(t.stack); n > 0 {
+		p := t.stack[n-1]
+		p.Children = append(p.Children, sp)
+	} else {
+		t.roots = append(t.roots, sp)
+	}
+	t.stack = append(t.stack, sp)
+	return sp
+}
+
+// Roots returns the root spans recorded so far, in start order.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.roots
+}
+
+// Span is one timed region with attributes and children. The zero of the
+// type is never used; a nil *Span is the disabled span and every method
+// on it is a no-op.
+type Span struct {
+	tr       *Tracer
+	Name     string
+	StartNS  int64
+	EndNS    int64
+	Attrs    AttrMap
+	Children []*Span
+	ended    bool
+}
+
+// SetAttr attaches (or overwrites) an integer attribute. Returns the span
+// for chaining.
+func (s *Span) SetAttr(key string, v int64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	s.Attrs = s.Attrs.set(Attr{Key: key, Int: v})
+	return s
+}
+
+// SetStr attaches (or overwrites) a string attribute.
+func (s *Span) SetStr(key, v string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	s.Attrs = s.Attrs.set(Attr{Key: key, Str: v, IsStr: true})
+	return s
+}
+
+// End closes the span. Any children left open are abandoned (they keep a
+// zero EndNS and stop parenting new spans). Ending twice is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.EndNS = t.clock()
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s {
+			t.stack = t.stack[:i]
+			break
+		}
+	}
+}
+
+// WallNS returns the span duration (zero until End).
+func (s *Span) WallNS() int64 {
+	if s == nil || s.EndNS < s.StartNS {
+		return 0
+	}
+	return s.EndNS - s.StartNS
+}

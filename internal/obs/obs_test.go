@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/weaklock"
+)
+
+// virtualClock ticks a fixed amount per reading, so span durations are
+// exact and test failures are byte-precise.
+func virtualClock(step int64) func() int64 {
+	var now int64
+	return func() int64 {
+		v := now
+		now += step
+		return v
+	}
+}
+
+func TestSpanAutoNesting(t *testing.T) {
+	tr := NewTracerWithClock(virtualClock(10))
+	root := tr.Start("pipeline")
+	a := tr.Start("analyze")
+	lex := tr.Start("lex-parse")
+	lex.End()
+	a.End()
+	b := tr.Start("record")
+	b.End()
+	root.End()
+
+	roots := tr.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("%d roots, want 1", len(roots))
+	}
+	if got := len(roots[0].Children); got != 2 {
+		t.Fatalf("root has %d children, want 2 (analyze, record)", got)
+	}
+	if roots[0].Children[0].Name != "analyze" || roots[0].Children[1].Name != "record" {
+		t.Errorf("children = %q, %q", roots[0].Children[0].Name, roots[0].Children[1].Name)
+	}
+	if got := roots[0].Children[0].Children; len(got) != 1 || got[0].Name != "lex-parse" {
+		t.Errorf("analyze children = %+v, want one lex-parse", got)
+	}
+
+	paths := make([]string, 0, 4)
+	for _, s := range tr.Stages() {
+		paths = append(paths, s.Path)
+	}
+	want := "pipeline pipeline/analyze pipeline/analyze/lex-parse pipeline/record"
+	if got := strings.Join(paths, " "); got != want {
+		t.Errorf("stage paths = %q, want %q", got, want)
+	}
+	for _, s := range tr.Stages() {
+		if s.WallNS <= 0 {
+			t.Errorf("stage %s wall = %d, want > 0 under a ticking clock", s.Path, s.WallNS)
+		}
+	}
+}
+
+func TestEndAbandonsOpenChildren(t *testing.T) {
+	tr := NewTracerWithClock(virtualClock(1))
+	root := tr.Start("root")
+	tr.Start("left-open")
+	root.End()
+	// The abandoned child must stop parenting: a new span is a fresh root.
+	next := tr.Start("next")
+	next.End()
+	roots := tr.Roots()
+	if len(roots) != 2 || roots[1].Name != "next" {
+		t.Fatalf("roots = %+v, want [root next]", roots)
+	}
+	open := roots[0].Children[0]
+	if open.EndNS != 0 {
+		t.Errorf("abandoned span got EndNS %d, want 0", open.EndNS)
+	}
+	if open.WallNS() != 0 {
+		t.Errorf("abandoned span wall = %d, want 0", open.WallNS())
+	}
+	// Double End is idempotent.
+	end := roots[0].EndNS
+	root.End()
+	if roots[0].EndNS != end {
+		t.Errorf("second End moved EndNS %d → %d", end, roots[0].EndNS)
+	}
+}
+
+// The disabled tracer is a nil pointer: every call must be a safe no-op
+// so instrumented pipeline code never branches on enablement.
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("ignored")
+	if sp != nil {
+		t.Fatalf("nil tracer handed out a real span")
+	}
+	sp.SetAttr("k", 1).SetStr("s", "v").SetAttr("k2", 2)
+	sp.End()
+	if sp.WallNS() != 0 {
+		t.Errorf("nil span wall = %d", sp.WallNS())
+	}
+	if tr.Roots() != nil || tr.Stages() != nil {
+		t.Errorf("nil tracer reported spans")
+	}
+}
+
+func TestAttrMapOrderAndOverwrite(t *testing.T) {
+	tr := NewTracerWithClock(virtualClock(1))
+	sp := tr.Start("s")
+	sp.SetAttr("zeta", 1).SetStr("alpha", "x").SetAttr("mid", 7).SetAttr("zeta", 3)
+	sp.End()
+	b, err := json.Marshal(sp.Attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insertion order, not sorted; overwrite keeps the original slot.
+	want := `{"zeta":3,"alpha":"x","mid":7}`
+	if string(b) != want {
+		t.Errorf("attrs marshal = %s, want %s", b, want)
+	}
+	if got := sp.Attrs.Get("mid"); got != 7 {
+		t.Errorf("Get(mid) = %d", got)
+	}
+	if got := sp.Attrs.Get("alpha"); got != 0 {
+		t.Errorf("Get on a string attr = %d, want 0", got)
+	}
+}
+
+func TestMaskWallZeroesOnlyWallFields(t *testing.T) {
+	r := &Report{
+		Schema:  Schema,
+		Program: "p",
+		Stages: []Stage{
+			{Path: "pipeline", WallNS: 123, Attrs: AttrMap{{Key: "pairs", Int: 4}}},
+			{Path: "pipeline/record", WallNS: 45},
+		},
+		Checker: &Checker{Name: "epoch", Races: 2, WallNS: 999},
+	}
+	r.MaskWall()
+	for _, s := range r.Stages {
+		if s.WallNS != 0 {
+			t.Errorf("stage %s wall not masked: %d", s.Path, s.WallNS)
+		}
+	}
+	if r.Checker.WallNS != 0 {
+		t.Errorf("checker wall not masked: %d", r.Checker.WallNS)
+	}
+	if r.Stages[0].Attrs.Get("pairs") != 4 || r.Checker.Races != 2 {
+		t.Errorf("MaskWall clobbered deterministic fields: %+v", r)
+	}
+}
+
+func TestWeakLocksFromSortsAndTotals(t *testing.T) {
+	tbl := weaklock.NewTable()
+	tbl.Add(weaklock.KindFunc, "clique0", false)
+	tbl.Add(weaklock.KindInstr, "site1", false)
+	sites := []weaklock.SiteStats{
+		{Acquires: 40, Releases: 39, Forced: 1, Contended: 3, StallCycles: 900},
+		{Acquires: 10, Releases: 10, ReentrantAcquires: 2, ReentrantReleases: 2},
+	}
+	wl := WeakLocksFrom(tbl, sites)
+	if len(wl.Sites) != 2 {
+		t.Fatalf("%d site rows", len(wl.Sites))
+	}
+	if wl.Sites[0].Kind != "func" || wl.Sites[0].Name != "clique0" {
+		t.Errorf("site 0 identity = %s/%s", wl.Sites[0].Kind, wl.Sites[0].Name)
+	}
+	if wl.Acquires != 50 || wl.Releases != 49 || wl.Forced != 1 {
+		t.Errorf("totals = %d/%d/%d, want 50/49/1", wl.Acquires, wl.Releases, wl.Forced)
+	}
+	if wl.Sites[1].ReentrantAcquires != 2 {
+		t.Errorf("reentrant acquires lost: %+v", wl.Sites[1])
+	}
+}
+
+func TestPerfettoExport(t *testing.T) {
+	tr := NewTracerWithClock(virtualClock(1_000)) // 1µs per tick
+	root := tr.Start("pipeline")
+	root.SetStr("program", "demo")
+	child := tr.Start("analyze")
+	child.SetAttr("pairs", 3)
+	child.End()
+	open := tr.Start("record") // left open: gets a best-effort end
+	_ = open
+	root.End()
+
+	b, err := tr.Perfetto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("%d trace events, want 3", len(doc.TraceEvents))
+	}
+	rootEv := doc.TraceEvents[0]
+	if rootEv.Name != "pipeline" || rootEv.Cat != "pipeline" || rootEv.Ph != "X" {
+		t.Errorf("root event = %+v", rootEv)
+	}
+	if rootEv.Ts != 0 {
+		t.Errorf("trace does not start at t=0: ts=%v", rootEv.Ts)
+	}
+	if rootEv.Args["program"] != "demo" {
+		t.Errorf("root args = %v", rootEv.Args)
+	}
+	// Children sit inside the root's [ts, ts+dur] window.
+	for _, ev := range doc.TraceEvents[1:] {
+		if ev.Ts < rootEv.Ts || ev.Ts+ev.Dur > rootEv.Ts+rootEv.Dur {
+			t.Errorf("event %s [%v,%v] escapes root [%v,%v]",
+				ev.Name, ev.Ts, ev.Ts+ev.Dur, rootEv.Ts, rootEv.Ts+rootEv.Dur)
+		}
+	}
+	if got := doc.TraceEvents[1].Args["pairs"]; got != float64(3) {
+		t.Errorf("analyze args = %v", doc.TraceEvents[1].Args)
+	}
+}
+
+// Two identical span sequences under a virtual clock must produce
+// byte-identical masked reports and byte-identical traces — the unit-level
+// version of the pipeline determinism guard.
+func TestReportDeterministicUnderVirtualClock(t *testing.T) {
+	build := func() ([]byte, []byte) {
+		tr := NewTracerWithClock(virtualClock(7))
+		root := tr.Start("pipeline")
+		tr.Start("analyze").SetAttr("pairs", 9).End()
+		root.End()
+		rep := &Report{Schema: Schema, Program: "p", Stages: tr.Stages()}
+		rep.MaskWall()
+		m, err := rep.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := tr.Perfetto()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, p
+	}
+	m1, p1 := build()
+	m2, p2 := build()
+	if string(m1) != string(m2) {
+		t.Errorf("masked reports differ:\n%s\n%s", m1, m2)
+	}
+	if string(p1) != string(p2) {
+		t.Errorf("traces differ:\n%s\n%s", p1, p2)
+	}
+}
+
+func TestAttrMapRoundTrip(t *testing.T) {
+	in := AttrMap{{Key: "pairs", Int: 9}, {Key: "config", Str: "all", IsStr: true}, {Key: "neg", Int: -3}}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out AttrMap
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Errorf("attr map does not round-trip: %s → %s", b, b2)
+	}
+}

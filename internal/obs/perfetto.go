@@ -1,0 +1,82 @@
+package obs
+
+import "encoding/json"
+
+// Chrome trace-event export: the span forest renders as complete ("X")
+// events in the JSON object format, which chrome://tracing and Perfetto's
+// trace viewer (ui.perfetto.dev) open directly as a flame chart.
+// Timestamps and durations are microseconds (floats), relative to the
+// earliest span start so a trace always begins at t=0.
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Perfetto renders the recorded spans as a Chrome trace-event JSON
+// document. Nesting is conveyed by timestamps: children sit inside their
+// parent's [ts, ts+dur] window on the same track, which the viewers
+// render as stacked slices. An unended span gets its latest descendant's
+// end (or its own start) as a best-effort end time.
+func (t *Tracer) Perfetto() ([]byte, error) {
+	roots := t.Roots()
+	var epoch int64
+	if len(roots) > 0 {
+		epoch = roots[0].StartNS
+	}
+	doc := traceDoc{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	var walk func(sp *Span)
+	walk = func(sp *Span) {
+		end := sp.EndNS
+		for _, c := range sp.Children {
+			if c.EndNS > end {
+				end = c.EndNS
+			}
+		}
+		if end < sp.StartNS {
+			end = sp.StartNS
+		}
+		ev := traceEvent{
+			Name: sp.Name,
+			Cat:  "pipeline",
+			Ph:   "X",
+			Ts:   float64(sp.StartNS-epoch) / 1e3,
+			Dur:  float64(end-sp.StartNS) / 1e3,
+			Pid:  1,
+			Tid:  1,
+		}
+		if len(sp.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				if a.IsStr {
+					ev.Args[a.Key] = a.Str
+				} else {
+					ev.Args[a.Key] = a.Int
+				}
+			}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

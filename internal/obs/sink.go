@@ -1,0 +1,41 @@
+package obs
+
+import "repro/internal/vm"
+
+// EventCounter is a vm.EventSink that tallies the observation event
+// stream by kind. Registered alongside a race checker it attributes the
+// stream the checker consumed — reads, writes, sync operations — at one
+// interface dispatch per batch, like every sink.
+type EventCounter struct {
+	Reads   int64
+	Writes  int64
+	Syncs   int64
+	Batches int64
+}
+
+// Drain implements vm.EventSink.
+func (c *EventCounter) Drain(events []vm.Event) {
+	c.Batches++
+	for i := range events {
+		switch events[i].Kind {
+		case vm.EventRead:
+			c.Reads++
+		case vm.EventWrite:
+			c.Writes++
+		case vm.EventSync:
+			c.Syncs++
+		}
+	}
+}
+
+// Events builds the metrics section from the counter plus the VM's own
+// emission counters (vm.Counters.EventsEmitted / EventBatches).
+func (c *EventCounter) Events(emitted, batches int64) *Events {
+	return &Events{
+		Emitted: emitted,
+		Batches: batches,
+		Reads:   c.Reads,
+		Writes:  c.Writes,
+		Syncs:   c.Syncs,
+	}
+}

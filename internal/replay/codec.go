@@ -212,9 +212,26 @@ type LogWriter struct {
 	zw      *gzip.Writer
 	inBytes int64 // compressed bytes written for input chunks (incl. headers)
 	orBytes int64
+	stats   StreamStats
 	started bool
 	closed  bool
 	err     error
+}
+
+// StreamStats summarizes what a LogWriter emitted, per stream: record and
+// chunk counts, raw (uncompressed) payload bytes, and compressed wire
+// bytes including each chunk's 13-byte header. The wire byte fields equal
+// InputBytesWritten/OrderBytesWritten; the whole stream adds the 8-byte
+// magic and the 13-byte end marker on top.
+type StreamStats struct {
+	InputRecords  int64
+	OrderRecords  int64
+	InputChunks   int64
+	OrderChunks   int64
+	InputRawBytes int64
+	OrderRawBytes int64
+	InputBytes    int64
+	OrderBytes    int64
 }
 
 // NewLogWriter returns a streaming writer over w.
@@ -229,6 +246,7 @@ func (lw *LogWriter) Input(tid int, rec InputRec) {
 	if lw.err != nil || lw.closed {
 		return
 	}
+	lw.stats.InputRecords++
 	putWord(&lw.inBuf, int64(tid))
 	putWord(&lw.inBuf, int64(rec.Op))
 	putWord(&lw.inBuf, rec.Val)
@@ -246,6 +264,7 @@ func (lw *LogWriter) Order(key vm.SyncKey, rec OrderRec) {
 	if lw.err != nil || lw.closed {
 		return
 	}
+	lw.stats.OrderRecords++
 	putWord(&lw.ordBuf, int64(key.Class))
 	putWord(&lw.ordBuf, key.ID)
 	putWord(&lw.ordBuf, int64(rec.Tid)<<8|int64(rec.Kind))
@@ -289,6 +308,10 @@ func (lw *LogWriter) InputBytesWritten() int64 { return lw.inBytes }
 // OrderBytesWritten returns the compressed bytes written so far for the
 // order stream.
 func (lw *LogWriter) OrderBytesWritten() int64 { return lw.orBytes }
+
+// Stats returns the per-stream accounting of what was written so far
+// (complete only after Close, which flushes the pending chunks).
+func (lw *LogWriter) Stats() StreamStats { return lw.stats }
 
 // Err returns the first write error, if any.
 func (lw *LogWriter) Err() error { return lw.err }
@@ -340,8 +363,14 @@ func (lw *LogWriter) flush(kind byte) {
 	}
 	if kind == chunkInput {
 		lw.inBytes += int64(n1 + n2)
+		lw.stats.InputChunks++
+		lw.stats.InputRawBytes += int64(buf.Len())
+		lw.stats.InputBytes = lw.inBytes
 	} else {
 		lw.orBytes += int64(n1 + n2)
+		lw.stats.OrderChunks++
+		lw.stats.OrderRawBytes += int64(buf.Len())
+		lw.stats.OrderBytes = lw.orBytes
 	}
 	buf.Reset()
 }

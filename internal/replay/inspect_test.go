@@ -1,0 +1,98 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// buildStatLog writes a small but representative log: input records with
+// and without data payloads, order records across several sync classes,
+// and a forced-preemption record (the wide, anchor-carrying encoding).
+func buildStatLog(t *testing.T) ([]byte, StreamStats) {
+	t.Helper()
+	var buf bytes.Buffer
+	lw := NewLogWriter(&buf)
+	lw.Input(0, InputRec{Op: 3, Val: 42})
+	lw.Input(1, InputRec{Op: 5, Val: 7, Data: []int64{1, 2, 3}})
+	lw.Input(0, InputRec{Op: 3, Val: 43})
+	mu := vm.SyncKey{Class: vm.SyncMutex, ID: 16}
+	wl := vm.SyncKey{Class: vm.SyncWeakLock, ID: 2}
+	lw.Order(mu, OrderRec{Tid: 0, Kind: vm.EvAcquire})
+	lw.Order(mu, OrderRec{Tid: 0, Kind: vm.EvRelease})
+	lw.Order(wl, OrderRec{Tid: 1, Kind: vm.EvWLAcquire})
+	lw.Order(wl, OrderRec{
+		Tid: 0, Kind: vm.EvWLForcedRelease,
+		Anchor: vm.ForcedAnchor{Instr: 99, Sync: 4, Blocked: true},
+	})
+	lw.Order(wl, OrderRec{Tid: 1, Kind: vm.EvWLRelease})
+	if err := lw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes(), lw.Stats()
+}
+
+func TestStatMatchesWriter(t *testing.T) {
+	data, ws := buildStatLog(t)
+	info, err := Stat(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if info.TotalBytes != int64(len(data)) {
+		t.Errorf("TotalBytes = %d, want %d", info.TotalBytes, len(data))
+	}
+	if info.Input.Records != ws.InputRecords || info.Order.Records != ws.OrderRecords {
+		t.Errorf("records = (%d,%d), writer saw (%d,%d)",
+			info.Input.Records, info.Order.Records, ws.InputRecords, ws.OrderRecords)
+	}
+	if info.Input.Chunks != ws.InputChunks || info.Order.Chunks != ws.OrderChunks {
+		t.Errorf("chunks = (%d,%d), writer saw (%d,%d)",
+			info.Input.Chunks, info.Order.Chunks, ws.InputChunks, ws.OrderChunks)
+	}
+	if info.Input.RawBytes != ws.InputRawBytes || info.Order.RawBytes != ws.OrderRawBytes {
+		t.Errorf("raw bytes = (%d,%d), writer saw (%d,%d)",
+			info.Input.RawBytes, info.Order.RawBytes, ws.InputRawBytes, ws.OrderRawBytes)
+	}
+	if info.Input.WireBytes != ws.InputBytes || info.Order.WireBytes != ws.OrderBytes {
+		t.Errorf("wire bytes = (%d,%d), writer saw (%d,%d)",
+			info.Input.WireBytes, info.Order.WireBytes, ws.InputBytes, ws.OrderBytes)
+	}
+	// Whole stream = both streams' wire bytes + magic + end marker.
+	if want := info.Input.WireBytes + info.Order.WireBytes + int64(len(logMagic)) + 13; info.TotalBytes != want {
+		t.Errorf("TotalBytes = %d, want magic+streams+end = %d", info.TotalBytes, want)
+	}
+	if got := info.OrderByClass["weaklock"]; got != 3 {
+		t.Errorf("OrderByClass[weaklock] = %d, want 3", got)
+	}
+	if got := info.OrderByClass["mutex"]; got != 2 {
+		t.Errorf("OrderByClass[mutex] = %d, want 2", got)
+	}
+	if got := info.OrderByKind["wlforce"]; got != 1 {
+		t.Errorf("OrderByKind[wlforce] = %d, want 1", got)
+	}
+	if info.Input.Ratio() <= 0 || info.Order.Ratio() <= 0 {
+		t.Errorf("ratios should be positive, got %v / %v", info.Input.Ratio(), info.Order.Ratio())
+	}
+}
+
+func TestStatRejectsCorruption(t *testing.T) {
+	data, _ := buildStatLog(t)
+	if _, err := Stat(bytes.NewReader(data[:len(data)-1])); err == nil {
+		t.Error("truncated log: want error")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF
+	if _, err := Stat(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic: want error")
+	}
+	// Flip a payload byte: the CRC must catch it.
+	bad = append([]byte(nil), data...)
+	bad[len(logMagic)+13+4] ^= 0xFF
+	if _, err := Stat(bytes.NewReader(bad)); err == nil {
+		t.Error("flipped payload byte: want error")
+	}
+	if _, err := Stat(bytes.NewReader(append(append([]byte(nil), data...), 0))); err == nil {
+		t.Error("trailing garbage: want error")
+	}
+}

@@ -81,10 +81,14 @@ func (m *machine) emitSync(key SyncKey, kind SyncEventKind, tid int, clock int64
 }
 
 // flushEvents drains the buffer to every sink, in registration order.
+// Emission accounting happens here, once per batch, so the per-event
+// emit paths stay counter-free.
 func (m *machine) flushEvents() {
 	if len(m.events) == 0 {
 		return
 	}
+	m.counters.EventsEmitted += int64(len(m.events))
+	m.counters.EventBatches++
 	for _, s := range m.sinks {
 		s.Drain(m.events)
 	}

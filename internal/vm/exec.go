@@ -130,6 +130,7 @@ type machine struct {
 
 	counters Counters
 	wlStats  weaklock.Stats
+	wlSites  []weaklock.SiteStats // per-lock counters, indexed by ID
 
 	dispatches   uint64
 	steps        int64
@@ -183,6 +184,9 @@ func newMachine(p *Program, cfg Config) *machine {
 		maxSteps:    cfg.MaxSteps,
 		wlTimeout:   cfg.WLTimeout,
 	}
+	if cfg.WL != nil {
+		m.wlSites = make([]weaklock.SiteStats, cfg.WL.Len())
+	}
 	m.sinks = append(m.sinks, cfg.Sinks...)
 	if cfg.Trace != nil || cfg.SyncEvents != nil {
 		m.sinks = append(m.sinks, &hookSink{trace: cfg.Trace, syncs: cfg.SyncEvents})
@@ -202,6 +206,7 @@ func (m *machine) result() *Result {
 		ExitCode: m.exitCode,
 		Counters: m.counters,
 		WLStats:  m.wlStats,
+		WLSites:  m.wlSites,
 		Threads:  len(m.threads),
 		Err:      m.fatal,
 	}

@@ -307,6 +307,13 @@ type Counters struct {
 	IOWait     int64 // cycles blocked waiting for simulated I/O
 	GateWait   int64 // cycles blocked on the replay order gate
 	Spawns     int64
+
+	// EventsEmitted and EventBatches account for the event-sink runtime:
+	// observation events delivered to sinks and the batch drains that
+	// carried them. Both are zero on un-observed runs, and both are
+	// counted in flushEvents so the emission hot path stays untouched.
+	EventsEmitted int64
+	EventBatches  int64
 }
 
 // RunError is a fatal execution error (fault, deadlock, check failure,
@@ -336,6 +343,10 @@ type Result struct {
 	// Counters and WLStats are the dynamic accounting.
 	Counters Counters
 	WLStats  weaklock.Stats
+
+	// WLSites holds per-weak-lock counters, indexed by lock ID (same
+	// order as the table); nil when the run had no weak-lock table.
+	WLSites []weaklock.SiteStats
 
 	// MemHash fingerprints final memory (globals+heap) and output;
 	// record/replay verification compares it.

@@ -1,0 +1,153 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/minic/parser"
+	"repro/internal/minic/types"
+	"repro/internal/oskit"
+	"repro/internal/weaklock"
+)
+
+// contendSrc hammers one weak-lock site from two spawned threads: every
+// acquisition races the other thread's hold, so the per-site contention
+// counters must light up.
+const contendSrc = `
+int g;
+void worker(int n) {
+    for (int i = 0; i < n; i++) {
+        wl_acquire(3, 0, ` + inf + `);
+        int tmp = g;
+        g = tmp + 1;
+        wl_release(3, 0);
+    }
+}
+int main(void) {
+    int t1 = spawn(worker, 400);
+    int t2 = spawn(worker, 400);
+    join(t1); join(t2);
+    print(g);
+    return 0;
+}`
+
+// Per-site counters must agree with the aggregate weak-lock stats, and a
+// two-thread fight over one site must register as contention with
+// nonzero stall time. Runs under -race in CI: the counters live on the
+// single-goroutine machine, so the race detector stays quiet.
+func TestPerSiteCountersUnderContention(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		r := runWL(t, contendSrc, wlTable(1), seed, 0)
+		if r.Err != nil {
+			t.Fatalf("seed %d: %v", seed, r.Err)
+		}
+		if string(r.Output) != "800\n" {
+			t.Fatalf("seed %d: output %q", seed, r.Output)
+		}
+		if len(r.WLSites) != 1 {
+			t.Fatalf("seed %d: %d site rows, want 1", seed, len(r.WLSites))
+		}
+		st := r.WLSites[0]
+		if st.Acquires != 800 || st.Releases != 800 {
+			t.Errorf("seed %d: site acquires/releases = %d/%d, want 800/800", seed, st.Acquires, st.Releases)
+		}
+		if st.Acquires != r.WLStats.Acquires[weaklock.KindInstr] {
+			t.Errorf("seed %d: site acquires %d != aggregate %d",
+				seed, st.Acquires, r.WLStats.Acquires[weaklock.KindInstr])
+		}
+		if st.Contended == 0 {
+			t.Errorf("seed %d: two threads on one site never contended", seed)
+		}
+		if st.StallCycles == 0 {
+			t.Errorf("seed %d: contention with zero stall cycles", seed)
+		}
+		if st.Contended > st.Acquires {
+			t.Errorf("seed %d: contended %d exceeds acquires %d", seed, st.Contended, st.Acquires)
+		}
+		if st.StallCycles != r.WLStats.Contention[weaklock.KindInstr] {
+			t.Errorf("seed %d: site stall %d != aggregate contention %d",
+				seed, st.StallCycles, r.WLStats.Contention[weaklock.KindInstr])
+		}
+	}
+}
+
+// A forced preemption (weak-lock timeout) must be charged to the site it
+// released. Reuses the §2.3 fixture: the holder parks on a condvar inside
+// the region, the waiter times out and forces the release.
+func TestPerSiteForcedCount(t *testing.T) {
+	src := `
+int m;
+int cv;
+int flag;
+int g;
+void holder(int n) {
+    wl_acquire(3, 0, ` + inf + `);
+    g = 1;
+    lock(&m);
+    while (flag == 0) {
+        cond_wait(&cv, &m);
+    }
+    unlock(&m);
+    g = 2;
+    wl_release(3, 0);
+}
+void waiter(int n) {
+    wl_acquire(3, 0, ` + inf + `);
+    g = g + 10;
+    wl_release(3, 0);
+    lock(&m);
+    flag = 1;
+    cond_signal(&cv);
+    unlock(&m);
+}
+int main(void) {
+    int t1 = spawn(holder, 0);
+    for (int i = 0; i < 3000; i++) { }
+    int t2 = spawn(waiter, 0);
+    join(t1); join(t2);
+    print(g);
+    return 0;
+}`
+	r := runWL(t, src, wlTable(1), 3, 50_000)
+	if r.Err != nil {
+		t.Fatalf("run: %v", r.Err)
+	}
+	if r.WLStats.Timeouts == 0 {
+		t.Fatalf("fixture did not time out; forced-release accounting untested")
+	}
+	if len(r.WLSites) != 1 {
+		t.Fatalf("%d site rows, want 1", len(r.WLSites))
+	}
+	if got := r.WLSites[0].Forced; got == 0 {
+		t.Errorf("site Forced = %d after a forced preemption, want > 0", got)
+	}
+	// The accounting invariant behind the metrics report: committed
+	// per-site operations are exactly what the order log records.
+	st := r.WLSites[0]
+	if st.Acquires == 0 || st.Acquires != st.Releases+st.Forced {
+		t.Errorf("site ops unbalanced: acquires %d, releases %d, forced %d",
+			st.Acquires, st.Releases, st.Forced)
+	}
+}
+
+// WLSites must stay nil on runs without a weak-lock table: no table, no
+// per-site rows, no allocation.
+func TestNoSiteRowsWithoutTable(t *testing.T) {
+	src := `
+int main(void) {
+    print(41 + 1);
+    return 0;
+}`
+	f := parser.MustParse("t.mc", src)
+	info := types.MustCheck(f)
+	p, err := Compile(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run(p, Config{Inputs: LiveInputs{OS: oskit.NewWorld(1)}, Seed: 1})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.WLSites != nil {
+		t.Errorf("WLSites = %v on an un-tabled run, want nil", r.WLSites)
+	}
+}

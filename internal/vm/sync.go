@@ -745,6 +745,7 @@ func (m *machine) wlTryAcquire(t *thread, d *weaklock.Descriptor, kind weaklock.
 				}
 			}
 			m.wlStats.Acquires[kind]++
+			m.wlSites[d.ID].ReentrantAcquires++
 			return false, true
 		}
 	}
@@ -776,8 +777,18 @@ func (m *machine) wlTryAcquire(t *thread, d *weaklock.Descriptor, kind weaklock.
 		}
 		return t.held[i].id < t.held[j].id
 	})
-	m.wlStats.Contention[kind] += m.unblocked(t)
+	// unblocked consumes the thread's blocking episode, so capture the
+	// stall once and attribute it to both the per-kind and per-site
+	// accounting.
+	stall := m.unblocked(t)
+	m.wlStats.Contention[kind] += stall
 	m.wlStats.Acquires[kind]++
+	st := &m.wlSites[d.ID]
+	st.Acquires++
+	if stall > 0 {
+		st.Contended++
+		st.StallCycles += stall
+	}
 	m.commitWL(t, key, kind, EvWLAcquire)
 	m.syncEvent(key, EvWLAcquire, t.id, t.clock)
 	return false, true
@@ -809,6 +820,7 @@ func (m *machine) wlRelease(t *thread, nargs int, args []int64) bool {
 	if t.held[idx].depth > 1 {
 		t.held[idx].depth--
 		m.wlStats.Releases[kind]++
+		m.wlSites[d.ID].ReentrantReleases++
 		m.finish(t, nargs, m.cost.WeakLockOp, false, 0)
 		return true
 	}
@@ -820,6 +832,7 @@ func (m *machine) wlRelease(t *thread, nargs int, args []int64) bool {
 	s := m.wlock(d.ID)
 	s.removeHolder(t.id)
 	m.wlStats.Releases[kind]++
+	m.wlSites[d.ID].Releases++
 	m.commitWL(t, key, kind, EvWLRelease)
 	m.syncEvent(key, EvWLRelease, t.id, t.clock)
 	m.finish(t, nargs, m.cost.WeakLockOp, false, 0)
@@ -929,6 +942,7 @@ func (m *machine) forceRelease(id weaklock.ID, w wlWaiter) {
 		}
 		m.wlStats.Timeouts++
 		m.wlStats.Releases[lost.kind]++
+		m.wlSites[id].Forced++
 		anchor := ForcedAnchor{
 			Instr:   owner.instrCount,
 			Sync:    owner.syncSeq,
@@ -1039,6 +1053,7 @@ func (m *machine) doInjectForced(t *thread, key SyncKey, anchor ForcedAnchor) bo
 
 	m.wlStats.Timeouts++
 	m.wlStats.Releases[lost.kind]++
+	m.wlSites[id].Forced++
 	pm := m.cfg.Monitor.(PreemptionMonitor)
 	cost := pm.CommitForced(key, t.id, anchor, t.clock)
 	t.clock += cost

@@ -164,6 +164,28 @@ func (s *Stats) Add(other *Stats) {
 	s.Timeouts += other.Timeouts
 }
 
+// SiteStats accumulates the dynamic counts of one weak-lock (one table
+// slot) during a run; the VM keeps one per lock, indexed by ID
+// (vm.Result.WLSites). Where Stats aggregates by granularity for the
+// paper's tables, SiteStats attributes the same operations to individual
+// locks for the observability layer's per-site metrics.
+//
+// Acquires and Releases count only the committed, non-reentrant
+// operations — exactly the ones the recorder writes to the order log —
+// so over a recorded run, Acquires+Releases+Forced per site sums to that
+// lock's order-log record count. Reentrant re-acquisitions (and their
+// matching inner releases) bypass gating and logging and are counted
+// separately.
+type SiteStats struct {
+	Acquires          int64 // committed non-reentrant acquires (one order-log record each)
+	ReentrantAcquires int64 // nested re-acquisitions by the holder (not logged)
+	Releases          int64 // committed outermost releases (one order-log record each)
+	ReentrantReleases int64 // nested releases that just drop a depth level (not logged)
+	Forced            int64 // forced releases: organic timeouts and replay-injected preemptions
+	Contended         int64 // committed acquires that blocked before succeeding
+	StallCycles       int64 // simulated cycles those acquires spent blocked
+}
+
 // RangesOverlap reports whether [lo1,hi1] and [lo2,hi2] intersect. An
 // empty range (lo > hi, e.g. from a zero-trip loop's bounds) overlaps
 // nothing; the infinite sentinels overlap every nonempty range.
