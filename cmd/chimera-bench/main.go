@@ -20,6 +20,10 @@
 //	                                    # additionally re-run the workload
 //	                                    # sequentially with caches off and
 //	                                    # record baseline_wall_ns/speedup
+//	chimera-bench -incremental          # cold vs warm (store-primed) wall
+//	                                    # of re-analyzing a single libc edit;
+//	                                    # with -json, recorded as the report's
+//	                                    # "incremental" section
 //
 // Benchmark preparation and independent benchmark × config cells run on a
 // bounded pool of -parallel workers. All emitted tables, figures and JSON
@@ -50,6 +54,8 @@ func main() {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "harness worker pool size (1 = sequential)")
 		jsonPath = flag.String("json", "", "write machine-readable measurements (MHP opt sets) to this file")
 		baseline = flag.Bool("baseline", false, "with -json: also time the sequential uncached workload for baseline_wall_ns")
+		incr     = flag.Bool("incremental", false, "measure the warm-edit incremental-analysis speedup (recorded in -json when given)")
+		reps     = flag.Int("reps", 3, "with -incremental: wall-clock repetitions (minimum is reported)")
 	)
 	flag.Parse()
 
@@ -62,9 +68,20 @@ func main() {
 		names = strings.Split(*benches, ",")
 	}
 
-	if !*all && *table == "" && *figure == "" && *jsonPath == "" {
+	if !*all && *table == "" && *figure == "" && *jsonPath == "" && !*incr {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	var incBench *harness.IncrementalBench
+	if *incr {
+		fmt.Fprintln(os.Stderr, "measuring warm-edit incremental re-analysis (cold vs store-primed)...")
+		ib, err := harness.MeasureIncremental(names, cfg.Workers, *reps)
+		if err != nil {
+			fatal(err)
+		}
+		incBench = ib
+		fmt.Println(harness.RenderIncremental(ib))
 	}
 
 	want := workload{
@@ -80,9 +97,13 @@ func main() {
 	}
 
 	start := time.Now()
-	entries, err := run(cfg, names, want, os.Stdout)
-	if err != nil {
-		fatal(err)
+	var entries []harness.JSONEntry
+	if *all || *table != "" || *figure != "" || *jsonPath != "" {
+		var err error
+		entries, err = run(cfg, names, want, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	wall := time.Since(start).Nanoseconds()
 
@@ -91,6 +112,7 @@ func main() {
 			Parallel:      cfg.Parallel,
 			Workers:       cfg.Workers,
 			HarnessWallNS: wall,
+			Incremental:   incBench,
 			Entries:       entries,
 		}
 		if *baseline {

@@ -36,6 +36,13 @@
 //	                        # run a benchmark under schedule seed 7 with the
 //	                        # epoch checker and the full-vector oracle on
 //	                        # one event stream; exit nonzero if they diverge
+//	racecheck -incremental prog.mc
+//	                        # analyze through the summary-store-backed
+//	                        # incremental engine (byte-identical report)
+//	racecheck -batch dir -summary-stats
+//	                        # analyze every *.mc in dir through one shared
+//	                        # summary store, reusing per-function summaries
+//	                        # across files, then print store statistics
 package main
 
 import (
@@ -50,6 +57,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/bench/harness"
+	"repro/internal/callgraph"
 	"repro/internal/certify"
 	"repro/internal/cfg"
 	"repro/internal/core"
@@ -59,7 +67,9 @@ import (
 	"repro/internal/minic/parser"
 	"repro/internal/minic/types"
 	"repro/internal/oskit"
+	"repro/internal/pointsto"
 	"repro/internal/relay"
+	"repro/internal/summary"
 	"repro/internal/trace"
 )
 
@@ -101,7 +111,22 @@ func run(args []string, out, errOut io.Writer) int {
 	seed := fs.Uint64("seed", 1, "schedule seed for -dynamic runs")
 	tracePath := fs.String("trace", "", "write a Chrome/Perfetto trace of the observed pipeline to this file (with -dynamic)")
 	metricsPath := fs.String("metrics", "", "write the observability metrics report (JSON) to this file (with -dynamic)")
+	incremental := fs.Bool("incremental", false, "run the static analysis through the summary-store-backed incremental engine")
+	batchDir := fs.String("batch", "", "analyze every *.mc file in this directory through one shared summary store")
+	summaryStats := fs.Bool("summary-stats", false, "print summary-store and dirty-cone statistics (with -incremental or -batch)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *batchDir != "" {
+		if *dynamic || *doCertify || *benchName != "" || fs.NArg() != 0 {
+			fmt.Fprintln(errOut, "racecheck: -batch takes a directory and combines only with -mhp, -parallel, and -summary-stats")
+			return 2
+		}
+		return runBatch(*batchDir, *parallel, *useMHP, *summaryStats, out, errOut)
+	}
+	if *summaryStats && !*incremental {
+		fmt.Fprintln(errOut, "racecheck: -summary-stats requires -incremental or -batch")
 		return 2
 	}
 
@@ -177,7 +202,17 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, "racecheck:", err)
 		return 1
 	}
-	rep := relay.AnalyzeProgramParallel(info, *parallel)
+	var rep *relay.Report
+	var incStats *relay.IncrementalStats
+	var store *summary.Store
+	if *incremental {
+		store = summary.NewStore()
+		pta := pointsto.Analyze(info)
+		cg := callgraph.Build(info, pta)
+		rep, incStats = relay.AnalyzeIncremental(info, pta, cg, *parallel, store)
+	} else {
+		rep = relay.AnalyzeProgramParallel(info, *parallel)
+	}
 	if *useMHP {
 		refined := mhp.Refine(rep)
 		fmt.Fprintf(out, "%s: %d potential race pairs, MHP kept %d, pruned %d\n",
@@ -234,6 +269,13 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 	}
 
+	if *summaryStats && incStats != nil {
+		fmt.Fprintf(out, "incremental: %d function(s), %d reused, %d recomputed, %d dirty SCC(s), %d unkeyable\n",
+			incStats.TotalFuncs, incStats.ReusedFuncs, incStats.RecomputedFuncs,
+			incStats.DirtySCCs, len(incStats.Unkeyable))
+		printSummaryStats(nil, store, out)
+	}
+
 	if !*doCertify {
 		return 0
 	}
@@ -264,6 +306,69 @@ func run(args []string, out, errOut io.Writer) int {
 		return 1
 	}
 	return reportCert(cert, *certOut, out, errOut)
+}
+
+// runBatch analyzes every *.mc file under dir (sorted by name) through
+// one incremental cache sharing a single summary store, so functions
+// repeated across the corpus — identical files, shared library code,
+// copies with local edits — are summarized once and reused. Per file it
+// prints the race-pair count and how much of the RELAY walk was reused.
+func runBatch(dir string, workers int, useMHP, showStats bool, out, errOut io.Writer) int {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.mc"))
+	if err != nil {
+		fmt.Fprintln(errOut, "racecheck:", err)
+		return 2
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(errOut, "racecheck: no *.mc files in %s\n", dir)
+		return 1
+	}
+	sort.Strings(paths)
+
+	store := summary.NewStore()
+	cache := core.NewIncrementalCache(store)
+	status := 0
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(errOut, "racecheck:", err)
+			return 1
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		prog, err := cache.Load(name, string(src), workers)
+		if err != nil {
+			fmt.Fprintf(errOut, "racecheck: %s: %v\n", path, err)
+			status = 1
+			continue
+		}
+		rep := prog.Races
+		if useMHP {
+			rep = prog.RefinedRaces()
+		}
+		line := fmt.Sprintf("%s: %d race pair(s)", path, len(rep.Pairs))
+		if st := prog.Incremental; st != nil {
+			line += fmt.Sprintf(" [summaries: %d/%d reused]", st.ReusedFuncs, st.TotalFuncs)
+		}
+		fmt.Fprintln(out, line)
+	}
+	if showStats {
+		printSummaryStats(cache, store, out)
+	}
+	return status
+}
+
+// printSummaryStats prints the whole-program cache outcomes (when a
+// cache was involved) and the summary store's counters.
+func printSummaryStats(cache *core.Cache, store *summary.Store, out io.Writer) {
+	if cache != nil {
+		hits, partial, misses := cache.Stats()
+		fmt.Fprintf(out, "cache: %d whole-program hit(s), %d partial hit(s), %d miss(es)\n",
+			hits, partial, misses)
+	}
+	st := store.Stats()
+	fmt.Fprintf(out, "summary store: %d hit(s), %d miss(es), %d put(s), %d eviction(s), %d entries\n",
+		st.Hits, st.Misses, st.Puts, st.Evictions, st.Entries)
+	fmt.Fprintf(out, "mhp facts: %d hit(s), %d miss(es)\n", st.MHPHits, st.MHPMisses)
 }
 
 // runObserved runs the fully observed pipeline (analyze → … → record →

@@ -74,6 +74,10 @@ type JSONReport struct {
 	BaselineWallNS int64   `json:"baseline_wall_ns,omitempty"`
 	Speedup        float64 `json:"speedup,omitempty"`
 
+	// Incremental, when present, is the warm-edit measurement of the
+	// summary-store-backed incremental analysis (see MeasureIncremental).
+	Incremental *IncrementalBench `json:"incremental,omitempty"`
+
 	Entries []JSONEntry `json:"entries"`
 }
 

@@ -266,8 +266,9 @@ func Observe(t ObserveTarget, o ObserveOptions) (*Observation, error) {
 		},
 		Checker: &obs.Checker{Name: o.Checker, Races: len(races), WallNS: chkWall},
 	}
-	hits, misses := o.Cache.Stats()
-	rpt.Cache = &obs.CacheStats{Hits: hits, Misses: misses}
+	hits, partial, misses := o.Cache.Stats()
+	rpt.Cache = &obs.CacheStats{Hits: hits, PartialHits: partial, Misses: misses}
+	rpt.SummaryStore = o.Cache.SummaryStats()
 
 	return &Observation{
 		Tracer: tr, Report: rpt,

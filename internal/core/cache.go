@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/summary"
 )
 
 // Cache is a concurrency-safe, content-addressed store of analysis
@@ -17,6 +18,15 @@ import (
 // instrumentation configs and harness workers; only the per-config
 // instrument → record → replay tail runs again.
 //
+// A cache built with NewIncrementalCache additionally carries a
+// per-function summary store (internal/summary), giving loads three
+// outcomes instead of two: a whole-program hit returns the shared
+// artifact, a whole-program miss runs the incremental pipeline, and that
+// fresh computation counts as a *partial hit* when it reused at least one
+// stored function summary (and as a miss otherwise). The store persists
+// across programs, so a batch of related sources pays the RELAY walk only
+// for functions no earlier program already summarized.
+//
 // Loads of the same key are single-flighted: concurrent callers block on
 // one computation instead of racing to duplicate it. The worker count
 // does not enter the key because the parallel RELAY schedule is proven
@@ -25,8 +35,13 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[[sha256.Size]byte]*cacheEntry
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	// store, when non-nil, routes miss-path loads through the incremental
+	// analyzer.
+	store *summary.Store
+
+	hits     atomic.Int64
+	partials atomic.Int64
+	misses   atomic.Int64
 }
 
 type cacheEntry struct {
@@ -35,9 +50,19 @@ type cacheEntry struct {
 	err  error
 }
 
-// NewCache returns an empty analysis cache.
+// NewCache returns an empty analysis cache with no summary store: every
+// whole-program miss is a full recomputation.
 func NewCache() *Cache {
 	return &Cache{entries: make(map[[sha256.Size]byte]*cacheEntry)}
+}
+
+// NewIncrementalCache returns an analysis cache whose miss path runs the
+// summary-store-backed incremental pipeline (LoadIncremental). The store
+// may be shared with other caches and outlives any one cache.
+func NewIncrementalCache(store *summary.Store) *Cache {
+	c := NewCache()
+	c.store = store
+	return c
 }
 
 // Load returns the analyzed program for (name, src), computing it with
@@ -69,17 +94,43 @@ func (c *Cache) LoadTraced(name, src string, workers int, tr *obs.Tracer) (*Prog
 	fresh := false
 	e.once.Do(func() {
 		fresh = true
-		e.prog, e.err = LoadParallelTraced(name, src, workers, tr)
+		if c.store != nil {
+			e.prog, e.err = LoadIncrementalTraced(name, src, workers, c.store, tr)
+		} else {
+			e.prog, e.err = LoadParallelTraced(name, src, workers, tr)
+		}
 	})
-	if fresh {
-		c.misses.Add(1)
-	} else {
+	switch {
+	case !fresh:
 		c.hits.Add(1)
+	case e.prog != nil && e.prog.Incremental != nil && e.prog.Incremental.ReusedFuncs > 0:
+		c.partials.Add(1)
+	default:
+		c.misses.Add(1)
 	}
 	return e.prog, e.err
 }
 
-// Stats reports cache hits and misses so far.
-func (c *Cache) Stats() (hits, misses int64) {
-	return c.hits.Load(), c.misses.Load()
+// Stats reports whole-program hits, partial hits (fresh loads that
+// reused stored function summaries), and full misses so far.
+func (c *Cache) Stats() (hits, partial, misses int64) {
+	return c.hits.Load(), c.partials.Load(), c.misses.Load()
+}
+
+// SummaryStats snapshots the summary store's counters as the obs metrics
+// section; nil when the cache has no store.
+func (c *Cache) SummaryStats() *obs.SummaryStoreStats {
+	if c.store == nil {
+		return nil
+	}
+	st := c.store.Stats()
+	return &obs.SummaryStoreStats{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Puts:      st.Puts,
+		Evictions: st.Evictions,
+		Entries:   st.Entries,
+		MHPHits:   st.MHPHits,
+		MHPMisses: st.MHPMisses,
+	}
 }

@@ -43,9 +43,10 @@ func TestCacheSharesOneArtifact(t *testing.T) {
 			t.Fatalf("caller %d got a different artifact", i)
 		}
 	}
-	hits, misses := c.Stats()
-	if misses != 1 || hits != callers-1 {
-		t.Errorf("stats = %d hits / %d misses, want %d / 1", hits, misses, callers-1)
+	hits, partial, misses := c.Stats()
+	if misses != 1 || partial != 0 || hits != callers-1 {
+		t.Errorf("stats = %d hits / %d partial / %d misses, want %d / 0 / 1",
+			hits, partial, misses, callers-1)
 	}
 
 	other, err := c.Load("other", cacheSrc+"\n", 1)

@@ -28,6 +28,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/relay"
 	"repro/internal/replay"
+	"repro/internal/summary"
 	"repro/internal/trace"
 	"repro/internal/vm"
 	"repro/internal/weaklock"
@@ -51,6 +52,14 @@ type Program struct {
 	// analysis_wall_ns accounting: with the analysis cache, the cost is
 	// paid once per benchmark and amortized over every config.
 	AnalysisWallNS int64
+
+	// Incremental is set by LoadIncremental: what the summary-store-backed
+	// analysis reused and recomputed. Nil on whole-program loads.
+	Incremental *relay.IncrementalStats
+
+	// store, when non-nil, is the summary store that backed the load; the
+	// MHP refinement memoizes its verdicts there.
+	store *summary.Store
 
 	refineOnce sync.Once
 	refined    *relay.Report
@@ -267,8 +276,32 @@ func (p *Program) RefineMHP() *relay.Report {
 // RefinedRaces returns the MHP-refined race report, computed once and
 // shared; it is safe to call from concurrent pipeline workers. The report
 // is part of the read-only analysis artifact a Cache hands out.
+//
+// On incrementally loaded programs the refinement verdicts are memoized
+// in the summary store under the whole-program content key: a later load
+// of a byte-identical (modulo formatting) program replays the stored
+// verdicts through relay.ApplyMHPFacts instead of re-running the MHP
+// analysis. Replay is fail-closed — any pair mismatch falls back to the
+// real analysis — and reproduces the refined report byte-identically,
+// since the verdict sequence fully determines RefineMHP's output.
 func (p *Program) RefinedRaces() *relay.Report {
-	p.refineOnce.Do(func() { p.refined = p.RefineMHP() })
+	p.refineOnce.Do(func() {
+		if p.store != nil && p.Incremental != nil && p.Incremental.Index != nil {
+			if facts, ok := p.store.GetMHP(p.Incremental.ProgramKey()); ok {
+				if refined, applied := relay.ApplyMHPFacts(p.Races, facts, p.Incremental.Index); applied {
+					p.refined = refined
+					p.Incremental.MHPFactsReused = true
+					return
+				}
+			}
+			p.refined = p.RefineMHP()
+			if facts, ok := relay.EncodeMHPFacts(p.Races, p.refined, p.Incremental.Index); ok {
+				p.store.PutMHP(p.Incremental.ProgramKey(), facts)
+			}
+			return
+		}
+		p.refined = p.RefineMHP()
+	})
 	return p.refined
 }
 

@@ -56,6 +56,7 @@ type Obj struct {
 	Site   ast.NodeID      // OHeap: the malloc call node
 	Struct string          // OField
 	Field  string          // OField
+	Str    string          // OStr: the literal itself
 }
 
 // objset is a small sorted set of ObjIDs.
@@ -232,7 +233,7 @@ func (a *Analysis) StrObj(s string) ObjID {
 	if id, ok := a.objOfStr[s]; ok {
 		return id
 	}
-	id := a.newObj(&Obj{Kind: OStr, Name: fmt.Sprintf("str%d", len(a.objOfStr))})
+	id := a.newObj(&Obj{Kind: OStr, Name: fmt.Sprintf("str%d", len(a.objOfStr)), Str: s})
 	a.objOfStr[s] = id
 	return id
 }

@@ -1,0 +1,111 @@
+package relay_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/callgraph"
+	"repro/internal/mhp"
+	"repro/internal/minic/parser"
+	"repro/internal/minic/types"
+	"repro/internal/pointsto"
+	"repro/internal/relay"
+	"repro/internal/summary"
+)
+
+// The fuzz seed program: a small multi-threaded MiniC program exercising
+// globals, locks, spawn, composition through a helper chain, arrays and
+// pointer parameters. The fuzzer replaces one function's body with an
+// arbitrary statement list and checks that a store-primed incremental
+// analysis of the mutant is byte-identical to a fresh one.
+
+var fuzzHeader = `
+int g;
+int h;
+int m;
+int buf[16];
+`
+
+var fuzzFuncs = []struct{ name, sig, body string }{
+	{"leaf", "void leaf(int x)", "g = g + x;"},
+	{"helper", "void helper(int n)", "lock(&m); leaf(n); h = h + 1; unlock(&m);"},
+	{"fill", "void fill(int *dst, int v, int len)", "for (int i = 0; i < len; i++) { dst[i] = v; }"},
+	{"worker", "void worker(int id)", "helper(id); fill(buf, id, 8); buf[id] = buf[id] + 1;"},
+	{"main", "int main(void)", "int t = spawn(worker, 1); helper(0); fill(buf, 2, 4); join(t); return g + h;"},
+}
+
+// assembleFuzzProgram rebuilds the seed with function mutIdx's body
+// replaced by newBody.
+func assembleFuzzProgram(mutIdx int, newBody string) string {
+	var sb strings.Builder
+	sb.WriteString(fuzzHeader)
+	for i, fn := range fuzzFuncs {
+		body := fn.body
+		if i == mutIdx {
+			body = newBody
+		}
+		fmt.Fprintf(&sb, "%s { %s }\n", fn.sig, body)
+	}
+	return sb.String()
+}
+
+func analyzeFor(src string) (*types.Info, *pointsto.Analysis, *callgraph.Graph, error) {
+	file, err := parser.Parse("fuzz", src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	info, err := types.Check(file)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pta := pointsto.Analyze(info)
+	return info, pta, callgraph.Build(info, pta), nil
+}
+
+// FuzzIncrementalEquivalence mutates one function body of the seed
+// program and requires the incremental analysis (warm store, primed with
+// the unmutated seed) to produce byte-identical reports — unrefined and
+// MHP-refined — versus a fresh whole-program analysis of the mutant.
+func FuzzIncrementalEquivalence(f *testing.F) {
+	// The scripted edit classes from the differential tests, as seeds.
+	f.Add(uint8(0), "g = g + x + 1;")                                       // leaf edit
+	f.Add(uint8(4), "int t = spawn(worker, 1); join(t); return g;")         // touch main
+	f.Add(uint8(1), "leaf(n); h = h + 1;")                                  // remove a lock
+	f.Add(uint8(1), "lock(&m); lock(&g); leaf(n); unlock(&g); unlock(&m);") // add a lock
+	f.Add(uint8(2), "while (len > 0) { len--; dst[len] = v; }")             // rewrite a loop
+	f.Add(uint8(3), "fill(buf, id, 16); g = buf[0];")                       // change callees
+	f.Add(uint8(0), ";")                                                    // empty the leaf
+
+	f.Fuzz(func(t *testing.T, fnIdx uint8, newBody string) {
+		mutIdx := int(fnIdx) % len(fuzzFuncs)
+		mutant := assembleFuzzProgram(mutIdx, newBody)
+		info, pta, cg, err := analyzeFor(mutant)
+		if err != nil {
+			t.Skip() // mutation does not parse or check; nothing to compare
+		}
+
+		// Prime the store with the unmutated seed.
+		store := summary.NewStore()
+		sInfo, sPTA, sCG, err := analyzeFor(assembleFuzzProgram(-1, ""))
+		if err != nil {
+			t.Fatalf("seed program invalid: %v", err)
+		}
+		relay.AnalyzeIncremental(sInfo, sPTA, sCG, 2, store)
+
+		inc, stats := relay.AnalyzeIncremental(info, pta, cg, 2, store)
+		fresh := relay.AnalyzeParallel(info, pta, cg, 1)
+
+		if got, want := inc.Render(), fresh.Render(); got != want {
+			t.Fatalf("mutating %s: incremental report diverged\n--- incremental ---\n%s--- fresh ---\n%s\ndirty: %v",
+				fuzzFuncs[mutIdx].name, got, want, stats.Dirty)
+		}
+		if got, want := mhp.Refine(inc).Render(), mhp.Refine(fresh).Render(); got != want {
+			t.Fatalf("mutating %s: refined report diverged\n--- incremental ---\n%s--- fresh ---\n%s",
+				fuzzFuncs[mutIdx].name, got, want)
+		}
+		if stats.ReusedFuncs+stats.RecomputedFuncs != stats.TotalFuncs {
+			t.Fatalf("stats do not add up: %+v", stats)
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package summary
+
+import "sync"
+
+// Store is a concurrency-safe, content-addressed map from per-function
+// Keys to portable analysis artifacts. One Store can back any number of
+// programs — racecheck's batch mode points a whole corpus at a single
+// store, so functions whose keys coincide across programs are analyzed
+// once.
+//
+// Artifacts handed to Put and returned by Get are shared and must be
+// treated as immutable; the relay decoder copies what it rehydrates.
+//
+// The default store is unbounded, which keeps hit/miss accounting a pure
+// function of the load sequence (no eviction nondeterminism); a capacity
+// can be opted into with NewStoreCap, evicting the oldest insertion first
+// (deterministic FIFO).
+type Store struct {
+	mu  sync.Mutex
+	cap int
+
+	funcs map[Key]*FuncSummary
+	order []Key // insertion order, for deterministic FIFO eviction
+	mhp   map[Key]*MHPFacts
+
+	hits      int64
+	misses    int64
+	puts      int64
+	evictions int64
+	mhpHits   int64
+	mhpMisses int64
+}
+
+// StoreStats is a snapshot of the store's counters.
+type StoreStats struct {
+	Hits      int64 // function-summary lookups that found an entry
+	Misses    int64 // function-summary lookups that did not
+	Puts      int64 // function summaries inserted
+	Evictions int64 // entries dropped by the capacity bound
+	Entries   int64 // function summaries currently resident
+	MHPHits   int64 // MHP-fact lookups that found an entry
+	MHPMisses int64 // MHP-fact lookups that did not
+}
+
+// NewStore returns an empty, unbounded store.
+func NewStore() *Store {
+	return &Store{funcs: make(map[Key]*FuncSummary), mhp: make(map[Key]*MHPFacts)}
+}
+
+// NewStoreCap returns a store that holds at most n function summaries
+// (n <= 0 means unbounded), evicting the oldest insertion when full.
+func NewStoreCap(n int) *Store {
+	s := NewStore()
+	s.cap = n
+	return s
+}
+
+// Get returns the function summary stored under k, if any.
+func (s *Store) Get(k Key) (*FuncSummary, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum, ok := s.funcs[k]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	return sum, ok
+}
+
+// Put stores a function summary under k. Re-putting an existing key
+// refreshes the value without consuming capacity.
+func (s *Store) Put(k Key, sum *FuncSummary) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	if _, exists := s.funcs[k]; exists {
+		s.funcs[k] = sum
+		return
+	}
+	if s.cap > 0 && len(s.funcs) >= s.cap {
+		// FIFO: drop insertion-order entries until there is room. Keys
+		// already re-put (and so refreshed) were never re-appended, so the
+		// order slice can hold stale keys; skip those.
+		for len(s.order) > 0 && len(s.funcs) >= s.cap {
+			victim := s.order[0]
+			s.order = s.order[1:]
+			if _, ok := s.funcs[victim]; ok {
+				delete(s.funcs, victim)
+				s.evictions++
+			}
+		}
+	}
+	s.funcs[k] = sum
+	s.order = append(s.order, k)
+}
+
+// GetMHP returns the MHP facts stored under the program key k, if any.
+func (s *Store) GetMHP(k Key) (*MHPFacts, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.mhp[k]
+	if ok {
+		s.mhpHits++
+	} else {
+		s.mhpMisses++
+	}
+	return f, ok
+}
+
+// PutMHP stores MHP facts under the program key k. MHP facts are whole-
+// program and few; they are not subject to the capacity bound.
+func (s *Store) PutMHP(k Key, f *MHPFacts) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mhp[k] = f
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Puts:      s.puts,
+		Evictions: s.evictions,
+		Entries:   int64(len(s.funcs)),
+		MHPHits:   s.mhpHits,
+		MHPMisses: s.mhpMisses,
+	}
+}

@@ -1,0 +1,99 @@
+package summary
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func key(s string) Key { return Key(sha256.Sum256([]byte(s))) }
+
+func TestStoreHitMissCounters(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Get(key("a")); ok {
+		t.Fatal("empty store hit")
+	}
+	s.Put(key("a"), &FuncSummary{Fn: "a"})
+	got, ok := s.Get(key("a"))
+	if !ok || got.Fn != "a" {
+		t.Fatalf("Get after Put = %v, %v", got, ok)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 || st.Evictions != 0 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 put / 1 entry", st)
+	}
+}
+
+func TestStoreFIFOEviction(t *testing.T) {
+	s := NewStoreCap(2)
+	s.Put(key("a"), &FuncSummary{Fn: "a"})
+	s.Put(key("b"), &FuncSummary{Fn: "b"})
+	// Re-putting an existing key refreshes without consuming capacity.
+	s.Put(key("a"), &FuncSummary{Fn: "a2"})
+	if got, _ := s.Get(key("a")); got == nil || got.Fn != "a2" {
+		t.Fatalf("re-put did not refresh: %v", got)
+	}
+	// Third distinct key evicts the oldest insertion (a).
+	s.Put(key("c"), &FuncSummary{Fn: "c"})
+	if _, ok := s.Get(key("a")); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	for _, k := range []string{"b", "c"} {
+		if _, ok := s.Get(key(k)); !ok {
+			t.Errorf("entry %q evicted, want resident", k)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 1 eviction / 2 entries", st)
+	}
+}
+
+func TestStoreUnboundedByDefault(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 1000; i++ {
+		s.Put(key(fmt.Sprintf("k%d", i)), &FuncSummary{})
+	}
+	if st := s.Stats(); st.Evictions != 0 || st.Entries != 1000 {
+		t.Errorf("unbounded store evicted: %+v", st)
+	}
+}
+
+func TestStoreMHPFacts(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.GetMHP(key("p")); ok {
+		t.Fatal("empty MHP hit")
+	}
+	s.PutMHP(key("p"), &MHPFacts{Pairs: []FactPair{{FnA: "f", FnB: "g", Pruned: true, Reason: "pre-fork"}}})
+	f, ok := s.GetMHP(key("p"))
+	if !ok || len(f.Pairs) != 1 || !f.Pairs[0].Pruned {
+		t.Fatalf("GetMHP = %+v, %v", f, ok)
+	}
+	st := s.Stats()
+	if st.MHPHits != 1 || st.MHPMisses != 1 {
+		t.Errorf("MHP counters = %+v, want 1/1", st)
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStoreCap(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key(fmt.Sprintf("%d-%d", g, i%32))
+				s.Put(k, &FuncSummary{})
+				s.Get(k)
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Puts != 1600 || st.Hits+st.Misses != 1600 {
+		t.Errorf("lost updates under concurrency: %+v", st)
+	}
+}
