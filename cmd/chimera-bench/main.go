@@ -24,6 +24,12 @@
 //	                                    # of re-analyzing a single libc edit;
 //	                                    # with -json, recorded as the report's
 //	                                    # "incremental" section
+//	chimera-bench -scenario 'prodcons:1:small;cache:7:medium' -json out.json
+//	                                    # measure generated scenario workloads
+//	                                    # (internal/scenario) through the same
+//	                                    # harness; their JSON rows reuse the
+//	                                    # full metrics block and are what the
+//	                                    # CI scenario soundness gate asserts
 //
 // Benchmark preparation and independent benchmark × config cells run on a
 // bounded pool of -parallel workers. All emitted tables, figures and JSON
@@ -41,7 +47,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/bench/harness"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -56,6 +64,7 @@ func main() {
 		baseline = flag.Bool("baseline", false, "with -json: also time the sequential uncached workload for baseline_wall_ns")
 		incr     = flag.Bool("incremental", false, "measure the warm-edit incremental-analysis speedup (recorded in -json when given)")
 		reps     = flag.Int("reps", 3, "with -incremental: wall-clock repetitions (minimum is reported)")
+		scenList = flag.String("scenario", "", "generated scenario specs (family:seed:size, ';'-separated) to measure alongside the embedded benchmarks")
 	)
 	flag.Parse()
 
@@ -68,7 +77,7 @@ func main() {
 		names = strings.Split(*benches, ",")
 	}
 
-	if !*all && *table == "" && *figure == "" && *jsonPath == "" && !*incr {
+	if !*all && *table == "" && *figure == "" && *jsonPath == "" && !*incr && *scenList == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -98,12 +107,22 @@ func main() {
 
 	start := time.Now()
 	var entries []harness.JSONEntry
-	if *all || *table != "" || *figure != "" || *jsonPath != "" {
+	// With -scenario alone, -json exports only the scenario rows; any
+	// table/figure/-all request still measures the embedded benchmarks.
+	if *all || *table != "" || *figure != "" || (*jsonPath != "" && *scenList == "") {
 		var err error
 		entries, err = run(cfg, names, want, os.Stdout)
 		if err != nil {
 			fatal(err)
 		}
+	}
+	if *scenList != "" {
+		scen, err := runScenarios(cfg, *scenList, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		entries = append(entries, scen...)
+		harness.SortEntries(entries)
 	}
 	wall := time.Since(start).Nanoseconds()
 
@@ -218,6 +237,48 @@ func run(cfg harness.Config, names []string, want workload, w io.Writer) ([]harn
 		return s.MeasureJSON(harness.MHPConfigNames)
 	}
 	return nil, nil
+}
+
+// runScenarios measures generated scenario workloads through the full
+// harness (MHP opt sets), printing a per-row summary and returning the
+// JSON entries. The rows carry the same metrics block as the embedded
+// benchmarks; the CI soundness gate asserts certified / replay_matches /
+// checkers_agree / checker_races on them.
+func runScenarios(cfg harness.Config, specText string, w io.Writer) ([]harness.JSONEntry, error) {
+	specs, err := scenario.ParseList(specText)
+	if err != nil {
+		return nil, err
+	}
+	list := make([]*bench.Benchmark, len(specs))
+	for i, sp := range specs {
+		if list[i], err = scenario.ToBenchmark(sp); err != nil {
+			return nil, err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "preparing %d generated scenario(s) (analyze + profile + instrument)...\n", len(list))
+	s, err := harness.NewSuiteOf(cfg, list)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := s.MeasureJSON(harness.MHPConfigNames)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "Generated scenarios (all+mhp column):")
+	fmt.Fprintf(w, "%-28s %6s %6s %6s | %7s %5s %5s %6s %6s\n",
+		"scenario", "pairs", "kept", "wl", "rec.ovh", "cert", "rep?", "races", "agree")
+	for _, e := range entries {
+		if e.Config != "all+mhp" {
+			continue
+		}
+		// For +mhp rows the entry's report is the refined one: its pair
+		// count is the kept set and Pruned holds what MHP removed.
+		fmt.Fprintf(w, "%-28s %6d %6d %6d | %7.2f %5v %5v %6d %6v\n",
+			e.Bench, e.StaticPairs+e.PrunedPairs, e.StaticPairs, e.WeakLocks,
+			e.RecordOverhead, e.Certified, e.ReplayMatches, e.CheckerRaces, e.CheckersAgree)
+	}
+	fmt.Fprintln(w)
+	return entries, nil
 }
 
 func fatal(err error) {

@@ -43,6 +43,14 @@
 //	                        # analyze every *.mc in dir through one shared
 //	                        # summary store, reusing per-function summaries
 //	                        # across files, then print store statistics
+//	racecheck -gen 'counters:7:small'
+//	                        # generate the scenario program for a spec and
+//	                        # push it through the full soundness pipeline
+//	                        # (analyze fresh==incremental, instrument,
+//	                        # certify clean, record, replay bit-identical,
+//	                        # epoch==vector verdicts); -v prints the source.
+//	                        # This is the one-shot repro for a failing
+//	                        # generated spec.
 package main
 
 import (
@@ -63,12 +71,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/instrument"
 	"repro/internal/mhp"
-	"repro/internal/minic/ast"
 	"repro/internal/minic/parser"
 	"repro/internal/minic/types"
 	"repro/internal/oskit"
 	"repro/internal/pointsto"
 	"repro/internal/relay"
+	"repro/internal/scenario"
 	"repro/internal/summary"
 	"repro/internal/trace"
 )
@@ -114,8 +122,17 @@ func run(args []string, out, errOut io.Writer) int {
 	incremental := fs.Bool("incremental", false, "run the static analysis through the summary-store-backed incremental engine")
 	batchDir := fs.String("batch", "", "analyze every *.mc file in this directory through one shared summary store")
 	summaryStats := fs.Bool("summary-stats", false, "print summary-store and dirty-cone statistics (with -incremental or -batch)")
+	genSpec := fs.String("gen", "", "generate the scenario program for a spec (family:seed:size) and run the full soundness pipeline on it")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *genSpec != "" {
+		if *dynamic || *doCertify || *batchDir != "" || *benchName != "" || fs.NArg() != 0 {
+			fmt.Fprintln(errOut, "racecheck: -gen takes a spec and combines only with -v")
+			return 2
+		}
+		return runGen(*genSpec, *verbose, out, errOut)
 	}
 
 	if *batchDir != "" {
@@ -314,14 +331,27 @@ func run(args []string, out, errOut io.Writer) int {
 // copies with local edits — are summarized once and reused. Per file it
 // prints the race-pair count and how much of the RELAY walk was reused.
 func runBatch(dir string, workers int, useMHP, showStats bool, out, errOut io.Writer) int {
+	// An unusable corpus directory is its own failure class (exit 4),
+	// distinct from per-file analysis failures (exit 1) and usage errors
+	// (exit 2), so scripts can tell "the corpus is missing" from "the
+	// corpus has a broken file".
+	info, err := os.Stat(dir)
+	switch {
+	case err != nil:
+		fmt.Fprintf(errOut, "racecheck: -batch directory %s does not exist: %v\n", dir, err)
+		return 4
+	case !info.IsDir():
+		fmt.Fprintf(errOut, "racecheck: -batch target %s is not a directory\n", dir)
+		return 4
+	}
 	paths, err := filepath.Glob(filepath.Join(dir, "*.mc"))
 	if err != nil {
 		fmt.Fprintln(errOut, "racecheck:", err)
 		return 2
 	}
 	if len(paths) == 0 {
-		fmt.Fprintf(errOut, "racecheck: no *.mc files in %s\n", dir)
-		return 1
+		fmt.Fprintf(errOut, "racecheck: -batch directory %s contains no *.mc files\n", dir)
+		return 4
 	}
 	sort.Strings(paths)
 
@@ -577,27 +607,34 @@ func runDynamicBench(name, checker string, seed uint64, out, errOut io.Writer) i
 // sameVerdicts compares two race lists as deduplicated canonical
 // (node, node) pair sets — the equivalence the differential tests pin.
 func sameVerdicts(a, b []trace.Race) bool {
-	set := func(rs []trace.Race) map[[2]ast.NodeID]bool {
-		m := make(map[[2]ast.NodeID]bool, len(rs))
-		for _, r := range rs {
-			x, y := r.NodeA, r.NodeB
-			if x > y {
-				x, y = y, x
-			}
-			m[[2]ast.NodeID{x, y}] = true
-		}
-		return m
+	return trace.SameVerdicts(a, b)
+}
+
+// runGen is the one-shot repro path for generated scenarios: parse the
+// spec, generate the program, and push it through the complete soundness
+// pipeline. On failure it also prints a greedily minimized spec.
+func runGen(text string, verbose bool, out, errOut io.Writer) int {
+	spec, err := scenario.Parse(text)
+	if err != nil {
+		fmt.Fprintln(errOut, "racecheck:", err)
+		return 2
 	}
-	sa, sb := set(a), set(b)
-	if len(sa) != len(sb) {
-		return false
+	r := scenario.RunPipeline(spec)
+	if verbose {
+		fmt.Fprint(out, r.Source)
 	}
-	for k := range sa {
-		if !sb[k] {
-			return false
-		}
+	fmt.Fprintf(out, "%s: %d static race pair(s), MHP kept %d, %d weak lock(s), %d dynamic race(s) on the original\n",
+		spec, r.StaticPairs, r.KeptPairs, r.WeakLocks, r.OriginalRaces)
+	fmt.Fprintf(out, "  stages passed: %s\n", strings.Join(r.Stages, " → "))
+	if r.OK() {
+		fmt.Fprintln(out, "  soundness pipeline: ok (certified clean, replay bit-identical, checkers agree)")
+		return 0
 	}
-	return true
+	fmt.Fprintf(errOut, "racecheck: %v\n", r.Err)
+	if min := scenario.Minimize(spec); min != spec {
+		fmt.Fprintf(errOut, "racecheck: minimized repro: racecheck -gen '%s'\n", min)
+	}
+	return 1
 }
 
 // runBench certifies embedded benchmarks: the full pipeline (analysis,

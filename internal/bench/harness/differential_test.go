@@ -13,15 +13,7 @@ import (
 // verdictSet canonicalizes a checker's races to the deduplicated
 // (node, node) pair set both implementations must agree on.
 func verdictSet(races []trace.Race) map[[2]ast.NodeID]bool {
-	out := make(map[[2]ast.NodeID]bool, len(races))
-	for _, r := range races {
-		a, b := r.NodeA, r.NodeB
-		if a > b {
-			a, b = b, a
-		}
-		out[[2]ast.NodeID{a, b}] = true
-	}
-	return out
+	return trace.VerdictSet(races)
 }
 
 // diffCheck runs one program with the epoch checker and the full-vector

@@ -175,6 +175,13 @@ func NewSuite(cfg Config, names ...string) (*Suite, error) {
 			list = append(list, b)
 		}
 	}
+	return NewSuiteOf(cfg, list)
+}
+
+// NewSuiteOf prepares an explicit benchmark list — the entry point for
+// workloads that are not in the embedded registry, such as generated
+// scenarios adapted via scenario.ToBenchmark.
+func NewSuiteOf(cfg Config, list []*bench.Benchmark) (*Suite, error) {
 	s := &Suite{
 		Cfg:      cfg,
 		Analyses: core.NewCache(),
@@ -306,8 +313,11 @@ type Measurement struct {
 	// consuming the instrumented run's event stream (a separate checked
 	// run); CheckerRaces is its verdict count — 0 for a correctly
 	// instrumented program under the extended synchronization set.
+	// CheckersAgree is true when the full-vector oracle, attached to the
+	// same event stream, reached the identical verdict set.
 	CheckerWallNS int64
 	CheckerRaces  int
+	CheckersAgree bool
 
 	Timeouts int64
 
@@ -425,21 +435,25 @@ func (s *Suite) measure(p *Prepared, configName string, workers int) (*Measureme
 		}
 	}
 
-	// A separate checked run: the epoch checker consumes the instrumented
-	// program's batched event stream (it is a pure observer, so the
-	// measured record/replay runs above are untouched). An EventCounter
-	// rides the same stream and attributes it for the metrics block.
+	// A separate checked run: the epoch checker and the full-vector
+	// oracle consume the instrumented program's batched event stream
+	// (pure observers, so the measured record/replay runs above are
+	// untouched). An EventCounter rides the same stream and attributes it
+	// for the metrics block; the two checkers' verdict sets must agree on
+	// every row — CheckersAgree feeds the JSON export the CI gate asserts.
 	chk := trace.NewChecker(0)
+	vchk := trace.NewVectorChecker(0)
 	counter := &obs.EventCounter{}
 	chkRes := core.CheckDynamicRacesWith(ip.Prog, ip.Table, core.RunConfig{
 		World: p.B.EvalWorld(workers), Seed: s.Cfg.Seed, HeapWords: s.Cfg.HeapWords,
 		Sinks: []vm.EventSink{counter},
-	}, chk)
+	}, chk, vchk)
 	if chkRes.Err != nil {
 		return nil, fmt.Errorf("%s/%s checker run: %w", p.B.Name, configName, chkRes.Err)
 	}
 	m.CheckerWallNS = chk.WallNS()
 	m.CheckerRaces = chk.RaceCount()
+	m.CheckersAgree = trace.SameVerdicts(chk.Races(), vchk.Races())
 
 	wl := obs.WeakLocksFrom(ip.Table, recRes.WLSites)
 	wl.Timeouts = recRes.WLStats.Timeouts

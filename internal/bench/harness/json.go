@@ -43,6 +43,14 @@ type JSONEntry struct {
 	ReplayWallNS  int64 `json:"replay_wall_ns"`
 	CheckerWallNS int64 `json:"checker_wall_ns"`
 
+	// CheckerRaces is the epoch checker's verdict count on the checked
+	// run (0 for a correctly instrumented program); CheckersAgree reports
+	// whether the full-vector oracle on the same event stream reached the
+	// identical verdict set. The scenario soundness gate in CI asserts
+	// both.
+	CheckerRaces  int  `json:"checker_races"`
+	CheckersAgree bool `json:"checkers_agree"`
+
 	// Certified reports whether the static DRF/deadlock-freedom certifier
 	// (internal/certify) validated this row's instrumented output against
 	// its race report; CertifyWallNS is the certifier's wall-clock cost
@@ -122,6 +130,8 @@ func (s *Suite) MeasureJSON(configNames []string) ([]JSONEntry, error) {
 			RecordWallNS:   m.RecordWallNS,
 			ReplayWallNS:   m.ReplayWallNS,
 			CheckerWallNS:  m.CheckerWallNS,
+			CheckerRaces:   m.CheckerRaces,
+			CheckersAgree:  m.CheckersAgree,
 			Certified:      cert.OK,
 			CertifyWallNS:  certWall,
 			Metrics:        m.Metrics,

@@ -36,6 +36,7 @@ func TestJSONSchemaGolden(t *testing.T) {
 				RecordOverhead: 1.25, ReplayOverhead: 1.10, ReplayMatches: true,
 				RecordLogBytes: 2_048, OrderLogBytes: 512,
 				RecordWallNS: 900_000, ReplayWallNS: 700_000, CheckerWallNS: 300_000,
+				CheckerRaces: 0, CheckersAgree: true,
 				Certified: true, CertifyWallNS: 400_000,
 			},
 			{
@@ -45,6 +46,7 @@ func TestJSONSchemaGolden(t *testing.T) {
 				RecordOverhead: 1.50, ReplayOverhead: 1.20, ReplayMatches: true,
 				RecordLogBytes: 4_096, OrderLogBytes: 1_024,
 				RecordWallNS: 1_100_000, ReplayWallNS: 800_000, CheckerWallNS: 350_000,
+				CheckerRaces: 0, CheckersAgree: true,
 				Certified: true, CertifyWallNS: 500_000,
 			},
 			{
@@ -54,6 +56,7 @@ func TestJSONSchemaGolden(t *testing.T) {
 				RecordOverhead: 1.75, ReplayOverhead: 1.30, ReplayMatches: true,
 				RecordLogBytes: 8_192, OrderLogBytes: 2_048,
 				RecordWallNS: 1_300_000, ReplayWallNS: 900_000, CheckerWallNS: 400_000,
+				CheckerRaces: 0, CheckersAgree: true,
 				Certified: true, CertifyWallNS: 600_000,
 				Metrics: &obs.RowMetrics{
 					Schema:    obs.Schema,

@@ -1,0 +1,45 @@
+package scenario
+
+import "testing"
+
+// FuzzScenarioSoundness fuzzes the spec encoding end to end: any text
+// the parser accepts must generate a program that survives the complete
+// soundness pipeline — analyze (fresh==incremental), instrument,
+// certify clean, replay bit-identically, identical epoch-vs-vector
+// verdicts. Invalid text must fail closed with a deterministic
+// diagnostic. Sizes are clamped so the fuzzer explores spec space, not
+// VM run time.
+func FuzzScenarioSoundness(f *testing.F) {
+	f.Add("prodcons:1:small")
+	f.Add("workpool:7:t3,s4,o16,l35")
+	f.Add("pipeline:3:t2,s2,o8,l100")
+	f.Add("cache:11:t2,s8,o24,l0")
+	f.Add("counters:5:t4,s6,o12,l60")
+	f.Add("bogus:1:small")
+	f.Add("cache:1:t0,s4,o16,l60")
+	f.Add("cache:1:o9999999")
+	f.Fuzz(func(t *testing.T, text string) {
+		spec, err := Parse(text)
+		if err != nil {
+			// Fail-closed path: the diagnostic itself must be
+			// deterministic.
+			_, err2 := Parse(text)
+			if err2 == nil || err2.Error() != err.Error() {
+				t.Fatalf("nondeterministic parse failure for %q: %q vs %q", text, err, err2)
+			}
+			return
+		}
+		if got, err := Parse(spec.String()); err != nil || got != spec {
+			t.Fatalf("canonical form %q of %q does not round-trip: %v", spec.String(), text, err)
+		}
+		// Keep the pipeline cost bounded; large programs are the seed
+		// matrix's job, spec-space exploration is the fuzzer's.
+		if spec.Ops > 64 || spec.Threads > 4 || spec.Shared > 16 {
+			t.Skip("clamped: size beyond fuzz budget")
+		}
+		if r := RunPipeline(spec); !r.OK() {
+			min := Minimize(spec)
+			t.Fatalf("stage %s: %v\nminimized repro: racecheck -gen '%s'", r.FailStage, r.Err, min)
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package scenario
+
+import "testing"
+
+// matrixVariants are the five size/shape points each (family, seed)
+// cell is generated at. 5 families × 8 seeds × 5 variants = 200 specs.
+// The variants deliberately hit both lock-density rails (an all-guarded
+// and an all-racy program) plus three mixed points, and keep sizes
+// small enough that the full matrix runs in one `go test` invocation.
+var matrixVariants = []struct {
+	threads, shared, ops, density int
+}{
+	{2, 2, 8, 100},
+	{2, 4, 12, 0},
+	{3, 4, 16, 60},
+	{4, 8, 24, 35},
+	{4, 3, 10, 80},
+}
+
+// TestSeedMatrix pushes 200 generated specs through the complete
+// soundness pipeline: analyze fresh==incremental, instrument, certify
+// clean, record, replay bit-identical, epoch==vector verdicts on both
+// the original and instrumented programs. This is the acceptance gate
+// of ISSUE 7; any failure prints a racecheck -gen repro.
+func TestSeedMatrix(t *testing.T) {
+	n := 0
+	for _, fam := range Families {
+		for seed := uint64(1); seed <= 8; seed++ {
+			for _, v := range matrixVariants {
+				spec := Spec{
+					Family:      fam,
+					Seed:        seed,
+					Threads:     v.threads,
+					Shared:      v.shared,
+					Ops:         v.ops,
+					LockDensity: v.density,
+				}
+				if err := spec.Validate(); err != nil {
+					t.Fatalf("matrix produced invalid spec %s: %v", spec, err)
+				}
+				n++
+				t.Run(spec.Name(), func(t *testing.T) {
+					t.Parallel()
+					r := RunPipeline(spec)
+					if !r.OK() {
+						min := Minimize(spec)
+						t.Fatalf("stage %s: %v\nminimized repro: racecheck -gen '%s'", r.FailStage, r.Err, min)
+					}
+				})
+			}
+		}
+	}
+	if n != 200 {
+		t.Fatalf("matrix has %d specs, want 200", n)
+	}
+}
+
+// TestMatrixShape documents the count arithmetic so a future edit to
+// the variant table cannot silently shrink the acceptance matrix.
+func TestMatrixShape(t *testing.T) {
+	if got := len(Families) * 8 * len(matrixVariants); got != 200 {
+		t.Fatalf("families(%d) × seeds(8) × variants(%d) = %d, want 200",
+			len(Families), len(matrixVariants), got)
+	}
+}

@@ -1,0 +1,277 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/oskit"
+	"repro/internal/summary"
+	"repro/internal/trace"
+)
+
+// Config is the instrumentation configuration the soundness pipeline
+// certifies: the full optimization set over the MHP-refined report —
+// the flagship "all+mhp" cell of the benchmark harness.
+const Config = "all+mhp"
+
+// Result is the outcome of pushing one generated program through the
+// full soundness pipeline. On failure, FailStage names the first stage
+// that diverged and Err carries the detail; Spec (possibly minimized by
+// the caller) is the complete repro.
+type Result struct {
+	Spec   Spec
+	Source string
+
+	// Stages lists the pipeline stages that passed, in order.
+	Stages []string
+
+	// Static-analysis volume of the generated program.
+	StaticPairs int // RELAY race pairs before refinement
+	KeptPairs   int // pairs surviving the MHP refinement
+	WeakLocks   int // weak-lock table entries after instrumentation
+
+	// OriginalRaces is the agreed epoch∧vector dynamic race count on the
+	// original (uninstrumented) program's differential run.
+	OriginalRaces int
+
+	FailStage string
+	Err       error
+}
+
+// OK reports whether every stage passed.
+func (r *Result) OK() bool { return r.Err == nil }
+
+func (r *Result) fail(stage string, err error) *Result {
+	r.FailStage = stage
+	r.Err = fmt.Errorf("scenario: %s: stage %s: %w (repro: racecheck -gen '%s')", r.Spec.Name(), stage, err, r.Spec)
+	return r
+}
+
+func (r *Result) pass(stage string) { r.Stages = append(r.Stages, stage) }
+
+// recSeed/repSeed derive the record and replay schedule seeds from the
+// spec seed. They must differ: replay determinism has to come from the
+// log, not from a shared seed.
+func (s Spec) recSeed() uint64 { return s.Seed*2654435761 + 1 }
+func (s Spec) repSeed() uint64 { return s.Seed*0x9e3779b97f4a7c15 + 99991 }
+
+// world builds the input world a generated program runs against. The
+// world is a pure function of the spec, so every pipeline stage sees
+// the same nondeterminism source.
+func (s Spec) world() *oskit.World { return oskit.NewWorld(s.Seed ^ 0x5eed5eed5eed5eed) }
+
+// RunPipeline pushes one generated program through every soundness
+// obligation the system ships:
+//
+//  1. generate     spec → source (validated, deterministic)
+//  2. analyze      lex/parse/typecheck/points-to/callgraph/RELAY
+//  3. incremental  summary-store analysis, byte-identical to fresh,
+//     full reuse on a store primed with the same program
+//  4. instrument   weak-lock transformation over the MHP-refined report
+//  5. certify      static DRF + deadlock-freedom certificate must be clean
+//  6. record       instrumented run under the record seed
+//  7. replay       under a different seed; result must bit-match
+//  8. differential epoch vs full-vector verdicts on the original
+//     program's event stream must be identical
+//  9. clean        both checkers on the instrumented stream must agree
+//     on zero races under the extended sync set
+//
+// Any divergence fails with the stage name and a reproducible spec.
+func RunPipeline(spec Spec) *Result {
+	res := &Result{Spec: spec}
+
+	src, err := Generate(spec)
+	if err != nil {
+		return res.fail("generate", err)
+	}
+	res.Source = src
+	res.pass("generate")
+
+	name := spec.Name()
+	fresh, err := core.Load(name, src)
+	if err != nil {
+		return res.fail("analyze", err)
+	}
+	res.StaticPairs = len(fresh.Races.Pairs)
+	res.pass("analyze")
+
+	// Incremental equivalence: a cold store (every function recomputed
+	// through the summary codec) and a primed store (every function
+	// reused) must both render byte-identically to the fresh analysis.
+	store := summary.NewStore()
+	cold, err := core.LoadIncremental(name, src, 1, store)
+	if err != nil {
+		return res.fail("incremental", err)
+	}
+	warm, err := core.LoadIncremental(name, src, 1, store)
+	if err != nil {
+		return res.fail("incremental", err)
+	}
+	if got, want := cold.Races.Render(), fresh.Races.Render(); got != want {
+		return res.fail("incremental", fmt.Errorf("cold incremental report diverged from fresh\n--- incremental ---\n%s--- fresh ---\n%s", got, want))
+	}
+	if got, want := warm.Races.Render(), fresh.Races.Render(); got != want {
+		return res.fail("incremental", fmt.Errorf("warm incremental report diverged from fresh\n--- incremental ---\n%s--- fresh ---\n%s", got, want))
+	}
+	if st := warm.Incremental; st == nil || st.ReusedFuncs != st.TotalFuncs {
+		return res.fail("incremental", fmt.Errorf("warm reload of an identical program reused %v of %v summaries", statField(warm, true), statField(warm, false)))
+	}
+	if got, want := warm.RefinedRaces().Render(), fresh.RefinedRaces().Render(); got != want {
+		return res.fail("incremental", fmt.Errorf("warm refined report diverged from fresh\n--- incremental ---\n%s--- fresh ---\n%s", got, want))
+	}
+	res.pass("incremental")
+
+	refined := fresh.RefinedRaces()
+	res.KeptPairs = len(refined.Pairs)
+	ip, err := fresh.InstrumentWith(refined, nil, instrument.AllOptions())
+	if err != nil {
+		return res.fail("instrument", err)
+	}
+	res.WeakLocks = ip.Table.Len()
+	res.pass("instrument")
+
+	cert, _, err := ip.Certify(Config)
+	if err != nil {
+		return res.fail("certify", err)
+	}
+	if !cert.OK {
+		return res.fail("certify", fmt.Errorf("certificate not clean: %s", cert.Summary()))
+	}
+	res.pass("certify")
+
+	recRes, log := ip.Record(core.RunConfig{World: spec.world(), Seed: spec.recSeed(), Table: ip.Table})
+	if recRes.Err != nil {
+		return res.fail("record", recRes.Err)
+	}
+	res.pass("record")
+
+	repRes, err := ip.Replay(log, core.RunConfig{World: spec.world(), Seed: spec.repSeed(), Table: ip.Table})
+	if err != nil {
+		return res.fail("replay", err)
+	}
+	if repRes.Hash64() != recRes.Hash64() {
+		return res.fail("replay", fmt.Errorf("replay diverged: recorded %x, replayed %x\nrecorded output: %q\nreplayed output: %q",
+			recRes.Hash64(), repRes.Hash64(), recRes.Output, repRes.Output))
+	}
+	res.pass("replay")
+
+	// Differential dynamic check on the original program: both checkers
+	// observe one event stream of a single execution and must agree.
+	ep, vc := trace.NewChecker(0), trace.NewVectorChecker(0)
+	r := core.CheckDynamicRacesWith(fresh, nil, core.RunConfig{World: spec.world(), Seed: spec.recSeed()}, ep, vc)
+	if r.Err != nil {
+		return res.fail("differential", r.Err)
+	}
+	if !trace.SameVerdicts(ep.Races(), vc.Races()) {
+		return res.fail("differential", fmt.Errorf("epoch and vector verdicts diverged on the original program\nepoch:  %v\nvector: %v", ep.Races(), vc.Races()))
+	}
+	res.OriginalRaces = len(trace.VerdictSet(ep.Races()))
+	res.pass("differential")
+
+	// The instrumented program must be race-free under the extended
+	// synchronization set — by both checkers, in agreement.
+	ep2, vc2 := trace.NewChecker(0), trace.NewVectorChecker(0)
+	r2 := core.CheckDynamicRacesWith(ip.Prog, ip.Table, core.RunConfig{World: spec.world(), Seed: spec.recSeed()}, ep2, vc2)
+	if r2.Err != nil {
+		return res.fail("clean", r2.Err)
+	}
+	if !trace.SameVerdicts(ep2.Races(), vc2.Races()) {
+		return res.fail("clean", fmt.Errorf("epoch and vector verdicts diverged on the instrumented program\nepoch:  %v\nvector: %v", ep2.Races(), vc2.Races()))
+	}
+	if n := len(ep2.Races()); n != 0 {
+		return res.fail("clean", fmt.Errorf("instrumented program raced %d time(s) under the extended sync set: %v", n, ep2.Races()))
+	}
+	res.pass("clean")
+	return res
+}
+
+func statField(p *core.Program, reused bool) interface{} {
+	if p.Incremental == nil {
+		return "?"
+	}
+	if reused {
+		return p.Incremental.ReusedFuncs
+	}
+	return p.Incremental.TotalFuncs
+}
+
+// Minimize shrinks a failing spec while RunPipeline keeps failing on the
+// same stage: it greedily halves Ops, Shared and Threads toward their
+// family minimums and snaps LockDensity to the nearer rail. The result
+// is the smallest spec the greedy walk reaches — a cheap repro to hand
+// a human, not a guaranteed global minimum.
+func Minimize(spec Spec) Spec {
+	failStage := func(s Spec) string {
+		r := RunPipeline(s)
+		if r.Err == nil {
+			return ""
+		}
+		return r.FailStage
+	}
+	stage := failStage(spec)
+	if stage == "" {
+		return spec
+	}
+	minThreads := 1
+	if spec.Family == "prodcons" || spec.Family == "pipeline" {
+		minThreads = 2
+	}
+	improved := true
+	for improved {
+		improved = false
+		for _, cand := range []Spec{
+			{spec.Family, spec.Seed, spec.Threads, spec.Shared, spec.Ops / 2, spec.LockDensity},
+			{spec.Family, spec.Seed, spec.Threads, spec.Shared / 2, spec.Ops, spec.LockDensity},
+			{spec.Family, spec.Seed, spec.Threads / 2, spec.Shared, spec.Ops, spec.LockDensity},
+			{spec.Family, spec.Seed, spec.Threads, spec.Shared, spec.Ops, railward(spec.LockDensity)},
+		} {
+			if cand == spec || cand.Threads < minThreads || cand.Validate() != nil {
+				continue
+			}
+			if failStage(cand) == stage {
+				spec = cand
+				improved = true
+				break
+			}
+		}
+	}
+	return spec
+}
+
+// railward moves a density halfway toward its nearer rail (0 or 100).
+func railward(d int) int {
+	if d >= 50 {
+		return d + (100-d+1)/2
+	}
+	return d / 2
+}
+
+// ToBenchmark adapts a spec to the benchmark harness: the generated
+// program plus profile and evaluation worlds derived from the seed. The
+// adapter is what lets chimera-bench measure generated workloads with
+// the exact Table-2/Figure-5 machinery (and the PR5 metrics block) the
+// nine embedded benchmarks use.
+func ToBenchmark(spec Spec) (*bench.Benchmark, error) {
+	src, err := Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &bench.Benchmark{
+		Name:   spec.Name(),
+		Class:  "scenario",
+		Source: src,
+		ProfileWorld: func(run int) *oskit.World {
+			return oskit.NewWorld(spec.Seed + uint64(run)*1000003 + 7)
+		},
+		EvalWorld: func(workers int) *oskit.World {
+			// Thread structure is baked into the generated source; the
+			// harness worker knob does not apply.
+			return spec.world()
+		},
+		ProfileRuns: 4,
+		ProfileEnv:  fmt.Sprintf("%d seeded profile worlds", 4),
+		EvalEnv:     spec.String(),
+	}, nil
+}

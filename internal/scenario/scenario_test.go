@@ -1,0 +1,221 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, text := range []string{
+		"prodcons:1:small",
+		"workpool:42:medium",
+		"pipeline:7:large",
+		"cache:123456789:t4,s8,o128,l50",
+		"counters:18446744073709551615:t8,s64,o4096,l0",
+	} {
+		sp, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		again, err := Parse(sp.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = %q: %v", text, sp.String(), err)
+		}
+		if again != sp {
+			t.Errorf("round trip %q: %+v != %+v", text, again, sp)
+		}
+	}
+}
+
+func TestParseSizePresets(t *testing.T) {
+	small, _ := Parse("cache:9:small")
+	explicit, _ := Parse("cache:9:t2,s4,o16,l60")
+	if small != explicit {
+		t.Errorf("small preset %+v != explicit %+v", small, explicit)
+	}
+	// Partial params inherit the small preset for omitted keys.
+	part, err := Parse("cache:9:o32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{Family: "cache", Seed: 9, Threads: 2, Shared: 4, Ops: 32, LockDensity: 60}
+	if part != want {
+		t.Errorf("partial params %+v, want %+v", part, want)
+	}
+}
+
+// TestValidateNegatives pins the fail-closed diagnostics byte-for-byte:
+// spec validation errors are part of the CLI surface (racecheck -gen
+// prints them) and must stay deterministic.
+func TestValidateNegatives(t *testing.T) {
+	cases := []struct {
+		text string
+		want string
+	}{
+		{"bogus:1:small", `scenario: unknown family "bogus" (want one of cache, counters, pipeline, prodcons, workpool)`},
+		{"cache:1:t0,s4,o16,l60", `scenario: cache: threads must be in [1,8], got 0`},
+		{"prodcons:1:t1,s4,o16,l60", `scenario: prodcons: threads must be in [2,8], got 1`},
+		{"pipeline:1:t9,s4,o16,l60", `scenario: pipeline: threads must be in [2,8], got 9`},
+		{"counters:1:t2,s0,o16,l60", `scenario: counters: shared must be in [1,64], got 0`},
+		{"counters:1:t2,s4,o5000,l60", `scenario: counters: ops must be in [1,4096], got 5000`},
+		{"workpool:1:t2,s4,o16,l101", `scenario: workpool: lock density must be in [0,100], got 101`},
+		{"cache:1", `scenario: spec "cache:1": want family:seed:size`},
+		{"cache:x:small", `scenario: spec "cache:x:small": bad seed "x"`},
+		{"cache:1:t2,t3", `scenario: spec "cache:1:t2,t3": duplicate parameter "t"`},
+		{"cache:1:z9", `scenario: spec "cache:1:z9": unknown parameter key "z"`},
+		{"cache:1:t", `scenario: spec "cache:1:t": bad parameter "t"`},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.text)
+		if err == nil {
+			t.Errorf("Parse(%q): want error, got nil", c.text)
+			continue
+		}
+		if err.Error() != c.want {
+			t.Errorf("Parse(%q):\n got %q\nwant %q", c.text, err.Error(), c.want)
+		}
+	}
+}
+
+func TestParseList(t *testing.T) {
+	specs, err := ParseList("cache:1:small;counters:2:small prodcons:3:medium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("got %d specs, want 3", len(specs))
+	}
+	if _, err := ParseList("  "); err == nil {
+		t.Error("empty list: want error")
+	}
+	if _, err := ParseList("cache:1:small;bogus:2:small"); err == nil {
+		t.Error("list with invalid member: want error")
+	}
+}
+
+// TestGenerateDeterminism is the core generator contract: same Spec →
+// byte-identical source, run after run and regardless of GOMAXPROCS.
+func TestGenerateDeterminism(t *testing.T) {
+	specs := []Spec{}
+	for _, fam := range Families {
+		for seed := uint64(1); seed <= 3; seed++ {
+			sp, err := Parse(fam + ":1:medium")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp.Seed = seed
+			specs = append(specs, sp)
+		}
+	}
+
+	first := make([]string, len(specs))
+	for i, sp := range specs {
+		first[i] = MustGenerate(sp)
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 8} {
+		runtime.GOMAXPROCS(procs)
+		var wg sync.WaitGroup
+		got := make([]string, len(specs))
+		for i, sp := range specs {
+			wg.Add(1)
+			go func(i int, sp Spec) {
+				defer wg.Done()
+				got[i] = MustGenerate(sp)
+			}(i, sp)
+		}
+		wg.Wait()
+		for i := range specs {
+			if got[i] != first[i] {
+				t.Errorf("GOMAXPROCS=%d: %s: source differs from first generation", procs, specs[i])
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	for _, fam := range Families {
+		a, _ := Parse(fam + ":1:small")
+		b, _ := Parse(fam + ":2:small")
+		if MustGenerate(a) == MustGenerate(b) {
+			t.Errorf("%s: seeds 1 and 2 generated identical source", fam)
+		}
+	}
+}
+
+func TestGenerateRejectsInvalid(t *testing.T) {
+	if _, err := Generate(Spec{Family: "cache"}); err == nil {
+		t.Error("Generate on invalid spec: want error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerate on invalid spec: want panic")
+		}
+	}()
+	MustGenerate(Spec{Family: "nope", Seed: 1, Threads: 1, Shared: 1, Ops: 1})
+}
+
+// TestGolden pins one small spec per family byte-for-byte. Regenerate
+// with: go test ./internal/scenario/ -run TestGolden -update
+func TestGolden(t *testing.T) {
+	for _, fam := range Families {
+		fam := fam
+		t.Run(fam, func(t *testing.T) {
+			sp, err := Parse(fam + ":1:small")
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := MustGenerate(sp)
+			path := filepath.Join("testdata", "golden", fam+".mc")
+			if *update {
+				if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if src != string(want) {
+				t.Errorf("%s: generated source diverged from golden %s;\nrerun with -update and review the diff", sp, path)
+			}
+			if !strings.Contains(src, "racecheck -gen '"+sp.String()+"'") {
+				t.Errorf("%s: header lacks repro hint", sp)
+			}
+		})
+	}
+}
+
+func TestMinimizePassthrough(t *testing.T) {
+	sp, _ := Parse("counters:1:small")
+	if got := Minimize(sp); got != sp {
+		t.Errorf("Minimize on passing spec changed it: %+v", got)
+	}
+}
+
+func TestToBenchmark(t *testing.T) {
+	sp, _ := Parse("prodcons:5:small")
+	b, err := ToBenchmark(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != sp.Name() || b.Class != "scenario" || b.Source == "" {
+		t.Errorf("bad benchmark adapter: %+v", b)
+	}
+	if b.ProfileWorld(0) == nil || b.EvalWorld(4) == nil {
+		t.Error("nil worlds from adapter")
+	}
+	if _, err := ToBenchmark(Spec{Family: "nope"}); err == nil {
+		t.Error("ToBenchmark on invalid spec: want error")
+	}
+}

@@ -1,0 +1,36 @@
+package trace
+
+import "repro/internal/minic/ast"
+
+// VerdictSet canonicalizes a checker's races to the deduplicated,
+// order-normalized (node, node) pair set — the equivalence the
+// epoch-vs-vector differential layer pins. Two checkers agree exactly
+// when their VerdictSets are equal: which of a pair's two symmetric
+// attributions gets reported first is schedule bookkeeping, not a
+// verdict.
+func VerdictSet(races []Race) map[[2]ast.NodeID]bool {
+	out := make(map[[2]ast.NodeID]bool, len(races))
+	for _, r := range races {
+		a, b := r.NodeA, r.NodeB
+		if a > b {
+			a, b = b, a
+		}
+		out[[2]ast.NodeID{a, b}] = true
+	}
+	return out
+}
+
+// SameVerdicts reports whether two race lists describe the same verdict
+// set.
+func SameVerdicts(a, b []Race) bool {
+	sa, sb := VerdictSet(a), VerdictSet(b)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for k := range sa {
+		if !sb[k] {
+			return false
+		}
+	}
+	return true
+}
