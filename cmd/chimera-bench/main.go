@@ -30,6 +30,12 @@
 //	                                    # harness; their JSON rows reuse the
 //	                                    # full metrics block and are what the
 //	                                    # CI scenario soundness gate asserts
+//	chimera-bench -precision -all -json out.json
+//	                                    # apply the static precision layer
+//	                                    # (thread-escape, must-lockset
+//	                                    # sharpening, read-only sharing) to
+//	                                    # every config's report; +mhp configs
+//	                                    # compose it over the MHP-refined set
 //
 // Benchmark preparation and independent benchmark × config cells run on a
 // bounded pool of -parallel workers. All emitted tables, figures and JSON
@@ -54,23 +60,25 @@ import (
 
 func main() {
 	var (
-		table    = flag.String("table", "", "regenerate a table: 1 or 2")
-		figure   = flag.String("figure", "", "regenerate a figure: 5, 6, 7, 8, sens, or mhp")
-		all      = flag.Bool("all", false, "regenerate everything")
-		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
-		workers  = flag.Int("workers", 4, "evaluation worker count for tables/figures 5-7")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "harness worker pool size (1 = sequential)")
-		jsonPath = flag.String("json", "", "write machine-readable measurements (MHP opt sets) to this file")
-		baseline = flag.Bool("baseline", false, "with -json: also time the sequential uncached workload for baseline_wall_ns")
-		incr     = flag.Bool("incremental", false, "measure the warm-edit incremental-analysis speedup (recorded in -json when given)")
-		reps     = flag.Int("reps", 3, "with -incremental: wall-clock repetitions (minimum is reported)")
-		scenList = flag.String("scenario", "", "generated scenario specs (family:seed:size, ';'-separated) to measure alongside the embedded benchmarks")
+		table     = flag.String("table", "", "regenerate a table: 1 or 2")
+		figure    = flag.String("figure", "", "regenerate a figure: 5, 6, 7, 8, sens, or mhp")
+		all       = flag.Bool("all", false, "regenerate everything")
+		benches   = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
+		workers   = flag.Int("workers", 4, "evaluation worker count for tables/figures 5-7")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "harness worker pool size (1 = sequential)")
+		jsonPath  = flag.String("json", "", "write machine-readable measurements (MHP opt sets) to this file")
+		baseline  = flag.Bool("baseline", false, "with -json: also time the sequential uncached workload for baseline_wall_ns")
+		incr      = flag.Bool("incremental", false, "measure the warm-edit incremental-analysis speedup (recorded in -json when given)")
+		reps      = flag.Int("reps", 3, "with -incremental: wall-clock repetitions (minimum is reported)")
+		scenList  = flag.String("scenario", "", "generated scenario specs (family:seed:size, ';'-separated) to measure alongside the embedded benchmarks")
+		precision = flag.Bool("precision", false, "apply the static precision layer (thread-escape, must-lockset, read-only) to every config's report")
 	)
 	flag.Parse()
 
 	cfg := harness.Default()
 	cfg.Workers = *workers
 	cfg.Parallel = *parallel
+	cfg.Precision = *precision
 
 	var names []string
 	if *benches != "" {
@@ -271,10 +279,8 @@ func runScenarios(cfg harness.Config, specText string, w io.Writer) ([]harness.J
 		if e.Config != "all+mhp" {
 			continue
 		}
-		// For +mhp rows the entry's report is the refined one: its pair
-		// count is the kept set and Pruned holds what MHP removed.
 		fmt.Fprintf(w, "%-28s %6d %6d %6d | %7.2f %5v %5v %6d %6v\n",
-			e.Bench, e.StaticPairs+e.PrunedPairs, e.StaticPairs, e.WeakLocks,
+			e.Bench, e.StaticPairs, e.InstrumentedPairs, e.WeakLocks,
 			e.RecordOverhead, e.Certified, e.ReplayMatches, e.CheckerRaces, e.CheckersAgree)
 	}
 	fmt.Fprintln(w)

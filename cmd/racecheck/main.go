@@ -14,6 +14,16 @@
 //	racecheck -v prog.mc    # include racy node details
 //	racecheck -mhp prog.mc  # apply the static MHP refinement and report
 //	                        # kept vs pruned pairs with provenance
+//	racecheck -precision prog.mc
+//	                        # apply the static precision layer (thread-escape,
+//	                        # must-lockset sharpening, read-only sharing);
+//	                        # composes with -mhp, which runs first
+//	racecheck -pairs prog.mc
+//	                        # print the per-pair provenance table under the
+//	                        # full refinement chain: every reported pair with
+//	                        # its disposition (pruned-by-mhp, pruned-by-escape,
+//	                        # pruned-by-mustlock, pruned-by-readonly, or
+//	                        # instrumented), sorted by source position
 //	racecheck -parallel 4 prog.mc
 //	                        # fan the summary computation over 4 workers;
 //	                        # output is byte-identical to -parallel 1
@@ -69,8 +79,10 @@ import (
 	"repro/internal/certify"
 	"repro/internal/cfg"
 	"repro/internal/core"
+	"repro/internal/escape"
 	"repro/internal/instrument"
 	"repro/internal/mhp"
+	"repro/internal/minic/ast"
 	"repro/internal/minic/parser"
 	"repro/internal/minic/types"
 	"repro/internal/oskit"
@@ -108,6 +120,8 @@ func run(args []string, out, errOut io.Writer) int {
 	verbose := fs.Bool("v", false, "verbose: list racy nodes and locksets")
 	showCFG := fs.Bool("cfg", false, "print each racy function's control-flow graph")
 	useMHP := fs.Bool("mhp", false, "apply the static may-happen-in-parallel refinement")
+	usePrecision := fs.Bool("precision", false, "apply the static precision layer (thread-escape, must-lockset sharpening, read-only sharing)")
+	showPairs := fs.Bool("pairs", false, "print the per-pair provenance table (reported → pruned-by-* → instrumented) under the full refinement chain")
 	parallel := fs.Int("parallel", 1, "worker count for the summary computation (1 = sequential)")
 	doCertify := fs.Bool("certify", false, "instrument and run the static DRF/deadlock-freedom certifier")
 	config := fs.String("config", "all", "instrumentation config for -certify: instr, instr+func, instr+loop, all")
@@ -191,13 +205,16 @@ func run(args []string, out, errOut io.Writer) int {
 	if *useMHP {
 		label += "+mhp"
 	}
+	if *usePrecision {
+		label += "+precision"
+	}
 
 	if *benchName != "" {
 		if !*doCertify || fs.NArg() != 0 || *instrumented != "" {
 			fs.Usage()
 			return 2
 		}
-		return runBench(*benchName, label, opts, *useMHP, *certOut, out, errOut)
+		return runBench(*benchName, label, opts, *useMHP, *usePrecision, *certOut, out, errOut)
 	}
 
 	if fs.NArg() != 1 {
@@ -230,6 +247,10 @@ func run(args []string, out, errOut io.Writer) int {
 	} else {
 		rep = relay.AnalyzeProgramParallel(info, *parallel)
 	}
+	if *showPairs {
+		printPairProvenance(fs.Arg(0), rep, out)
+		return 0
+	}
 	if *useMHP {
 		refined := mhp.Refine(rep)
 		fmt.Fprintf(out, "%s: %d potential race pairs, MHP kept %d, pruned %d\n",
@@ -240,6 +261,21 @@ func run(args []string, out, errOut io.Writer) int {
 		})
 		for _, pp := range pruned {
 			fmt.Fprintf(out, "  pruned: %-13s %s\n", pp.Reason, pairString(pp.Pair))
+		}
+		rep = refined
+	}
+	if *usePrecision {
+		prior := len(rep.Pruned)
+		refined := escape.Refine(rep)
+		fmt.Fprintf(out, "%s: precision kept %d, discharged %d\n",
+			fs.Arg(0), len(refined.Pairs), len(refined.Pruned)-prior)
+		// RefinePrecision carries prior prunes first, so the tail is ours.
+		pruned := append([]relay.PrunedPair(nil), refined.Pruned[prior:]...)
+		sort.SliceStable(pruned, func(i, j int) bool {
+			return pairLess(pruned[i].Pair, pruned[j].Pair)
+		})
+		for _, pp := range pruned {
+			fmt.Fprintf(out, "  discharged: %-9s %s\n", pp.Reason, pairString(pp.Pair))
 		}
 		rep = refined
 	}
@@ -640,7 +676,7 @@ func runGen(text string, verbose bool, out, errOut io.Writer) int {
 // runBench certifies embedded benchmarks: the full pipeline (analysis,
 // profile, instrumentation) runs per benchmark and the instrumented
 // output is certified against the same report it was derived from.
-func runBench(name, label string, opts instrument.Options, useMHP bool, certOut string, out, errOut io.Writer) int {
+func runBench(name, label string, opts instrument.Options, useMHP, usePrecision bool, certOut string, out, errOut io.Writer) int {
 	var list []*bench.Benchmark
 	if name == "all" {
 		list = bench.All()
@@ -660,7 +696,12 @@ func runBench(name, label string, opts instrument.Options, useMHP bool, certOut 
 			return 1
 		}
 		rep := prog.Races
-		if useMHP {
+		switch {
+		case useMHP && usePrecision:
+			rep = prog.PrecisionRaces()
+		case usePrecision:
+			rep = prog.PrecisionRacesBase()
+		case useMHP:
 			rep = prog.RefinedRaces()
 		}
 		conc := prog.ProfileNonConcurrency(b.ProfileWorld, b.ProfileRuns, 10_000)
@@ -706,6 +747,53 @@ func reportCert(cert *certify.Certificate, certOut string, out, errOut io.Writer
 		return 1
 	}
 	return 0
+}
+
+// printPairProvenance runs the full refinement chain — MHP, then the
+// precision layer — over the raw RELAY report and prints one row per
+// reported pair with its final disposition: pruned-by-mhp (with the MHP
+// sub-reason), pruned-by-escape, pruned-by-mustlock, pruned-by-readonly,
+// or instrumented. Rows are sorted by source position, then function
+// pair, so the table is byte-stable and diffable across runs.
+func printPairProvenance(path string, rep *relay.Report, out io.Writer) {
+	refined := escape.Refine(mhp.Refine(rep))
+	disposition := make(map[[2]ast.NodeID]string, len(refined.Pruned))
+	counts := make(map[string]int, 5)
+	for _, pp := range refined.Pruned {
+		var label string
+		switch pp.Reason {
+		case "pre-fork", "join-ordered", "barrier-phase":
+			label = "pruned-by-mhp(" + pp.Reason + ")"
+			counts["pruned-by-mhp"]++
+		case "escape":
+			label = "pruned-by-escape"
+			counts[label]++
+		case "must-lock":
+			label = "pruned-by-mustlock"
+			counts[label]++
+		case "read-only":
+			label = "pruned-by-readonly"
+			counts[label]++
+		default:
+			label = "pruned-by-" + pp.Reason
+			counts[label]++
+		}
+		disposition[pp.Pair.Key()] = label
+	}
+	fmt.Fprintf(out, "%s: %d reported = %d pruned-by-mhp + %d pruned-by-escape + %d pruned-by-mustlock + %d pruned-by-readonly + %d instrumented\n",
+		path, len(rep.Pairs),
+		counts["pruned-by-mhp"], counts["pruned-by-escape"],
+		counts["pruned-by-mustlock"], counts["pruned-by-readonly"],
+		len(refined.Pairs))
+	pairs := append([]*relay.RacePair(nil), rep.Pairs...)
+	sort.SliceStable(pairs, func(i, j int) bool { return pairLess(pairs[i], pairs[j]) })
+	for _, p := range pairs {
+		label, ok := disposition[p.Key()]
+		if !ok {
+			label = "instrumented"
+		}
+		fmt.Fprintf(out, "  %-26s %s\n", label, pairString(p))
+	}
 }
 
 func pairString(p *relay.RacePair) string {

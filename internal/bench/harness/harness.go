@@ -82,6 +82,13 @@ type Config struct {
 	// every cell from scratch like the pre-cache harness. It exists for
 	// baseline wall-clock comparisons; results are identical either way.
 	NoCache bool
+
+	// Precision applies the static precision layer (internal/escape:
+	// thread-escape, must-lockset sharpening, read-only sharing) to every
+	// configuration's race report before instrumentation. "+mhp" configs
+	// get precision over the MHP-refined report, the rest over the raw
+	// RELAY report.
+	Precision bool
 }
 
 // Default returns the Table 2 configuration: 4 worker threads, sequential
@@ -102,6 +109,10 @@ type Prepared struct {
 	Conc *profile.Concurrency
 	Inst map[string]*core.Instrumented
 
+	// Precision mirrors Config.Precision: instrument precision-refined
+	// reports instead of the plain ones.
+	Precision bool
+
 	mu sync.Mutex // guards lazy additions to Inst
 }
 
@@ -112,9 +123,16 @@ func (p *Prepared) RefinedReport() *relay.Report {
 
 // ReportFor returns the race report a configuration instruments: the
 // MHP-refined one for "+mhp" configurations, the full RELAY report
-// otherwise.
+// otherwise; with Precision set, each of those additionally passes
+// through the static precision layer.
 func (p *Prepared) ReportFor(configName string) *relay.Report {
-	if strings.HasSuffix(configName, "+mhp") {
+	mhp := strings.HasSuffix(configName, "+mhp")
+	switch {
+	case p.Precision && mhp:
+		return p.Prog.PrecisionRaces()
+	case p.Precision:
+		return p.Prog.PrecisionRacesBase()
+	case mhp:
 		return p.RefinedReport()
 	}
 	return p.Prog.Races
@@ -236,7 +254,7 @@ func (s *Suite) forEach(n int, fn func(i int)) {
 // Prepare analyzes, profiles and instruments one benchmark under every
 // configuration, standalone (no shared caches, sequential analysis).
 func Prepare(b *bench.Benchmark) (*Prepared, error) {
-	return prepareWith(core.NewCache(), b, 1)
+	return prepareWith(core.NewCache(), b, 1, false)
 }
 
 func (s *Suite) prepare(b *bench.Benchmark) (*Prepared, error) {
@@ -244,18 +262,18 @@ func (s *Suite) prepare(b *bench.Benchmark) (*Prepared, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	return prepareWith(s.Analyses, b, workers)
+	return prepareWith(s.Analyses, b, workers, s.Cfg.Precision)
 }
 
-func prepareWith(cache *core.Cache, b *bench.Benchmark, workers int) (*Prepared, error) {
+func prepareWith(cache *core.Cache, b *bench.Benchmark, workers int, precision bool) (*Prepared, error) {
 	prog, err := cache.Load(b.Name, b.FullSource(), workers)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
 	conc := prog.ProfileNonConcurrency(b.ProfileWorld, b.ProfileRuns, 10_000)
-	p := &Prepared{B: b, Prog: prog, Conc: conc, Inst: make(map[string]*core.Instrumented)}
+	p := &Prepared{B: b, Prog: prog, Conc: conc, Precision: precision, Inst: make(map[string]*core.Instrumented)}
 	for _, cn := range ConfigNames {
-		ip, err := prog.Instrument(conc, OptionsFor(cn))
+		ip, err := prog.InstrumentWith(p.ReportFor(cn), conc, OptionsFor(cn))
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", b.Name, cn, err)
 		}

@@ -13,11 +13,18 @@ import (
 // the measured record/replay overheads and the wall-clock cost of the
 // shared analysis artifact.
 type JSONEntry struct {
-	Bench       string `json:"bench"`
-	Config      string `json:"config"`
-	StaticPairs int    `json:"static_pairs"`
-	PrunedPairs int    `json:"pruned_pairs"`
-	WeakLocks   int    `json:"weak_locks"`
+	Bench  string `json:"bench"`
+	Config string `json:"config"`
+
+	// StaticPairs is the unrefined RELAY pair count; InstrumentedPairs is
+	// what survived every refinement this row's config ran (MHP and/or the
+	// precision layer) and actually received weak locks; PrunedPairs is
+	// their difference, broken down by prune reason in PrunedBy.
+	StaticPairs       int            `json:"static_pairs"`
+	InstrumentedPairs int            `json:"instrumented_pairs"`
+	PrunedPairs       int            `json:"pruned_pairs"`
+	PrunedBy          map[string]int `json:"pruned_by,omitempty"`
+	WeakLocks         int            `json:"weak_locks"`
 
 	// AnalysisWallNS is the wall-clock time spent computing this
 	// benchmark's shared analysis artifact (parse → points-to → callgraph
@@ -115,26 +122,35 @@ func (s *Suite) MeasureJSON(configNames []string) ([]JSONEntry, error) {
 		if err != nil {
 			return nil, err
 		}
+		var prunedBy map[string]int
+		if len(rep.Pruned) > 0 {
+			prunedBy = make(map[string]int, 4)
+			for _, pp := range rep.Pruned {
+				prunedBy[pp.Reason]++
+			}
+		}
 		out[i] = JSONEntry{
-			Bench:          m.Bench,
-			Config:         m.Config,
-			StaticPairs:    len(rep.Pairs),
-			PrunedPairs:    len(rep.Pruned),
-			WeakLocks:      ip.Table.Len(),
-			AnalysisWallNS: c.P.Prog.AnalysisWallNS,
-			RecordOverhead: m.RecordOverhead,
-			ReplayOverhead: m.ReplayOverhead,
-			ReplayMatches:  m.ReplayMatches,
-			RecordLogBytes: m.RecordLogBytes,
-			OrderLogBytes:  m.OrderLogBytes,
-			RecordWallNS:   m.RecordWallNS,
-			ReplayWallNS:   m.ReplayWallNS,
-			CheckerWallNS:  m.CheckerWallNS,
-			CheckerRaces:   m.CheckerRaces,
-			CheckersAgree:  m.CheckersAgree,
-			Certified:      cert.OK,
-			CertifyWallNS:  certWall,
-			Metrics:        m.Metrics,
+			Bench:             m.Bench,
+			Config:            m.Config,
+			StaticPairs:       len(c.P.Prog.Races.Pairs),
+			InstrumentedPairs: len(rep.Pairs),
+			PrunedPairs:       len(rep.Pruned),
+			PrunedBy:          prunedBy,
+			WeakLocks:         ip.Table.Len(),
+			AnalysisWallNS:    c.P.Prog.AnalysisWallNS,
+			RecordOverhead:    m.RecordOverhead,
+			ReplayOverhead:    m.ReplayOverhead,
+			ReplayMatches:     m.ReplayMatches,
+			RecordLogBytes:    m.RecordLogBytes,
+			OrderLogBytes:     m.OrderLogBytes,
+			RecordWallNS:      m.RecordWallNS,
+			ReplayWallNS:      m.ReplayWallNS,
+			CheckerWallNS:     m.CheckerWallNS,
+			CheckerRaces:      m.CheckerRaces,
+			CheckersAgree:     m.CheckersAgree,
+			Certified:         cert.OK,
+			CertifyWallNS:     certWall,
+			Metrics:           m.Metrics,
 		}
 	}
 	SortEntries(out)

@@ -31,7 +31,7 @@ func TestJSONSchemaGolden(t *testing.T) {
 			// Deliberately out of canonical order: RenderJSON must sort.
 			{
 				Bench: "radix", Config: "instr",
-				StaticPairs: 3, PrunedPairs: 0, WeakLocks: 2,
+				StaticPairs: 3, InstrumentedPairs: 3, PrunedPairs: 0, WeakLocks: 2,
 				AnalysisWallNS: 1_000_000,
 				RecordOverhead: 1.25, ReplayOverhead: 1.10, ReplayMatches: true,
 				RecordLogBytes: 2_048, OrderLogBytes: 512,
@@ -41,7 +41,9 @@ func TestJSONSchemaGolden(t *testing.T) {
 			},
 			{
 				Bench: "aget", Config: "instr+mhp",
-				StaticPairs: 5, PrunedPairs: 2, WeakLocks: 4,
+				StaticPairs: 5, InstrumentedPairs: 3, PrunedPairs: 2,
+				PrunedBy:       map[string]int{"pre-fork": 1, "read-only": 1},
+				WeakLocks:      4,
 				AnalysisWallNS: 1_500_000,
 				RecordOverhead: 1.50, ReplayOverhead: 1.20, ReplayMatches: true,
 				RecordLogBytes: 4_096, OrderLogBytes: 1_024,
@@ -51,7 +53,7 @@ func TestJSONSchemaGolden(t *testing.T) {
 			},
 			{
 				Bench: "aget", Config: "all",
-				StaticPairs: 7, PrunedPairs: 0, WeakLocks: 6,
+				StaticPairs: 7, InstrumentedPairs: 7, PrunedPairs: 0, WeakLocks: 6,
 				AnalysisWallNS: 1_500_000,
 				RecordOverhead: 1.75, ReplayOverhead: 1.30, ReplayMatches: true,
 				RecordLogBytes: 8_192, OrderLogBytes: 2_048,
@@ -130,6 +132,18 @@ func TestMeasureJSONRowOrder(t *testing.T) {
 	for _, e := range entries {
 		if e.Bench != name {
 			t.Errorf("unexpected bench %q", e.Bench)
+		}
+		if e.InstrumentedPairs+e.PrunedPairs != e.StaticPairs {
+			t.Errorf("%s/%s: instrumented %d + pruned %d != static %d",
+				e.Bench, e.Config, e.InstrumentedPairs, e.PrunedPairs, e.StaticPairs)
+		}
+		var byReason int
+		for _, n := range e.PrunedBy {
+			byReason += n
+		}
+		if byReason != e.PrunedPairs {
+			t.Errorf("%s/%s: pruned_by sums to %d, want pruned_pairs %d",
+				e.Bench, e.Config, byReason, e.PrunedPairs)
 		}
 		if e.AnalysisWallNS != entries[0].AnalysisWallNS {
 			t.Errorf("analysis_wall_ns differs across configs of one benchmark: %d vs %d (cache not shared?)",

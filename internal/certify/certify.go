@@ -49,8 +49,9 @@ import (
 	"repro/internal/relay"
 )
 
-// Schema is the certificate JSON schema version.
-const Schema = 1
+// Schema is the certificate JSON schema version. Version 2 added the
+// discharge check (precision-layer prune re-derivation).
+const Schema = 2
 
 // Certificate is the machine-readable result of the three checks for one
 // instrumented program.
@@ -59,12 +60,13 @@ type Certificate struct {
 	Program string `json:"program"`
 	Config  string `json:"config"`
 
-	// OK is the conjunction of the three per-check verdicts.
+	// OK is the conjunction of the four per-check verdicts.
 	OK bool `json:"ok"`
 
-	Coverage CoverageResult `json:"coverage"`
-	Balance  BalanceResult  `json:"balance"`
-	Order    OrderResult    `json:"order"`
+	Coverage  CoverageResult  `json:"coverage"`
+	Balance   BalanceResult   `json:"balance"`
+	Order     OrderResult     `json:"order"`
+	Discharge DischargeResult `json:"discharge"`
 }
 
 // CoverageResult reports whether every race pair is guarded by a common
@@ -156,7 +158,8 @@ func Certify(rep *relay.Report, instrumentedSrc, program, config string) (*Certi
 	cert.Balance = an.balanceResult()
 	cert.Order = an.orderResult()
 	cert.Coverage = checkCoverage(rep, an)
-	cert.OK = cert.Coverage.OK && cert.Balance.OK && cert.Order.OK
+	cert.Discharge = checkDischarge(rep)
+	cert.OK = cert.Coverage.OK && cert.Balance.OK && cert.Order.OK && cert.Discharge.OK
 	return cert, nil
 }
 
@@ -176,9 +179,10 @@ func (c *Certificate) Summary() string {
 	if !c.OK {
 		verdict = "FAIL"
 	}
-	return fmt.Sprintf("certificate %s: %s/%s coverage %d/%d pairs (%d components), balance %d function(s) %d violation(s), order %d lock(s) %d edge(s) %d cycle(s) %d timeout-reliant",
+	return fmt.Sprintf("certificate %s: %s/%s coverage %d/%d pairs (%d components), balance %d function(s) %d violation(s), order %d lock(s) %d edge(s) %d cycle(s) %d timeout-reliant, discharge %d/%d prune(s)",
 		verdict, c.Program, c.Config,
 		c.Coverage.Covered, c.Coverage.Pairs, c.Coverage.Components,
 		c.Balance.Functions, len(c.Balance.Violations),
-		c.Order.Locks, c.Order.Edges, len(c.Order.Cycles), len(c.Order.TimeoutReliant))
+		c.Order.Locks, c.Order.Edges, len(c.Order.Cycles), len(c.Order.TimeoutReliant),
+		c.Discharge.Verified, c.Discharge.Pruned)
 }

@@ -12,7 +12,9 @@ import (
 	"repro/internal/bench"
 	"repro/internal/certify"
 	"repro/internal/core"
+	"repro/internal/escape"
 	"repro/internal/instrument"
+	"repro/internal/relay"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -162,6 +164,69 @@ func TestCertificateGolden(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Errorf("certificate differs from golden %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestDischargeFailClosed doctors a precision-refined report by moving a
+// pair the precision layer KEPT into Pruned under each discharge reason
+// (plus one unknown reason): the discharge check must refuse to re-derive
+// every one of them. The genuine precision report certifies clean first
+// (the control), so a failure isolates the planted lie.
+func TestDischargeFailClosed(t *testing.T) {
+	p := prepare(t, "aget")
+	prec := escape.Refine(p.prog.Races)
+	if len(prec.Pruned) == 0 {
+		t.Fatal("fixture drift: precision layer pruned nothing on aget")
+	}
+	if len(prec.Pairs) == 0 {
+		t.Fatal("fixture drift: precision layer kept no pairs on aget")
+	}
+	conc := p.prog.ProfileNonConcurrency(p.b.ProfileWorld, p.b.ProfileRuns, 10_000)
+	ip, err := p.prog.InstrumentWith(prec, conc, instrument.AllOptions())
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	control, err := certify.Certify(prec, ip.Report.Source, "aget", "all+precision")
+	if err != nil {
+		t.Fatalf("certify control: %v", err)
+	}
+	if !control.OK || control.Discharge.Verified != control.Discharge.Pruned || control.Discharge.Pruned == 0 {
+		out, _ := certify.Render(control)
+		t.Fatalf("control: genuine precision report failed certification:\n%s", out)
+	}
+
+	for _, tc := range []struct {
+		reason string
+		diag   string
+	}{
+		{"escape", "is thread-shared"},
+		{"read-only", "written after the first spawn"},
+		{"must-lock", "no common grounded lock"},
+		{"frobnicate", "unknown prune reason"},
+	} {
+		t.Run(tc.reason, func(t *testing.T) {
+			doctored := *prec
+			doctored.Pairs = prec.Pairs[1:]
+			doctored.Pruned = append(append([]relay.PrunedPair{}, prec.Pruned...),
+				relay.PrunedPair{Pair: prec.Pairs[0], Reason: tc.reason})
+			cert, err := certify.Certify(&doctored, ip.Report.Source, "aget", "all+precision")
+			if err != nil {
+				t.Fatalf("certify: %v", err)
+			}
+			if cert.OK || cert.Discharge.OK {
+				out, _ := certify.Render(cert)
+				t.Fatalf("doctored prune (%s) certified clean:\n%s", tc.reason, out)
+			}
+			found := false
+			for _, f := range cert.Discharge.Failures {
+				if strings.Contains(f, tc.diag) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no discharge failure containing %q; got %q", tc.diag, cert.Discharge.Failures)
+			}
+		})
 	}
 }
 

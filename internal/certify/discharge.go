@@ -1,0 +1,458 @@
+package certify
+
+// The discharge check validates the static precision layer the same way
+// coverage validates the instrumenter: by re-deriving every judgment
+// instead of trusting the pass's bookkeeping. For each race pair the
+// precision layer pruned (internal/escape), the stated justification is
+// recomputed here from the analysis artifacts the pruner itself consumed
+// — the materialized root accesses, the points-to object graph, the call
+// graph and the lock representative grammar — with none of the pruner's
+// cached fact tables in the loop. A pair whose justification does not
+// re-derive fails the certificate: a wrongly discharged pair gets no
+// weak lock, so this is the check that keeps "fewer weak locks" from
+// silently meaning "unsound replay".
+//
+// MHP prunes ("pre-fork", "join-ordered", "barrier-phase") are a
+// different pass with its own validation story and are counted but
+// trusted here; any reason this check does not recognize fails closed.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/types"
+	"repro/internal/pointsto"
+	"repro/internal/relay"
+)
+
+// DischargeResult reports whether every precision-layer prune's
+// justification independently re-derives.
+type DischargeResult struct {
+	OK bool `json:"ok"`
+
+	// Pruned and Verified count the precision prunes checked and
+	// re-derived; Trusted counts MHP prunes outside this check's scope.
+	Pruned   int `json:"pruned"`
+	Verified int `json:"verified"`
+	Trusted  int `json:"trusted"`
+
+	// Failures lists the prunes whose justification did not re-derive.
+	Failures []string `json:"failures,omitempty"`
+}
+
+// mhpReasons are the prune reasons produced by internal/mhp, outside the
+// discharge check's scope.
+var mhpReasons = map[string]bool{
+	"pre-fork":      true,
+	"join-ordered":  true,
+	"barrier-phase": true,
+}
+
+func checkDischarge(rep *relay.Report) DischargeResult {
+	res := DischargeResult{OK: true}
+	var prunes []relay.PrunedPair
+	for _, pp := range rep.Pruned {
+		if mhpReasons[pp.Reason] {
+			res.Trusted++
+			continue
+		}
+		prunes = append(prunes, pp)
+	}
+	res.Pruned = len(prunes)
+	if len(prunes) == 0 {
+		return res
+	}
+	d := newDischarger(rep)
+	for _, pp := range prunes {
+		if err := d.verify(pp); err != nil {
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("[%s] %s / %s: %v", pp.Reason,
+					accessString(pp.Pair.A, ""), accessString(pp.Pair.B, ""), err))
+			continue
+		}
+		res.Verified++
+	}
+	res.OK = len(res.Failures) == 0
+	return res
+}
+
+// discharger re-derives the precision layer's three fact kinds from the
+// report's raw artifacts. Every precondition gap makes the relevant
+// verification fail (never pass): a missing main or capped summaries
+// leave valid=false, an unplaceable spawn leaves firstSpawn=-1 (every
+// write then counts as post-spawn), an unresolvable lock path simply
+// contributes no grounded key.
+type discharger struct {
+	rep   *relay.Report
+	valid bool
+
+	accs  []relay.RootAccess
+	multi map[*types.FuncInfo]bool
+	main  *types.FuncInfo
+
+	shared    map[pointsto.ObjID]bool
+	postWrite map[pointsto.ObjID]bool
+
+	byNode map[ast.NodeID][]relay.RootAccess
+	subst  map[string]string
+}
+
+func newDischarger(rep *relay.Report) *discharger {
+	d := &discharger{rep: rep, main: rep.Info.Funcs["main"]}
+	if d.main == nil || !rep.SummariesComplete() {
+		return d
+	}
+	d.valid = true
+	d.accs = rep.RootAccesses()
+	d.multi = rep.MultiInstanceRoots()
+	d.byNode = make(map[ast.NodeID][]relay.RootAccess)
+	for _, ra := range d.accs {
+		d.byNode[ra.Acc.Node] = append(d.byNode[ra.Acc.Node], ra)
+	}
+	d.deriveShared()
+	d.derivePostSpawnWrites()
+	d.deriveSubst()
+	return d
+}
+
+func (d *discharger) verify(pp relay.PrunedPair) error {
+	if !d.valid {
+		return fmt.Errorf("precision preconditions do not hold (no main, or capped summaries)")
+	}
+	switch pp.Reason {
+	case "escape":
+		return d.verifyEscape(pp.Pair)
+	case "must-lock":
+		return d.verifyMustLock(pp.Pair)
+	case "read-only":
+		return d.verifyReadOnly(pp.Pair)
+	}
+	return fmt.Errorf("unknown prune reason %q", pp.Reason)
+}
+
+// verifyEscape re-derives the escape justification: the two accesses must
+// share no writable abstract object that is thread-shared.
+func (d *discharger) verifyEscape(p *relay.RacePair) error {
+	for _, o := range d.witnesses(p) {
+		if d.shared[o] {
+			return fmt.Errorf("witness object %s is thread-shared", d.rep.PTA.Obj(o).Name)
+		}
+	}
+	return nil
+}
+
+// verifyReadOnly re-derives write-freedom: no thread-shared witness
+// object may have a summary-visible write that is not proven pre-spawn.
+func (d *discharger) verifyReadOnly(p *relay.RacePair) error {
+	for _, o := range d.witnesses(p) {
+		if d.shared[o] && d.postWrite[o] {
+			return fmt.Errorf("witness object %s is written after the first spawn", d.rep.PTA.Obj(o).Name)
+		}
+	}
+	return nil
+}
+
+// witnesses lists the writable abstract objects in both accesses'
+// points-to sets — the cells a real race between them could occur on.
+func (d *discharger) witnesses(p *relay.RacePair) []pointsto.ObjID {
+	in := make(map[pointsto.ObjID]bool, len(p.B.Objs))
+	for _, o := range p.B.Objs {
+		in[o] = true
+	}
+	var out []pointsto.ObjID
+	for _, o := range p.A.Objs {
+		if in[o] && d.rep.PTA.Obj(o).Kind != pointsto.OFunc {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// deriveShared recomputes the thread-escape fact: objects referenced by
+// two concurrently runnable roots or reachable from a spawn argument,
+// closed under points-to contents.
+func (d *discharger) deriveShared() {
+	pta := d.rep.PTA
+	d.shared = make(map[pointsto.ObjID]bool)
+	roots := make(map[pointsto.ObjID]map[*types.FuncInfo]bool)
+	for _, ra := range d.accs {
+		for _, o := range ra.Acc.Objs {
+			set := roots[o]
+			if set == nil {
+				set = make(map[*types.FuncInfo]bool)
+				roots[o] = set
+			}
+			set[ra.Root] = true
+		}
+	}
+	var frontier []pointsto.ObjID
+	mark := func(o pointsto.ObjID) {
+		if !d.shared[o] {
+			d.shared[o] = true
+			frontier = append(frontier, o)
+		}
+	}
+	for o, set := range roots {
+		if len(set) > 1 {
+			mark(o)
+			continue
+		}
+		for r := range set {
+			if r != d.main && d.multi[r] {
+				mark(o)
+			}
+		}
+	}
+	for _, o := range pta.SpawnArgPointees() {
+		mark(o)
+	}
+	for len(frontier) > 0 {
+		o := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, q := range pta.ContentsPointees(o) {
+			mark(q)
+		}
+	}
+}
+
+// derivePostSpawnWrites recomputes the read-only fact: the objects with a
+// summary-visible write not provably ordered before main's first spawn.
+// The timeline is main's top-level statement order; a function's position
+// is the set of top-level statements whose spawn-free call closure
+// reaches it.
+func (d *discharger) derivePostSpawnWrites() {
+	topIdx := make(map[ast.NodeID]int)
+	reach := make(map[*types.FuncInfo]map[int]bool)
+	for i, s := range d.main.Decl.Body.Stmts {
+		var direct []*types.FuncInfo
+		idx := i
+		ast.Inspect(s, func(n ast.Node) bool {
+			topIdx[n.ID()] = idx
+			if call, ok := n.(*ast.Call); ok {
+				direct = append(direct, d.callTargets(call)...)
+			}
+			return true
+		})
+		closure := make(map[*types.FuncInfo]bool)
+		for len(direct) > 0 {
+			f := direct[len(direct)-1]
+			direct = direct[:len(direct)-1]
+			if f == nil || closure[f] {
+				continue
+			}
+			closure[f] = true
+			direct = append(direct, d.rep.CG.CalleesOf(f)...)
+		}
+		for f := range closure {
+			if reach[f] == nil {
+				reach[f] = make(map[int]bool)
+			}
+			reach[f][idx] = true
+		}
+	}
+
+	firstSpawn := -1
+	anySpawn := false
+	seenSite := make(map[ast.NodeID]bool)
+	consider := func(idx int) {
+		if firstSpawn < 0 || idx < firstSpawn {
+			firstSpawn = idx
+		}
+	}
+	for _, e := range d.rep.CG.Edges {
+		if !e.Spawn || seenSite[e.Site.ID()] {
+			continue
+		}
+		seenSite[e.Site.ID()] = true
+		anySpawn = true
+		if idx, in := topIdx[e.Site.ID()]; in {
+			consider(idx)
+			continue
+		}
+		for idx := range reach[e.Caller] {
+			consider(idx)
+		}
+	}
+	if !anySpawn {
+		firstSpawn = len(d.main.Decl.Body.Stmts)
+	}
+
+	d.postWrite = make(map[pointsto.ObjID]bool)
+	markAll := func(objs []pointsto.ObjID) {
+		for _, o := range objs {
+			d.postWrite[o] = true
+		}
+	}
+	for _, ra := range d.accs {
+		if !ra.Acc.Write {
+			continue
+		}
+		switch {
+		case ra.Root != d.main || firstSpawn < 0:
+			markAll(ra.Acc.Objs)
+		case ra.Acc.Fn == d.main:
+			if idx, in := topIdx[ra.Acc.Node]; !in || idx >= firstSpawn {
+				markAll(ra.Acc.Objs)
+			}
+		default:
+			set := reach[ra.Acc.Fn]
+			if len(set) == 0 {
+				markAll(ra.Acc.Objs)
+				continue
+			}
+			for idx := range set {
+				if idx >= firstSpawn {
+					markAll(ra.Acc.Objs)
+					break
+				}
+			}
+		}
+	}
+}
+
+func (d *discharger) callTargets(call *ast.Call) []*types.FuncInfo {
+	info := d.rep.Info
+	if target := info.CallTargets[call.ID()]; target != nil {
+		if target.Kind == types.ObjFunc {
+			return []*types.FuncInfo{info.Funcs[target.Name]}
+		}
+		return nil
+	}
+	return d.rep.PTA.CallTargets[call.ID()]
+}
+
+// deriveSubst recomputes the must-alias substitution: a single-assignment
+// (declaration-initialized, never reassigned), address-free, unshadowed
+// local always holds its initializer's value, so loads of it can be
+// rewritten to the initializer's lock representative.
+func (d *discharger) deriveSubst() {
+	info := d.rep.Info
+	d.subst = make(map[string]string)
+	writes := make(map[*types.Object]int)
+	ast.InspectFile(info.File, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeclStmt:
+			if o := info.Objects[s.Decl.ID()]; o != nil && s.Decl.Init != nil {
+				writes[o]++
+			}
+		case *ast.AssignStmt:
+			if id, ok := s.LHS.(*ast.Ident); ok {
+				if o := info.Uses[id.ID()]; o != nil {
+					writes[o]++
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := s.X.(*ast.Ident); ok {
+				if o := info.Uses[id.ID()]; o != nil {
+					writes[o]++
+				}
+			}
+		}
+		return true
+	})
+	for _, fn := range info.FuncList {
+		count := make(map[string]int)
+		var decls []*ast.DeclStmt
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			if ds, ok := n.(*ast.DeclStmt); ok {
+				if o := info.Objects[ds.Decl.ID()]; o != nil && o.Kind == types.ObjLocal {
+					count[o.Name]++
+					decls = append(decls, ds)
+				}
+			}
+			return true
+		})
+		for _, ds := range decls {
+			o := info.Objects[ds.Decl.ID()]
+			if o == nil || o.AddrTaken || ds.Decl.Init == nil ||
+				count[o.Name] != 1 || writes[o] != 1 {
+				continue
+			}
+			v, ok := d.rep.LockRep(ds.Decl.Init, fn)
+			if !ok {
+				continue
+			}
+			key := "ld(L#" + fn.Name + "#" + o.Name + ")"
+			if v != key {
+				d.subst[key] = v
+			}
+		}
+	}
+}
+
+// verifyMustLock re-derives the must-lock justification: every root
+// combination of the two access nodes that RELAY's own filters admit
+// must hold a common grounded lock key after must-alias sharpening, and
+// at least one such combination must exist.
+func (d *discharger) verifyMustLock(p *relay.RacePair) error {
+	as, bs := d.byNode[p.A.Node], d.byNode[p.B.Node]
+	combos := 0
+	for _, ra := range as {
+		for _, rb := range bs {
+			if !ra.Acc.Write && !rb.Acc.Write {
+				continue
+			}
+			if ra.Acc.Node == rb.Acc.Node && ra.Root == rb.Root && !d.multi[ra.Root] {
+				continue
+			}
+			if ra.Root == rb.Root && (ra.Root.Name == "main" || !d.multi[ra.Root]) {
+				continue
+			}
+			combos++
+			if !d.commonGrounded(ra.Acc.Lockset, rb.Acc.Lockset) {
+				return fmt.Errorf("roots %s/%s hold no common grounded lock", ra.Root.Name, rb.Root.Name)
+			}
+		}
+	}
+	if combos == 0 {
+		return fmt.Errorf("no admissible root combination materializes the pair")
+	}
+	return nil
+}
+
+func (d *discharger) commonGrounded(la, lb []string) bool {
+	ga := d.groundedKeys(la)
+	if len(ga) == 0 {
+		return false
+	}
+	gb := d.groundedKeys(lb)
+	for _, k := range gb {
+		for _, j := range ga {
+			if k == j {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// groundedKeys sharpens a lockset and keeps the grounded representatives:
+// pure G#-rooted static address paths with no loads, parameter residue or
+// local frames — paths that name the same concrete mutex in every thread.
+func (d *discharger) groundedKeys(locks []string) []string {
+	keys := make([]string, 0, len(d.subst))
+	for k := range d.subst {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []string
+	for _, l := range locks {
+		for round := 0; round < 8; round++ {
+			next := l
+			for _, k := range keys {
+				next = strings.ReplaceAll(next, k, d.subst[k])
+			}
+			if next == l {
+				break
+			}
+			l = next
+		}
+		if strings.HasPrefix(l, "G#") && !strings.Contains(l, "ld(") &&
+			!strings.Contains(l, "P@") && !strings.Contains(l, "L#") {
+			out = append(out, l)
+		}
+	}
+	return out
+}

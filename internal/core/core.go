@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/callgraph"
 	"repro/internal/certify"
+	"repro/internal/escape"
 	"repro/internal/instrument"
 	"repro/internal/mhp"
 	"repro/internal/minic/ast"
@@ -63,6 +64,12 @@ type Program struct {
 
 	refineOnce sync.Once
 	refined    *relay.Report
+
+	precOnce sync.Once
+	prec     *relay.Report
+
+	precBaseOnce sync.Once
+	precBase     *relay.Report
 }
 
 // Load parses, checks, analyzes and compiles a program with the
@@ -303,6 +310,53 @@ func (p *Program) RefinedRaces() *relay.Report {
 		p.refined = p.RefineMHP()
 	})
 	return p.refined
+}
+
+// PrecisionRaces returns the race report with both the MHP refinement and
+// the static precision layer (internal/escape: thread-escape, must-lockset
+// sharpening, read-only sharing) applied, computed once and shared. Like
+// RefinedRaces it is part of the read-only analysis artifact a Cache hands
+// out, safe for concurrent pipeline workers.
+func (p *Program) PrecisionRaces() *relay.Report {
+	p.precOnce.Do(func() {
+		p.prec = p.precisionOver(p.RefinedRaces(), "precision+mhp")
+	})
+	return p.prec
+}
+
+// PrecisionRacesBase is PrecisionRaces without the MHP refinement: the
+// precision layer applied directly to the unrefined RELAY report, for
+// configs that run paper-faithful RELAY plus precision only.
+func (p *Program) PrecisionRacesBase() *relay.Report {
+	p.precBaseOnce.Do(func() {
+		p.precBase = p.precisionOver(p.Races, "precision")
+	})
+	return p.precBase
+}
+
+// precisionOver applies the precision layer to a base report, memoizing
+// verdicts in the summary store on incrementally loaded programs. Each
+// (layer, base) combination stores under its own key derived from the
+// whole-program content key — a new fact kind under a new address, so
+// byte-identity of the pre-existing summary and MHP artifacts is
+// preserved. Replay is fail-closed: any pair mismatch falls back to the
+// real analysis.
+func (p *Program) precisionOver(base *relay.Report, label string) *relay.Report {
+	if p.store != nil && p.Incremental != nil && p.Incremental.Index != nil {
+		key := summary.DeriveKey(p.Incremental.ProgramKey(), label)
+		if facts, ok := p.store.GetMHP(key); ok {
+			if refined, applied := relay.ApplyPrecisionFacts(base, facts, p.Incremental.Index); applied {
+				p.Incremental.PrecisionFactsReused = true
+				return refined
+			}
+		}
+		refined := escape.Refine(base)
+		if facts, ok := relay.EncodePrecisionFacts(base, refined, p.Incremental.Index); ok {
+			p.store.PutMHP(key, facts)
+		}
+		return refined
+	}
+	return escape.Refine(base)
 }
 
 // InstrumentWith is Instrument with an explicit race report — typically

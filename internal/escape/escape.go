@@ -1,0 +1,217 @@
+// Package escape is the static precision layer between RELAY and the
+// instrumenter: three sound passes that discharge race pairs before they
+// cost a weak lock, in the spirit of lightweight prune phases such as
+// RacerF (Dacík & Vojnar, 2025).
+//
+// Chimera's dynamic cost — weak-lock acquires, sync-order log bytes,
+// record/replay wall time — scales with the race-pair set that survives
+// to instrumentation, and RELAY is deliberately as imprecise as the
+// paper's tool (§3.3): pairs are generated per Steensgaard alias class,
+// locksets ignore non-mutex synchronization, and sharing is judged by a
+// coarse whole-program escape bit. Each pass here attacks one of those
+// imprecision sources with a proof obligation that fails closed:
+//
+//  1. Thread-escape (this file): an abstract object is shared only if it
+//     is referenced by two thread roots that may run concurrently (two
+//     distinct roots, or one root with several live instances), reaches a
+//     spawn argument, or is reachable from such memory through the
+//     points-to contents relation. A pair is discharged ("escape") when
+//     the two accesses share no abstract object that is shared — in
+//     particular when they share no abstract object at all: RELAY pairs
+//     by Steensgaard class, but every concrete cell maps to exactly one
+//     abstract object, so a real race always places that one object in
+//     both accesses' Andersen points-to sets. Pairs that exist only
+//     because two distinct objects were unified into one alias class
+//     cannot race and are pruned.
+//
+//  2. Must-lockset sharpening (mustlock.go): RELAY intersects symbolic
+//     lock representatives literally, so `lock(m)` where m is a local
+//     alias of &qlock protects nothing it can see. The pass sharpens
+//     lock access paths by conditional must-alias reasoning —
+//     single-assignment, address-free locals are replaced by the
+//     representative of their initializer — and discharges a pair
+//     ("must-lock") when every materialized root combination of the two
+//     accesses holds a common grounded key: a pure G#-rooted path that
+//     names the same concrete mutex in every thread.
+//
+//  3. Read-only sharing (timeline.go): an object whose every
+//     summary-visible write provably executes on main's timeline before
+//     the first possible spawn is immutable while more than one thread
+//     exists. A pair whose shared witness objects are all write-free
+//     after the first spawn is discharged ("read-only"): the pair's own
+//     racing write is one of its two accesses, and that write either
+//     runs on a child thread (then the object is marked written), on
+//     main after a spawn may have happened (marked), or provably before
+//     any thread exists — in which case it is ordered before the other
+//     access by the spawn edge itself.
+//
+// Soundness is the product's only hard requirement — a wrongly pruned
+// pair gets no weak lock, so a real race would replay unordered. Every
+// pass therefore keeps the pair when any input is imperfect: missing
+// main, capped (possibly truncated) summaries, unindexable nodes,
+// locals the must-alias reasoning cannot pin, or spawn sites whose
+// timeline position cannot be attributed. The certifier re-derives each
+// discharge independently (internal/certify, the discharge check), and
+// scenario pipeline stage 10 plus FuzzPrecisionSoundness hold the
+// refined programs to bit-identical replay and unchanged dynamic-checker
+// verdicts.
+//
+// The layer is wired as relay.Report.RefinePrecision and composes with
+// the MHP refinement: refine MHP first (its Pruned entries are carried
+// forward), then precision; the provenance chain reported → mhp →
+// escape → must-lock → read-only → instrumented is what `racecheck
+// -pairs` renders.
+package escape
+
+import (
+	"repro/internal/minic/types"
+	"repro/internal/pointsto"
+	"repro/internal/relay"
+)
+
+// Analysis holds the computed precision facts for one analyzed program.
+type Analysis struct {
+	rep *relay.Report
+
+	// disabled fails the whole layer closed: every verdict keeps.
+	disabled bool
+
+	// shared marks abstract objects reachable by two concurrently
+	// runnable threads (see computeShared).
+	shared map[pointsto.ObjID]bool
+
+	// writtenPostSpawn marks objects with at least one summary-visible
+	// write not proven to execute before the first possible spawn.
+	writtenPostSpawn map[pointsto.ObjID]bool
+
+	ml *mustLock
+}
+
+// Analyze computes the three passes' facts over an analyzed program. The
+// report must carry the Info/PTA/CG/Summaries it was produced with.
+func Analyze(rep *relay.Report) *Analysis {
+	a := &Analysis{rep: rep}
+	main := rep.Info.Funcs["main"]
+	if main == nil || !rep.SummariesComplete() {
+		// No timeline to reason from, or summaries may have dropped
+		// accesses: nothing below is trustworthy.
+		a.disabled = true
+		return a
+	}
+	accs := rep.RootAccesses()
+	multi := rep.MultiInstanceRoots()
+	a.computeShared(accs, multi, main)
+	tl := newTimeline(rep, main)
+	a.writtenPostSpawn = tl.postSpawnWrites(accs)
+	a.ml = newMustLock(rep, accs, multi)
+	return a
+}
+
+// Refine returns a copy of the report with every pair the analysis
+// discharges moved to Pruned (with provenance); earlier refinement
+// passes' Pruned entries are carried forward. The input report is not
+// modified.
+func Refine(rep *relay.Report) *relay.Report {
+	return rep.RefinePrecision(Analyze(rep).Verdict)
+}
+
+// Verdict decides one race pair: prune=true means the pair provably
+// cannot be a real race, with reason one of "escape", "must-lock", or
+// "read-only". Any gap in the proofs yields (false, ""): the pair is
+// kept.
+func (a *Analysis) Verdict(p *relay.RacePair) (prune bool, reason string) {
+	if a.disabled {
+		return false, ""
+	}
+	// Witness objects: a real race between the two accesses happens on a
+	// concrete cell, and each concrete cell maps to exactly one abstract
+	// object, which Andersen's analysis then places in both accesses'
+	// points-to sets. Function objects cannot be written; non-shared
+	// objects cannot be reached by two concurrent threads.
+	witnessShared := false
+	witnessWritten := false
+	for _, o := range intersectObjs(p.A.Objs, p.B.Objs) {
+		if a.rep.PTA.Obj(o).Kind == pointsto.OFunc {
+			continue
+		}
+		if !a.shared[o] {
+			continue
+		}
+		witnessShared = true
+		if a.writtenPostSpawn[o] {
+			witnessWritten = true
+			break
+		}
+	}
+	if !witnessShared {
+		return true, "escape"
+	}
+	if a.ml.protected(p) {
+		return true, "must-lock"
+	}
+	if !witnessWritten {
+		return true, "read-only"
+	}
+	return false, ""
+}
+
+// computeShared seeds sharing from (a) objects referenced — through the
+// materialized root accesses — by two distinct thread roots or by one
+// multi-instance root, and (b) everything a spawn argument may point to;
+// then closes the set under the points-to contents relation (memory
+// reachable from shared memory is shared).
+func (a *Analysis) computeShared(accs []relay.RootAccess, multi map[*types.FuncInfo]bool, main *types.FuncInfo) {
+	pta := a.rep.PTA
+	a.shared = make(map[pointsto.ObjID]bool)
+
+	firstRoot := make(map[pointsto.ObjID]*types.FuncInfo)
+	var queue []pointsto.ObjID
+	mark := func(o pointsto.ObjID) {
+		if !a.shared[o] {
+			a.shared[o] = true
+			queue = append(queue, o)
+		}
+	}
+	for _, ra := range accs {
+		for _, o := range ra.Acc.Objs {
+			if ra.Root != main && multi[ra.Root] {
+				mark(o) // two instances of one root share everything it touches
+				continue
+			}
+			if first, ok := firstRoot[o]; !ok {
+				firstRoot[o] = ra.Root
+			} else if first != ra.Root {
+				mark(o) // two distinct roots reference it
+			}
+		}
+	}
+	for _, o := range pta.SpawnArgPointees() {
+		mark(o)
+	}
+	for len(queue) > 0 {
+		o := queue[0]
+		queue = queue[1:]
+		for _, p := range pta.ContentsPointees(o) {
+			mark(p)
+		}
+	}
+}
+
+// intersectObjs intersects two sorted ObjID slices.
+func intersectObjs(x, y []pointsto.ObjID) []pointsto.ObjID {
+	var out []pointsto.ObjID
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i] < y[j]:
+			i++
+		case x[i] > y[j]:
+			j++
+		default:
+			out = append(out, x[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package escape
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/types"
+	"repro/internal/relay"
+)
+
+// Must-lockset sharpening.
+//
+// RELAY compares symbolic lock representatives literally, so a lock
+// acquired through a local pointer alias — `int *m = &qlock; lock(m);` —
+// carries the representative ld(L#fn#m), which never intersects the
+// G#qlock held elsewhere, and the pair is reported even though both
+// accesses are protected by the same concrete mutex. The sharpening is a
+// conditional must-alias step: a function-local that is assigned exactly
+// once (at its declaration), and whose address is never taken, always
+// holds the value of its initializer, so ld(L#fn#x) can be rewritten to
+// the initializer's representative. Rewriting runs to a fixpoint so
+// chained aliases resolve.
+//
+// A sharpened representative proves protection only if it is "grounded":
+// a pure G#-rooted address path with no loads, no parameter residue and
+// no local frames — such a path names the same concrete memory cell in
+// every thread, so two accesses holding it hold the same mutex. A raw
+// L#fn#x match is deliberately NOT protection: each running instance of
+// fn has its own x, so equal names may be different locks (the
+// one-path-lock fixture pins this strictness).
+//
+// The pair verdict re-enumerates every materialized root combination of
+// the two access nodes — RELAY dedups pairs by node pair, so the
+// recorded roots are only the first attribution, and the same node can
+// materialize under several locksets via different call chains — and
+// discharges ("must-lock") only when each combination that RELAY's own
+// overapproximation admits shares a common grounded key on both sides.
+type mustLock struct {
+	rep   *relay.Report
+	multi map[*types.FuncInfo]bool
+
+	// byNode groups the materialized root accesses by access node; a
+	// pair's combinations are the cross product of its two groups.
+	byNode map[ast.NodeID][]relay.RootAccess
+
+	subst     map[string]string // "ld(L#fn#x)" -> initializer representative
+	substKeys []string          // sorted, for deterministic rewriting
+
+	groundedMemo map[*relay.Access][]string
+}
+
+func newMustLock(rep *relay.Report, accs []relay.RootAccess, multi map[*types.FuncInfo]bool) *mustLock {
+	m := &mustLock{
+		rep:          rep,
+		multi:        multi,
+		byNode:       make(map[ast.NodeID][]relay.RootAccess),
+		subst:        make(map[string]string),
+		groundedMemo: make(map[*relay.Access][]string),
+	}
+	for _, ra := range accs {
+		m.byNode[ra.Acc.Node] = append(m.byNode[ra.Acc.Node], ra)
+	}
+	m.buildSubst()
+	return m
+}
+
+// buildSubst collects the single-assignment, address-free locals whose
+// declaration initializer the representative grammar can name. Shadowed
+// names are skipped entirely: L#fn#x does not distinguish two locals
+// both called x, so a substitution keyed on the name could pick the
+// wrong one.
+func (m *mustLock) buildSubst() {
+	info := m.rep.Info
+	for _, fn := range info.FuncList {
+		localCount := make(map[string]int)
+		var decls []*ast.DeclStmt
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			if ds, ok := n.(*ast.DeclStmt); ok {
+				if o := info.Objects[ds.Decl.ID()]; o != nil && o.Kind == types.ObjLocal {
+					localCount[o.Name]++
+					decls = append(decls, ds)
+				}
+			}
+			return true
+		})
+		for _, ds := range decls {
+			o := info.Objects[ds.Decl.ID()]
+			if o == nil || o.AddrTaken || ds.Decl.Init == nil || localCount[o.Name] != 1 {
+				continue
+			}
+			if m.writeCount(o) != 1 {
+				continue // reassigned somewhere: not single-assignment
+			}
+			v, ok := m.rep.LockRep(ds.Decl.Init, fn)
+			if !ok {
+				continue
+			}
+			key := "ld(L#" + fn.Name + "#" + o.Name + ")"
+			if v == key {
+				continue
+			}
+			m.subst[key] = v
+		}
+	}
+	for k := range m.subst {
+		m.substKeys = append(m.substKeys, k)
+	}
+	sort.Strings(m.substKeys)
+}
+
+// writeCount counts stores to a scalar object across the whole program
+// (the initializing declaration included).
+func (m *mustLock) writeCount(v *types.Object) int {
+	info := m.rep.Info
+	n := 0
+	ast.InspectFile(info.File, func(node ast.Node) bool {
+		switch s := node.(type) {
+		case *ast.DeclStmt:
+			if info.Objects[s.Decl.ID()] == v && s.Decl.Init != nil {
+				n++
+			}
+		case *ast.AssignStmt:
+			if id, ok := s.LHS.(*ast.Ident); ok && info.Uses[id.ID()] == v {
+				n++
+			}
+		case *ast.IncDecStmt:
+			if id, ok := s.X.(*ast.Ident); ok && info.Uses[id.ID()] == v {
+				n++
+			}
+		}
+		return true
+	})
+	return n
+}
+
+// sharpen rewrites local-alias loads to their initializer representatives,
+// to a fixpoint (chains like a = b, b = &g resolve in two rounds; the
+// declaration order of MiniC locals makes cycles impossible, the bound is
+// a belt-and-braces guard).
+func (m *mustLock) sharpen(l string) string {
+	for round := 0; round < 8; round++ {
+		out := l
+		for _, k := range m.substKeys {
+			out = strings.ReplaceAll(out, k, m.subst[k])
+		}
+		if out == l {
+			break
+		}
+		l = out
+	}
+	return l
+}
+
+// grounded reports whether a sharpened representative is a pure static
+// address path: rooted at a global, with no loads of mutable memory, no
+// parameter residue, and no per-instance local frames. Such a path names
+// the same concrete cell in every thread of every execution.
+func grounded(rep string) bool {
+	return strings.HasPrefix(rep, "G#") &&
+		!strings.Contains(rep, "ld(") &&
+		!strings.Contains(rep, "P@") &&
+		!strings.Contains(rep, "L#")
+}
+
+// protected decides the must-lock verdict for one pair: every root
+// combination RELAY's overapproximation admits for the two access nodes
+// must share a grounded key. No combination at all fails closed.
+func (m *mustLock) protected(p *relay.RacePair) bool {
+	as := m.byNode[p.A.Node]
+	bs := m.byNode[p.B.Node]
+	if len(as) == 0 || len(bs) == 0 {
+		return false
+	}
+	combos := 0
+	for _, ra := range as {
+		for _, rb := range bs {
+			if !ra.Acc.Write && !rb.Acc.Write {
+				continue
+			}
+			if ra.Acc.Node == rb.Acc.Node && ra.Root == rb.Root && !m.multi[ra.Root] {
+				continue
+			}
+			if !m.canRace(ra.Root, rb.Root) {
+				continue
+			}
+			combos++
+			if !m.commonGrounded(ra.Acc, rb.Acc) {
+				return false
+			}
+		}
+	}
+	return combos > 0
+}
+
+// canRace mirrors detectRaces' root filter: distinct roots may always
+// overlap; a root races itself only when several instances run.
+func (m *mustLock) canRace(r1, r2 *types.FuncInfo) bool {
+	if r1 != r2 {
+		return true
+	}
+	if r1.Name == "main" {
+		return false
+	}
+	return m.multi[r1]
+}
+
+func (m *mustLock) commonGrounded(a, b *relay.Access) bool {
+	ga := m.groundedSet(a)
+	if len(ga) == 0 {
+		return false
+	}
+	gb := m.groundedSet(b)
+	for _, k := range gb {
+		for _, j := range ga {
+			if k == j {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// groundedSet computes (and memoizes) the grounded keys an access's
+// absolute lockset holds after sharpening.
+func (m *mustLock) groundedSet(acc *relay.Access) []string {
+	if s, ok := m.groundedMemo[acc]; ok {
+		return s
+	}
+	var out []string
+	for _, l := range acc.Lockset {
+		if g := m.sharpen(l); grounded(g) {
+			out = append(out, g)
+		}
+	}
+	m.groundedMemo[acc] = out
+	return out
+}

@@ -755,6 +755,36 @@ func (a *Analysis) Escapes(o ObjID) bool {
 	return shared[o]
 }
 
+// SpawnArgPointees returns every object a spawn call's thread argument may
+// point to, deduplicated and sorted: the seeds through which memory
+// becomes reachable by a child thread. This is the same seed set Escapes
+// closes over; it is exported so whole-program sharing analyses
+// (internal/escape, the certifier's discharge check) can run the
+// reachability once instead of per object.
+func (a *Analysis) SpawnArgPointees() []ObjID {
+	seen := make(map[ObjID]bool)
+	var out []ObjID
+	for _, ic := range a.icalls {
+		if ic.isSpawn && len(ic.args) > 0 {
+			for _, p := range a.pts[ic.args[0]].sorted() {
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ContentsPointees returns the objects o's contents may point to — one
+// step of the heap-reachability relation Escapes closes over, in sorted
+// order.
+func (a *Analysis) ContentsPointees(o ObjID) []ObjID {
+	return a.pts[a.contents[o]].sorted()
+}
+
 // SteensClass returns the Steensgaard alias class of an object. Objects in
 // the same class may alias; the lockset analysis treats same-class
 // accesses as accesses to the same shared object.

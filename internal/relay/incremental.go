@@ -51,6 +51,11 @@ type IncrementalStats struct {
 	// replayed from the store (set by the core wiring, not here).
 	MHPFactsReused bool
 
+	// PrecisionFactsReused reports whether the precision-layer verdicts
+	// (escape/must-lock/read-only) were replayed from the store (set by
+	// the core wiring, not here).
+	PrecisionFactsReused bool
+
 	// Index is the content index of this parse, kept for artifact
 	// encoding/decoding by later stages. Its ProgramKey() addresses
 	// whole-program artifacts (MHP facts); it is computed on first use,

@@ -3,6 +3,7 @@ package relay
 import (
 	"sort"
 
+	"repro/internal/callgraph"
 	"repro/internal/minic/ast"
 	"repro/internal/minic/types"
 	"repro/internal/pointsto"
@@ -29,7 +30,7 @@ func (rl *analyzer) detectRaces() *Report {
 		acc  *Access
 	}
 
-	multi := rl.spawnMultiplicity()
+	multi := spawnMultiplicity(rl.info, rl.cg)
 
 	// Materialize accesses per thread root. At a root, entry holds no
 	// locks, so the absolute lockset is the access's plus set.
@@ -179,21 +180,23 @@ func (rl *analyzer) sharedWitness(a, b []pointsto.ObjID) bool {
 
 // spawnMultiplicity reports, per thread root, whether more than one
 // instance may run: either multiple spawn sites target it, or a spawn site
-// sits inside a loop.
-func (rl *analyzer) spawnMultiplicity() map[*types.FuncInfo]bool {
+// sits inside a loop. It is shared between race-pair generation and the
+// refinement passes (Report.MultiInstanceRoots), so both reason from the
+// same multiplicity facts.
+func spawnMultiplicity(info *types.Info, cg *callgraph.Graph) map[*types.FuncInfo]bool {
 	count := make(map[*types.FuncInfo]int)
 	inLoop := make(map[*types.FuncInfo]bool)
 
 	// Spawn edges from the call graph.
 	spawnSites := make(map[ast.NodeID][]*types.FuncInfo)
-	for _, e := range rl.cg.Edges {
+	for _, e := range cg.Edges {
 		if e.Spawn {
 			count[e.Callee]++
 			spawnSites[e.Site.ID()] = append(spawnSites[e.Site.ID()], e.Callee)
 		}
 	}
 	// Mark spawn sites inside loops.
-	for _, fn := range rl.info.FuncList {
+	for _, fn := range info.FuncList {
 		var loopDepth int
 		var walk func(s ast.Stmt)
 		walkExprs := func(n ast.Node) {

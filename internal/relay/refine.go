@@ -50,3 +50,20 @@ func (r *Report) RefineMHP(verdict func(*RacePair) (prune bool, reason string)) 
 	}
 	return out
 }
+
+// RefinePrecision is RefineMHP's composing sibling: it applies a further
+// discharge verdict to the surviving pairs of an already-refined report,
+// carrying the earlier passes' Pruned entries forward so the result holds
+// the complete provenance chain (reported → pruned-by-mhp → pruned-by-
+// escape/must-lock/read-only → instrumented). Calling it on an unrefined
+// report is equally valid — Pruned is then empty and only the precision
+// verdicts appear.
+func (r *Report) RefinePrecision(verdict func(*RacePair) (prune bool, reason string)) *Report {
+	out := r.RefineMHP(verdict)
+	if len(r.Pruned) > 0 {
+		carried := make([]PrunedPair, 0, len(r.Pruned)+len(out.Pruned))
+		carried = append(carried, r.Pruned...)
+		out.Pruned = append(carried, out.Pruned...)
+	}
+	return out
+}

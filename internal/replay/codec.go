@@ -192,8 +192,12 @@ const (
 
 // chunkTarget is the uncompressed payload size at which a pending chunk is
 // flushed. Small enough that a crash loses little, large enough that gzip
-// has context to work with.
-const chunkTarget = 32 << 10
+// has context to work with: each chunk restarts the deflate window, so a
+// 64 KiB payload lets the second half compress against a full 32 KiB of
+// history instead of a cold dictionary. Readers accept any chunk size up
+// to maxChunkLen, so this is a writer-side tuning knob, not a format
+// parameter.
+const chunkTarget = 64 << 10
 
 // maxChunkLen bounds the lengths a reader will believe, so a corrupt
 // header cannot demand an absurd allocation before the CRC is checked.
@@ -237,7 +241,12 @@ type StreamStats struct {
 // NewLogWriter returns a streaming writer over w.
 func NewLogWriter(w io.Writer) *LogWriter {
 	lw := &LogWriter{w: w}
-	lw.zw, _ = gzip.NewWriterLevel(&lw.zbuf, gzip.BestSpeed)
+	// Level 2, not BestSpeed: order records are fixed-width words with
+	// heavy cross-record redundancy, and the slightly deeper match
+	// search pays for itself several times over in wire bytes at nearly
+	// BestSpeed cost. Compression runs only on chunk flushes, off the
+	// record hot path.
+	lw.zw, _ = gzip.NewWriterLevel(&lw.zbuf, 2)
 	return lw
 }
 

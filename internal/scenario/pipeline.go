@@ -32,6 +32,10 @@ type Result struct {
 	KeptPairs   int // pairs surviving the MHP refinement
 	WeakLocks   int // weak-lock table entries after instrumentation
 
+	// Precision-layer volume (stage 10).
+	PrecisionKept   int // pairs surviving MHP + the precision layer
+	PrecisionPruned int // pairs the precision layer discharged beyond MHP
+
 	// OriginalRaces is the agreed epoch∧vector dynamic race count on the
 	// original (uninstrumented) program's differential run.
 	OriginalRaces int
@@ -77,6 +81,11 @@ func (s Spec) world() *oskit.World { return oskit.NewWorld(s.Seed ^ 0x5eed5eed5e
 //     program's event stream must be identical
 //  9. clean        both checkers on the instrumented stream must agree
 //     on zero races under the extended sync set
+//  10. precision   the precision-refined report (internal/escape over
+//     MHP) partitions the pair set, certifies clean including the
+//     discharge check, records, replays bit-identically under a
+//     different seed, shows zero agreed checker races, and replays
+//     byte-identically from stored facts on a warm reload
 //
 // Any divergence fails with the stage name and a reproducible spec.
 func RunPipeline(spec Spec) *Result {
@@ -184,6 +193,65 @@ func RunPipeline(spec Spec) *Result {
 		return res.fail("clean", fmt.Errorf("instrumented program raced %d time(s) under the extended sync set: %v", n, ep2.Races()))
 	}
 	res.pass("clean")
+
+	// Precision: the precision-refined program re-runs the gauntlet. The
+	// refined report must partition the original pair set, earn a clean
+	// certificate including the discharge check, record and replay
+	// bit-identically, stay race-free under both checkers, and reproduce
+	// byte-identically from facts memoized in the summary store.
+	prec := fresh.PrecisionRaces()
+	if len(prec.Pairs)+len(prec.Pruned) != res.StaticPairs {
+		return res.fail("precision", fmt.Errorf("refined report does not partition the pair set: %d kept + %d pruned != %d static",
+			len(prec.Pairs), len(prec.Pruned), res.StaticPairs))
+	}
+	res.PrecisionKept = len(prec.Pairs)
+	res.PrecisionPruned = len(prec.Pruned) - len(refined.Pruned)
+	ipp, err := fresh.InstrumentWith(prec, nil, instrument.AllOptions())
+	if err != nil {
+		return res.fail("precision", err)
+	}
+	pcert, _, err := ipp.Certify(Config + "+precision")
+	if err != nil {
+		return res.fail("precision", err)
+	}
+	if !pcert.OK {
+		return res.fail("precision", fmt.Errorf("certificate not clean: %s", pcert.Summary()))
+	}
+	precRec, precLog := ipp.Record(core.RunConfig{World: spec.world(), Seed: spec.recSeed(), Table: ipp.Table})
+	if precRec.Err != nil {
+		return res.fail("precision", precRec.Err)
+	}
+	precRep, err := ipp.Replay(precLog, core.RunConfig{World: spec.world(), Seed: spec.repSeed(), Table: ipp.Table})
+	if err != nil {
+		return res.fail("precision", err)
+	}
+	if precRep.Hash64() != precRec.Hash64() {
+		return res.fail("precision", fmt.Errorf("replay diverged: recorded %x, replayed %x\nrecorded output: %q\nreplayed output: %q",
+			precRec.Hash64(), precRep.Hash64(), precRec.Output, precRep.Output))
+	}
+	ep3, vc3 := trace.NewChecker(0), trace.NewVectorChecker(0)
+	r3 := core.CheckDynamicRacesWith(ipp.Prog, ipp.Table, core.RunConfig{World: spec.world(), Seed: spec.recSeed()}, ep3, vc3)
+	if r3.Err != nil {
+		return res.fail("precision", r3.Err)
+	}
+	if !trace.SameVerdicts(ep3.Races(), vc3.Races()) {
+		return res.fail("precision", fmt.Errorf("epoch and vector verdicts diverged on the precision-instrumented program\nepoch:  %v\nvector: %v", ep3.Races(), vc3.Races()))
+	}
+	if n := len(ep3.Races()); n != 0 {
+		return res.fail("precision", fmt.Errorf("precision-instrumented program raced %d time(s) under the extended sync set: %v", n, ep3.Races()))
+	}
+	// Store-fact replay: computing precision on the cold load memoizes the
+	// verdicts; the warm load must replay them to a byte-identical report.
+	if got, want := cold.PrecisionRaces().Render(), prec.Render(); got != want {
+		return res.fail("precision", fmt.Errorf("cold precision report diverged from fresh\n--- incremental ---\n%s--- fresh ---\n%s", got, want))
+	}
+	if got, want := warm.PrecisionRaces().Render(), prec.Render(); got != want {
+		return res.fail("precision", fmt.Errorf("warm precision report diverged from fresh\n--- incremental ---\n%s--- fresh ---\n%s", got, want))
+	}
+	if warm.Incremental == nil || !warm.Incremental.PrecisionFactsReused {
+		return res.fail("precision", fmt.Errorf("warm reload did not replay precision facts from the store"))
+	}
+	res.pass("precision")
 	return res
 }
 

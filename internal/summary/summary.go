@@ -41,6 +41,21 @@ type Key [sha256.Size]byte
 // String renders the key in hex for logs and stats.
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
+// DeriveKey returns a distinct key deterministically derived from k and a
+// label. Refinement layers store their whole-program facts under derived
+// keys (e.g. "precision", "precision+mhp") so new fact kinds never
+// collide with — or change a single byte of — the function summaries and
+// MHP facts already stored under the original keys.
+func DeriveKey(k Key, label string) Key {
+	h := sha256.New()
+	h.Write(k[:])
+	h.Write([]byte{0})
+	h.Write([]byte(label))
+	var out Key
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
 // FuncAccess is one portable summary access: the parse-independent image
 // of relay's summaryAccess. Node and Stmt are pre-order ordinals within
 // Fn's declaration; Objs are canonical abstract-object keys; Plus/Minus
