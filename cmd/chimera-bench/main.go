@@ -53,9 +53,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/bench"
 	"repro/internal/bench/harness"
-	"repro/internal/scenario"
 )
 
 func main() {
@@ -101,16 +99,16 @@ func main() {
 		fmt.Println(harness.RenderIncremental(ib))
 	}
 
-	want := workload{
-		table1: *all || *table == "1",
-		table2: *all || *table == "2",
-		fig5:   *all || *figure == "5",
-		fig6:   *all || *figure == "6",
-		fig7:   *all || *figure == "7",
-		fig8:   *all || *figure == "8",
-		sens:   *all || *figure == "sens",
-		mhp:    *all || *figure == "mhp",
-		json:   *jsonPath != "",
+	want := harness.Workload{
+		Table1: *all || *table == "1",
+		Table2: *all || *table == "2",
+		Fig5:   *all || *figure == "5",
+		Fig6:   *all || *figure == "6",
+		Fig7:   *all || *figure == "7",
+		Fig8:   *all || *figure == "8",
+		Sens:   *all || *figure == "sens",
+		MHP:    *all || *figure == "mhp",
+		JSON:   *jsonPath != "",
 	}
 
 	start := time.Now()
@@ -119,13 +117,13 @@ func main() {
 	// table/figure/-all request still measures the embedded benchmarks.
 	if *all || *table != "" || *figure != "" || (*jsonPath != "" && *scenList == "") {
 		var err error
-		entries, err = run(cfg, names, want, os.Stdout)
+		entries, err = harness.RunWorkload(cfg, names, want, os.Stdout, os.Stderr)
 		if err != nil {
 			fatal(err)
 		}
 	}
 	if *scenList != "" {
-		scen, err := runScenarios(cfg, *scenList, os.Stdout)
+		scen, err := harness.RunScenarios(cfg, *scenList, os.Stdout, os.Stderr)
 		if err != nil {
 			fatal(err)
 		}
@@ -148,7 +146,7 @@ func main() {
 			seqCfg.Parallel = 1
 			seqCfg.NoCache = true
 			seqStart := time.Now()
-			if _, err := run(seqCfg, names, want, io.Discard); err != nil {
+			if _, err := harness.RunWorkload(seqCfg, names, want, io.Discard, os.Stderr); err != nil {
 				fatal(fmt.Errorf("baseline run: %w", err))
 			}
 			rep.BaselineWallNS = time.Since(seqStart).Nanoseconds()
@@ -167,124 +165,6 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "wrote", *jsonPath)
 	}
-}
-
-// workload is the set of outputs one invocation regenerates.
-type workload struct {
-	table1, table2               bool
-	fig5, fig6, fig7, fig8, sens bool
-	mhp, json                    bool
-}
-
-// run prepares a suite and renders every requested output to w, returning
-// the machine-readable entries when the JSON export was requested.
-func run(cfg harness.Config, names []string, want workload, w io.Writer) ([]harness.JSONEntry, error) {
-	fmt.Fprintln(os.Stderr, "preparing benchmarks (analyze + profile + instrument)...")
-	s, err := harness.NewSuite(cfg, names...)
-	if err != nil {
-		return nil, err
-	}
-
-	if want.table1 {
-		fmt.Fprintln(w, s.Table1())
-	}
-	if want.table2 {
-		_, out, err := s.Table2()
-		if err != nil {
-			return nil, err
-		}
-		fmt.Fprintln(w, out)
-	}
-	if want.fig5 {
-		_, out, err := s.Figure5()
-		if err != nil {
-			return nil, err
-		}
-		fmt.Fprintln(w, out)
-	}
-	if want.fig6 {
-		_, out, err := s.Figure6()
-		if err != nil {
-			return nil, err
-		}
-		fmt.Fprintln(w, out)
-	}
-	if want.fig7 {
-		_, out, err := s.Figure7()
-		if err != nil {
-			return nil, err
-		}
-		fmt.Fprintln(w, out)
-	}
-	if want.fig8 {
-		_, out, err := s.Figure8(nil)
-		if err != nil {
-			return nil, err
-		}
-		fmt.Fprintln(w, out)
-	}
-	if want.sens {
-		sensNames := names
-		if len(sensNames) == 0 {
-			sensNames = []string{"pfscan", "water"}
-		}
-		_, out, err := harness.ProfileSensitivity(sensNames, 10)
-		if err != nil {
-			return nil, err
-		}
-		fmt.Fprintln(w, out)
-	}
-	if want.mhp {
-		_, out, err := s.FigureMHP()
-		if err != nil {
-			return nil, err
-		}
-		fmt.Fprintln(w, out)
-	}
-	if want.json {
-		return s.MeasureJSON(harness.MHPConfigNames)
-	}
-	return nil, nil
-}
-
-// runScenarios measures generated scenario workloads through the full
-// harness (MHP opt sets), printing a per-row summary and returning the
-// JSON entries. The rows carry the same metrics block as the embedded
-// benchmarks; the CI soundness gate asserts certified / replay_matches /
-// checkers_agree / checker_races on them.
-func runScenarios(cfg harness.Config, specText string, w io.Writer) ([]harness.JSONEntry, error) {
-	specs, err := scenario.ParseList(specText)
-	if err != nil {
-		return nil, err
-	}
-	list := make([]*bench.Benchmark, len(specs))
-	for i, sp := range specs {
-		if list[i], err = scenario.ToBenchmark(sp); err != nil {
-			return nil, err
-		}
-	}
-	fmt.Fprintf(os.Stderr, "preparing %d generated scenario(s) (analyze + profile + instrument)...\n", len(list))
-	s, err := harness.NewSuiteOf(cfg, list)
-	if err != nil {
-		return nil, err
-	}
-	entries, err := s.MeasureJSON(harness.MHPConfigNames)
-	if err != nil {
-		return nil, err
-	}
-	fmt.Fprintln(w, "Generated scenarios (all+mhp column):")
-	fmt.Fprintf(w, "%-28s %6s %6s %6s | %7s %5s %5s %6s %6s\n",
-		"scenario", "pairs", "kept", "wl", "rec.ovh", "cert", "rep?", "races", "agree")
-	for _, e := range entries {
-		if e.Config != "all+mhp" {
-			continue
-		}
-		fmt.Fprintf(w, "%-28s %6d %6d %6d | %7.2f %5v %5v %6d %6v\n",
-			e.Bench, e.StaticPairs, e.InstrumentedPairs, e.WeakLocks,
-			e.RecordOverhead, e.Certified, e.ReplayMatches, e.CheckerRaces, e.CheckersAgree)
-	}
-	fmt.Fprintln(w)
-	return entries, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,107 @@
+// Command chimerad serves the Chimera pipeline as a sharded,
+// multi-tenant HTTP job service (internal/service): submit analyze,
+// record, replay-verify, or gen-pipeline jobs; poll or long-poll
+// results; stream CHIMLOG2 logs in and out; scrape per-tenant cache
+// metrics at /metrics. Every analyze verdict is byte-identical to the
+// offline `racecheck` CLI on the same request — both front ends execute
+// the single service.RunRequest path.
+//
+// On SIGTERM/SIGINT the server drains gracefully: admission stops
+// (submissions get 503), in-flight jobs run to completion bounded by
+// -job-timeout, and the process exits once the queues are empty or
+// -drain-timeout expires.
+//
+// Usage:
+//
+//	chimerad                                  # listen on localhost:8377
+//	chimerad -addr :9000 -shards 8            # wider pool on all interfaces
+//	chimerad -spool /var/tmp/chimera          # keep CHIMLOG2 spools here
+//	racecheck -server http://localhost:8377 -mhp prog.mc
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr         = flag.String("addr", "localhost:8377", "listen address")
+		shards       = flag.Int("shards", runtime.NumCPU(), "worker shard count (jobs route by spec hash)")
+		depth        = flag.Int("depth", 256, "per-shard queue capacity")
+		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "per-job execution bound")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound on SIGTERM")
+		spool        = flag.String("spool", "", "CHIMLOG2 spool directory (default: a fresh temp dir, removed on exit)")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		return service.ExitUsage
+	}
+
+	dir := *spool
+	if dir == "" {
+		d, err := os.MkdirTemp("", "chimerad-spool-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chimerad:", err)
+			return service.ExitFailure
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+
+	eng := service.NewEngine(service.EngineConfig{
+		Shards:     *shards,
+		Depth:      *depth,
+		SpoolDir:   dir,
+		JobTimeout: *jobTimeout,
+	})
+	srv := &http.Server{Handler: service.NewServer(eng)}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chimerad:", err)
+		return service.ExitFailure
+	}
+	// The listening line is the readiness signal scripts wait for.
+	fmt.Printf("chimerad: listening on http://%s (shards=%d, depth=%d, spool=%s)\n",
+		ln.Addr(), *shards, *depth, dir)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "chimerad: %v: draining (timeout %s)...\n", s, *drainTimeout)
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "chimerad: serve:", err)
+		return service.ExitFailure
+	}
+
+	drained := eng.Drain(*drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	if !drained {
+		fmt.Fprintln(os.Stderr, "chimerad: drain timed out; abandoning queued jobs")
+		return service.ExitFailure
+	}
+	fmt.Fprintln(os.Stderr, "chimerad: drained cleanly")
+	return service.ExitOK
+}

@@ -8,6 +8,8 @@
 // Usage:
 //
 //	logstat [-json] file.clog
+//	logstat -json -        # read the stream from stdin, e.g. piped out of
+//	                       # a chimerad job: curl .../v1/jobs/ID/log | logstat -
 package main
 
 import (
@@ -22,16 +24,16 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run(args []string, out, errOut io.Writer) int {
+func run(args []string, in io.Reader, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("logstat", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	jsonOut := fs.Bool("json", false, "emit the breakdown as JSON")
 	chunks := fs.Bool("chunks", false, "also list every chunk (text mode)")
 	fs.Usage = func() {
-		fmt.Fprintf(errOut, "usage: logstat [-json] [-chunks] file.clog\n")
+		fmt.Fprintf(errOut, "usage: logstat [-json] [-chunks] file.clog  (\"-\" reads stdin)\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -42,13 +44,20 @@ func run(args []string, out, errOut io.Writer) int {
 		return 2
 	}
 	path := fs.Arg(0)
-	f, err := os.Open(path)
-	if err != nil {
-		fmt.Fprintf(errOut, "logstat: %v\n", err)
-		return 1
+	var src io.Reader
+	if path == "-" {
+		src = in
+		path = "<stdin>"
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(errOut, "logstat: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		src = f
 	}
-	defer f.Close()
-	info, err := replay.Stat(f)
+	info, err := replay.Stat(src)
 	if err != nil {
 		fmt.Fprintf(errOut, "logstat: %s: %v\n", path, err)
 		return 1

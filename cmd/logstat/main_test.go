@@ -58,7 +58,7 @@ func TestGolden(t *testing.T) {
 		writeFixture(t, clog)
 	}
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-chunks", clog}, &out, &errOut); code != 0 {
+	if code := run([]string{"-chunks", clog}, nil, &out, &errOut); code != 0 {
 		t.Fatalf("run = %d, stderr: %s", code, errOut.String())
 	}
 	if *update {
@@ -77,7 +77,7 @@ func TestGolden(t *testing.T) {
 
 func TestJSONOutput(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-json", filepath.Join("testdata", "sample.clog")}, &out, &errOut); code != 0 {
+	if code := run([]string{"-json", filepath.Join("testdata", "sample.clog")}, nil, &out, &errOut); code != 0 {
 		t.Fatalf("run = %d, stderr: %s", code, errOut.String())
 	}
 	for _, want := range []string{
@@ -89,13 +89,45 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
+// TestStdin pipes the checked-in fixture through "-" and requires output
+// byte-identical to reading the same file by path — the regression test
+// for inspecting CHIMLOG2 streams piped out of the service
+// (curl .../v1/jobs/ID/log | logstat -).
+func TestStdin(t *testing.T) {
+	clog := filepath.Join("testdata", "sample.clog")
+	data, err := os.ReadFile(clog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range [][]string{{"-chunks"}, {"-json"}} {
+		var fromFile, fromStdin, errOut bytes.Buffer
+		if code := run(append(mode, clog), nil, &fromFile, &errOut); code != 0 {
+			t.Fatalf("%v %s: run = %d, stderr: %s", mode, clog, code, errOut.String())
+		}
+		if code := run(append(mode, "-"), bytes.NewReader(data), &fromStdin, &errOut); code != 0 {
+			t.Fatalf("%v -: run = %d, stderr: %s", mode, code, errOut.String())
+		}
+		if !bytes.Equal(fromFile.Bytes(), fromStdin.Bytes()) {
+			t.Errorf("%v: stdin output differs from file output:\n--- file ---\n%s\n--- stdin ---\n%s",
+				mode, fromFile.Bytes(), fromStdin.Bytes())
+		}
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-"}, strings.NewReader("NOTALOG!"), &out, &errOut); code != 1 {
+		t.Errorf("corrupt stdin: code = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "<stdin>") {
+		t.Errorf("corrupt stdin: stderr = %q, want the <stdin> pseudo-path", errOut.String())
+	}
+}
+
 func TestErrors(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run(nil, &out, &errOut); code != 2 {
+	if code := run(nil, nil, &out, &errOut); code != 2 {
 		t.Errorf("no args: code = %d, want 2", code)
 	}
 	errOut.Reset()
-	if code := run([]string{filepath.Join(t.TempDir(), "missing.clog")}, &out, &errOut); code != 1 {
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.clog")}, nil, &out, &errOut); code != 1 {
 		t.Errorf("missing file: code = %d, want 1", code)
 	}
 	bad := filepath.Join(t.TempDir(), "bad.clog")
@@ -103,7 +135,7 @@ func TestErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	errOut.Reset()
-	if code := run([]string{bad}, &out, &errOut); code != 1 {
+	if code := run([]string{bad}, nil, &out, &errOut); code != 1 {
 		t.Errorf("corrupt file: code = %d, want 1", code)
 	}
 	if !strings.Contains(errOut.String(), "not a chimera log") {

@@ -8,6 +8,13 @@
 // printing the certificate verdict and exiting nonzero unless coverage,
 // balance and lock-order checks all pass.
 //
+// The entire pipeline lives in internal/service; this command parses
+// flags into a service.Request and runs it in process — or, with
+// -server, ships it to a chimerad instance, whose verdict is
+// byte-identical by construction (the server executes the same
+// service.RunRequest). Exit codes are the service.Exit* table,
+// documented in the README.
+//
 // Usage:
 //
 //	racecheck prog.mc
@@ -61,759 +68,59 @@
 //	                        # epoch==vector verdicts); -v prints the source.
 //	                        # This is the one-shot repro for a failing
 //	                        # generated spec.
+//	racecheck -server http://localhost:8377 -tenant alice -mhp prog.mc
+//	                        # run the same request on a chimerad server
+//	                        # under the "alice" tenant namespace; stdout,
+//	                        # stderr and the exit code are byte-identical
+//	                        # to the offline invocation
 package main
 
 import (
 	"flag"
-	"fmt"
 	"io"
 	"os"
-	"path/filepath"
-	"sort"
-	"strings"
-	"time"
 
-	"repro/internal/bench"
-	"repro/internal/bench/harness"
-	"repro/internal/callgraph"
-	"repro/internal/certify"
-	"repro/internal/cfg"
-	"repro/internal/core"
-	"repro/internal/escape"
-	"repro/internal/instrument"
-	"repro/internal/mhp"
-	"repro/internal/minic/ast"
-	"repro/internal/minic/parser"
-	"repro/internal/minic/types"
-	"repro/internal/oskit"
-	"repro/internal/pointsto"
-	"repro/internal/relay"
-	"repro/internal/scenario"
-	"repro/internal/summary"
-	"repro/internal/trace"
+	"repro/internal/service"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// optionsFor maps a configuration name (without the "+mhp" suffix) to
-// instrumenter options; it mirrors the bench harness's configuration
-// vocabulary.
-func optionsFor(name string) (instrument.Options, bool) {
-	switch name {
-	case "instr":
-		return instrument.NaiveOptions(), true
-	case "instr+func":
-		return instrument.Options{FuncLocks: true}, true
-	case "instr+loop":
-		return instrument.Options{LoopLocks: true, LoopBodyThreshold: 14}, true
-	case "all":
-		return instrument.AllOptions(), true
-	}
-	return instrument.Options{}, false
-}
-
 func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("racecheck", flag.ContinueOnError)
 	fs.SetOutput(errOut)
-	verbose := fs.Bool("v", false, "verbose: list racy nodes and locksets")
-	showCFG := fs.Bool("cfg", false, "print each racy function's control-flow graph")
-	useMHP := fs.Bool("mhp", false, "apply the static may-happen-in-parallel refinement")
-	usePrecision := fs.Bool("precision", false, "apply the static precision layer (thread-escape, must-lockset sharpening, read-only sharing)")
-	showPairs := fs.Bool("pairs", false, "print the per-pair provenance table (reported → pruned-by-* → instrumented) under the full refinement chain")
-	parallel := fs.Int("parallel", 1, "worker count for the summary computation (1 = sequential)")
-	doCertify := fs.Bool("certify", false, "instrument and run the static DRF/deadlock-freedom certifier")
-	config := fs.String("config", "all", "instrumentation config for -certify: instr, instr+func, instr+loop, all")
-	certOut := fs.String("certout", "", "directory to write certificate JSON files to (with -certify)")
-	instrumented := fs.String("instrumented", "", "pre-instrumented source to certify against the original's report (with -certify)")
-	benchName := fs.String("bench", "", "an embedded benchmark by name, or \"all\" (with -certify or -dynamic)")
-	dynamic := fs.Bool("dynamic", false, "run the program and report dynamic races from the event-sink checker")
-	checker := fs.String("checker", "epoch", "dynamic race checker for -dynamic: epoch, vector, or both")
-	seed := fs.Uint64("seed", 1, "schedule seed for -dynamic runs")
-	tracePath := fs.String("trace", "", "write a Chrome/Perfetto trace of the observed pipeline to this file (with -dynamic)")
-	metricsPath := fs.String("metrics", "", "write the observability metrics report (JSON) to this file (with -dynamic)")
-	incremental := fs.Bool("incremental", false, "run the static analysis through the summary-store-backed incremental engine")
-	batchDir := fs.String("batch", "", "analyze every *.mc file in this directory through one shared summary store")
-	summaryStats := fs.Bool("summary-stats", false, "print summary-store and dirty-cone statistics (with -incremental or -batch)")
-	genSpec := fs.String("gen", "", "generate the scenario program for a spec (family:seed:size) and run the full soundness pipeline on it")
+	req := service.NewRequest()
+	fs.BoolVar(&req.Verbose, "v", false, "verbose: list racy nodes and locksets")
+	fs.BoolVar(&req.ShowCFG, "cfg", false, "print each racy function's control-flow graph")
+	fs.BoolVar(&req.MHP, "mhp", false, "apply the static may-happen-in-parallel refinement")
+	fs.BoolVar(&req.Precision, "precision", false, "apply the static precision layer (thread-escape, must-lockset sharpening, read-only sharing)")
+	fs.BoolVar(&req.Pairs, "pairs", false, "print the per-pair provenance table (reported → pruned-by-* → instrumented) under the full refinement chain")
+	fs.IntVar(&req.Parallel, "parallel", 1, "worker count for the summary computation (1 = sequential)")
+	fs.BoolVar(&req.Certify, "certify", false, "instrument and run the static DRF/deadlock-freedom certifier")
+	fs.StringVar(&req.Config, "config", "all", "instrumentation config for -certify: instr, instr+func, instr+loop, all")
+	fs.StringVar(&req.CertOut, "certout", "", "directory to write certificate JSON files to (with -certify)")
+	fs.StringVar(&req.Instrumented, "instrumented", "", "pre-instrumented source to certify against the original's report (with -certify)")
+	fs.StringVar(&req.Bench, "bench", "", "an embedded benchmark by name, or \"all\" (with -certify or -dynamic)")
+	fs.BoolVar(&req.Dynamic, "dynamic", false, "run the program and report dynamic races from the event-sink checker")
+	fs.StringVar(&req.Checker, "checker", "epoch", "dynamic race checker for -dynamic: epoch, vector, or both")
+	fs.Uint64Var(&req.Seed, "seed", 1, "schedule seed for -dynamic runs")
+	fs.StringVar(&req.TracePath, "trace", "", "write a Chrome/Perfetto trace of the observed pipeline to this file (with -dynamic)")
+	fs.StringVar(&req.MetricsPath, "metrics", "", "write the observability metrics report (JSON) to this file (with -dynamic)")
+	fs.BoolVar(&req.Incremental, "incremental", false, "run the static analysis through the summary-store-backed incremental engine")
+	fs.StringVar(&req.BatchDir, "batch", "", "analyze every *.mc file in this directory through one shared summary store")
+	fs.BoolVar(&req.SummaryStats, "summary-stats", false, "print summary-store and dirty-cone statistics (with -incremental or -batch)")
+	fs.StringVar(&req.Gen, "gen", "", "generate the scenario program for a spec (family:seed:size) and run the full soundness pipeline on it")
+	server := fs.String("server", "", "chimerad base URL: execute the request remotely (verdict byte-identical to offline)")
+	tenant := fs.String("tenant", "", "tenant namespace for -server submissions (shared caches are per-tenant)")
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return service.ExitUsage
 	}
+	req.Args = fs.Args()
+	req.Usage = fs.Usage
 
-	if *genSpec != "" {
-		if *dynamic || *doCertify || *batchDir != "" || *benchName != "" || fs.NArg() != 0 {
-			fmt.Fprintln(errOut, "racecheck: -gen takes a spec and combines only with -v")
-			return 2
-		}
-		return runGen(*genSpec, *verbose, out, errOut)
+	if *server != "" {
+		return service.RemoteRun(*server, *tenant, req, out, errOut)
 	}
-
-	if *batchDir != "" {
-		if *dynamic || *doCertify || *benchName != "" || fs.NArg() != 0 {
-			fmt.Fprintln(errOut, "racecheck: -batch takes a directory and combines only with -mhp, -parallel, and -summary-stats")
-			return 2
-		}
-		return runBatch(*batchDir, *parallel, *useMHP, *summaryStats, out, errOut)
-	}
-	if *summaryStats && !*incremental {
-		fmt.Fprintln(errOut, "racecheck: -summary-stats requires -incremental or -batch")
-		return 2
-	}
-
-	if *tracePath != "" || *metricsPath != "" {
-		if !*dynamic {
-			fmt.Fprintln(errOut, "racecheck: -trace/-metrics require -dynamic")
-			return 2
-		}
-		return runObserved(fs, *benchName, *checker, *seed, *config, *useMHP, *parallel,
-			*tracePath, *metricsPath, out, errOut)
-	}
-
-	if *dynamic {
-		if *benchName != "" {
-			if fs.NArg() != 0 {
-				fs.Usage()
-				return 2
-			}
-			return runDynamicBench(*benchName, *checker, *seed, out, errOut)
-		}
-		if fs.NArg() != 1 {
-			fs.Usage()
-			return 2
-		}
-		src, err := os.ReadFile(fs.Arg(0))
-		if err != nil {
-			fmt.Fprintln(errOut, "racecheck:", err)
-			return 1
-		}
-		name := strings.TrimSuffix(filepath.Base(fs.Arg(0)), filepath.Ext(fs.Arg(0)))
-		prog, err := core.Load(name, string(src))
-		if err != nil {
-			fmt.Fprintln(errOut, "racecheck:", err)
-			return 1
-		}
-		return runDynamic(name, prog, oskit.NewWorld(*seed), *seed, *checker, out, errOut)
-	}
-
-	opts, okConfig := optionsFor(*config)
-	if *doCertify && !okConfig {
-		fmt.Fprintf(errOut, "racecheck: unknown -config %q\n", *config)
-		return 2
-	}
-	label := *config
-	if *useMHP {
-		label += "+mhp"
-	}
-	if *usePrecision {
-		label += "+precision"
-	}
-
-	if *benchName != "" {
-		if !*doCertify || fs.NArg() != 0 || *instrumented != "" {
-			fs.Usage()
-			return 2
-		}
-		return runBench(*benchName, label, opts, *useMHP, *usePrecision, *certOut, out, errOut)
-	}
-
-	if fs.NArg() != 1 {
-		fs.Usage()
-		return 2
-	}
-	src, err := os.ReadFile(fs.Arg(0))
-	if err != nil {
-		fmt.Fprintln(errOut, "racecheck:", err)
-		return 1
-	}
-	file, err := parser.Parse(fs.Arg(0), string(src))
-	if err != nil {
-		fmt.Fprintln(errOut, "racecheck:", err)
-		return 1
-	}
-	info, err := types.Check(file)
-	if err != nil {
-		fmt.Fprintln(errOut, "racecheck:", err)
-		return 1
-	}
-	var rep *relay.Report
-	var incStats *relay.IncrementalStats
-	var store *summary.Store
-	if *incremental {
-		store = summary.NewStore()
-		pta := pointsto.Analyze(info)
-		cg := callgraph.Build(info, pta)
-		rep, incStats = relay.AnalyzeIncremental(info, pta, cg, *parallel, store)
-	} else {
-		rep = relay.AnalyzeProgramParallel(info, *parallel)
-	}
-	if *showPairs {
-		printPairProvenance(fs.Arg(0), rep, out)
-		return 0
-	}
-	if *useMHP {
-		refined := mhp.Refine(rep)
-		fmt.Fprintf(out, "%s: %d potential race pairs, MHP kept %d, pruned %d\n",
-			fs.Arg(0), len(rep.Pairs), len(refined.Pairs), len(refined.Pruned))
-		pruned := append([]relay.PrunedPair(nil), refined.Pruned...)
-		sort.SliceStable(pruned, func(i, j int) bool {
-			return pairLess(pruned[i].Pair, pruned[j].Pair)
-		})
-		for _, pp := range pruned {
-			fmt.Fprintf(out, "  pruned: %-13s %s\n", pp.Reason, pairString(pp.Pair))
-		}
-		rep = refined
-	}
-	if *usePrecision {
-		prior := len(rep.Pruned)
-		refined := escape.Refine(rep)
-		fmt.Fprintf(out, "%s: precision kept %d, discharged %d\n",
-			fs.Arg(0), len(refined.Pairs), len(refined.Pruned)-prior)
-		// RefinePrecision carries prior prunes first, so the tail is ours.
-		pruned := append([]relay.PrunedPair(nil), refined.Pruned[prior:]...)
-		sort.SliceStable(pruned, func(i, j int) bool {
-			return pairLess(pruned[i].Pair, pruned[j].Pair)
-		})
-		for _, pp := range pruned {
-			fmt.Fprintf(out, "  discharged: %-9s %s\n", pp.Reason, pairString(pp.Pair))
-		}
-		rep = refined
-	}
-
-	fmt.Fprintf(out, "%s: %d potential race pairs, %d racy nodes, %d racy functions\n",
-		fs.Arg(0), len(rep.Pairs), len(rep.RacyNodes), len(rep.RacyFuncs))
-
-	pairsByFn := make(map[string]int)
-	for _, p := range rep.Pairs {
-		fp := p.FnPair()
-		pairsByFn[fp[0]+" <-> "+fp[1]]++
-	}
-	var keys []string
-	for k := range pairsByFn {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	fmt.Fprintln(out, "racy function pairs:")
-	for _, k := range keys {
-		fmt.Fprintf(out, "  %-40s %d race pair(s)\n", k, pairsByFn[k])
-	}
-
-	if *verbose {
-		pairs := append([]*relay.RacePair(nil), rep.Pairs...)
-		sort.SliceStable(pairs, func(i, j int) bool { return pairLess(pairs[i], pairs[j]) })
-		fmt.Fprintln(out, "race pairs:")
-		for _, p := range pairs {
-			fmt.Fprintf(out, "  %s\n", pairString(p))
-		}
-	}
-
-	if *showCFG {
-		var names []string
-		for fn := range rep.RacyFuncs {
-			names = append(names, fn.Name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			fn := info.Funcs[name]
-			g := cfg.Build(fn.Decl)
-			fmt.Fprint(out, g.String())
-			loops := g.NaturalLoops()
-			fmt.Fprintf(out, "  %d natural loop(s)\n", len(loops))
-		}
-	}
-
-	if *summaryStats && incStats != nil {
-		fmt.Fprintf(out, "incremental: %d function(s), %d reused, %d recomputed, %d dirty SCC(s), %d unkeyable\n",
-			incStats.TotalFuncs, incStats.ReusedFuncs, incStats.RecomputedFuncs,
-			incStats.DirtySCCs, len(incStats.Unkeyable))
-		printSummaryStats(nil, store, out)
-	}
-
-	if !*doCertify {
-		return 0
-	}
-
-	// Certification: validate the instrumented output (either freshly
-	// produced here, or a pre-instrumented file given explicitly)
-	// against the report computed above.
-	name := strings.TrimSuffix(filepath.Base(fs.Arg(0)), filepath.Ext(fs.Arg(0)))
-	var instSrc string
-	if *instrumented != "" {
-		b, err := os.ReadFile(*instrumented)
-		if err != nil {
-			fmt.Fprintln(errOut, "racecheck:", err)
-			return 1
-		}
-		instSrc = string(b)
-	} else {
-		res, err := instrument.Instrument(rep, nil, opts)
-		if err != nil {
-			fmt.Fprintln(errOut, "racecheck: instrument:", err)
-			return 1
-		}
-		instSrc = res.Source
-	}
-	cert, err := certify.Certify(rep, instSrc, name, label)
-	if err != nil {
-		fmt.Fprintln(errOut, "racecheck: certify:", err)
-		return 1
-	}
-	return reportCert(cert, *certOut, out, errOut)
-}
-
-// runBatch analyzes every *.mc file under dir (sorted by name) through
-// one incremental cache sharing a single summary store, so functions
-// repeated across the corpus — identical files, shared library code,
-// copies with local edits — are summarized once and reused. Per file it
-// prints the race-pair count and how much of the RELAY walk was reused.
-func runBatch(dir string, workers int, useMHP, showStats bool, out, errOut io.Writer) int {
-	// An unusable corpus directory is its own failure class (exit 4),
-	// distinct from per-file analysis failures (exit 1) and usage errors
-	// (exit 2), so scripts can tell "the corpus is missing" from "the
-	// corpus has a broken file".
-	info, err := os.Stat(dir)
-	switch {
-	case err != nil:
-		fmt.Fprintf(errOut, "racecheck: -batch directory %s does not exist: %v\n", dir, err)
-		return 4
-	case !info.IsDir():
-		fmt.Fprintf(errOut, "racecheck: -batch target %s is not a directory\n", dir)
-		return 4
-	}
-	paths, err := filepath.Glob(filepath.Join(dir, "*.mc"))
-	if err != nil {
-		fmt.Fprintln(errOut, "racecheck:", err)
-		return 2
-	}
-	if len(paths) == 0 {
-		fmt.Fprintf(errOut, "racecheck: -batch directory %s contains no *.mc files\n", dir)
-		return 4
-	}
-	sort.Strings(paths)
-
-	store := summary.NewStore()
-	cache := core.NewIncrementalCache(store)
-	status := 0
-	for _, path := range paths {
-		src, err := os.ReadFile(path)
-		if err != nil {
-			fmt.Fprintln(errOut, "racecheck:", err)
-			return 1
-		}
-		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-		prog, err := cache.Load(name, string(src), workers)
-		if err != nil {
-			fmt.Fprintf(errOut, "racecheck: %s: %v\n", path, err)
-			status = 1
-			continue
-		}
-		rep := prog.Races
-		if useMHP {
-			rep = prog.RefinedRaces()
-		}
-		line := fmt.Sprintf("%s: %d race pair(s)", path, len(rep.Pairs))
-		if st := prog.Incremental; st != nil {
-			line += fmt.Sprintf(" [summaries: %d/%d reused]", st.ReusedFuncs, st.TotalFuncs)
-		}
-		fmt.Fprintln(out, line)
-	}
-	if showStats {
-		printSummaryStats(cache, store, out)
-	}
-	return status
-}
-
-// printSummaryStats prints the whole-program cache outcomes (when a
-// cache was involved) and the summary store's counters.
-func printSummaryStats(cache *core.Cache, store *summary.Store, out io.Writer) {
-	if cache != nil {
-		hits, partial, misses := cache.Stats()
-		fmt.Fprintf(out, "cache: %d whole-program hit(s), %d partial hit(s), %d miss(es)\n",
-			hits, partial, misses)
-	}
-	st := store.Stats()
-	fmt.Fprintf(out, "summary store: %d hit(s), %d miss(es), %d put(s), %d eviction(s), %d entries\n",
-		st.Hits, st.Misses, st.Puts, st.Evictions, st.Entries)
-	fmt.Fprintf(out, "mhp facts: %d hit(s), %d miss(es)\n", st.MHPHits, st.MHPMisses)
-}
-
-// runObserved runs the fully observed pipeline (analyze → … → record →
-// replay → dynamic check) for one benchmark or source file and writes the
-// Perfetto trace and/or the metrics report. Output files are created
-// before any work runs, and an unwritable path is its own failure class
-// (exit 3) so scripts can tell "could not write the artifacts" from
-// "the pipeline failed".
-func runObserved(fs *flag.FlagSet, benchName, checker string, seed uint64, config string, useMHP bool, parallel int, tracePath, metricsPath string, out, errOut io.Writer) int {
-	if checker != "epoch" && checker != "vector" {
-		fmt.Fprintf(errOut, "racecheck: -trace/-metrics support -checker epoch or vector, not %q\n", checker)
-		return 2
-	}
-	if _, ok := optionsFor(config); !ok {
-		fmt.Fprintf(errOut, "racecheck: unknown -config %q\n", config)
-		return 2
-	}
-	label := config
-	if useMHP {
-		label += "+mhp"
-	}
-
-	var target harness.ObserveTarget
-	switch {
-	case benchName == "all":
-		fmt.Fprintln(errOut, "racecheck: -trace/-metrics observe a single benchmark, not -bench all")
-		return 2
-	case benchName != "":
-		if fs.NArg() != 0 {
-			fs.Usage()
-			return 2
-		}
-		b := bench.ByName(benchName)
-		if b == nil {
-			fmt.Fprintf(errOut, "racecheck: unknown benchmark %q\n", benchName)
-			return 2
-		}
-		target = harness.TargetFor(b)
-	default:
-		if fs.NArg() != 1 {
-			fs.Usage()
-			return 2
-		}
-		src, err := os.ReadFile(fs.Arg(0))
-		if err != nil {
-			fmt.Fprintln(errOut, "racecheck:", err)
-			return 1
-		}
-		name := strings.TrimSuffix(filepath.Base(fs.Arg(0)), filepath.Ext(fs.Arg(0)))
-		target = harness.ObserveTarget{
-			Name:         name,
-			Source:       string(src),
-			ProfileWorld: func(run int) *oskit.World { return oskit.NewWorld(seed + uint64(run)) },
-			ProfileRuns:  5,
-			EvalWorld:    func(int) *oskit.World { return oskit.NewWorld(seed) },
-		}
-	}
-
-	// Open every requested artifact up front: a path we cannot write is
-	// reported before minutes of pipeline work, with a distinct exit code.
-	outputs := make(map[string]*os.File)
-	for _, path := range []string{tracePath, metricsPath} {
-		if path == "" {
-			continue
-		}
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintf(errOut, "racecheck: cannot write output artifact: %v\n", err)
-			return 3
-		}
-		defer f.Close()
-		outputs[path] = f
-	}
-
-	obsn, err := harness.Observe(target, harness.ObserveOptions{
-		Config:   label,
-		Parallel: parallel,
-		Seed:     seed,
-		Checker:  checker,
-	})
-	if err != nil {
-		fmt.Fprintf(errOut, "racecheck: %s: %v\n", target.Name, err)
-		return 1
-	}
-
-	if tracePath != "" {
-		data, err := obsn.Tracer.Perfetto()
-		if err == nil {
-			_, err = outputs[tracePath].Write(data)
-		}
-		if err != nil {
-			fmt.Fprintf(errOut, "racecheck: write %s: %v\n", tracePath, err)
-			return 3
-		}
-	}
-	if metricsPath != "" {
-		data, err := obsn.Report.Marshal()
-		if err == nil {
-			_, err = outputs[metricsPath].Write(data)
-		}
-		if err != nil {
-			fmt.Fprintf(errOut, "racecheck: write %s: %v\n", metricsPath, err)
-			return 3
-		}
-	}
-
-	rpt := obsn.Report
-	fmt.Fprintf(out, "%s [%s]: %d stage span(s), %d weak-lock site(s), %d dynamic race(s)\n",
-		rpt.Program, rpt.Config, len(rpt.Stages), len(rpt.WeakLocks.Sites), rpt.Checker.Races)
-	fmt.Fprintf(out, "  weak-lock acquires %d (order-log acquire entries %d), releases %d, forced %d, timeouts %d\n",
-		rpt.WeakLocks.Acquires, rpt.WeakLocks.AcquireOrderEntries,
-		rpt.WeakLocks.Releases, rpt.WeakLocks.Forced, rpt.WeakLocks.Timeouts)
-	fmt.Fprintf(out, "  log %d bytes (%d input / %d order records), events %d in %d batches\n",
-		rpt.Log.TotalBytes, rpt.Log.InputRecords, rpt.Log.OrderRecords,
-		rpt.Events.Emitted, rpt.Events.Batches)
-	if !obsn.ReplayMatches {
-		fmt.Fprintf(errOut, "racecheck: %s: replay did not match the recording\n", target.Name)
-		return 1
-	}
-	if rpt.WeakLocks.Acquires != rpt.WeakLocks.AcquireOrderEntries {
-		fmt.Fprintf(errOut, "racecheck: %s: per-site acquire total %d disagrees with order log %d\n",
-			target.Name, rpt.WeakLocks.Acquires, rpt.WeakLocks.AcquireOrderEntries)
-		return 1
-	}
-	if tracePath != "" {
-		fmt.Fprintf(out, "  trace written to %s\n", tracePath)
-	}
-	if metricsPath != "" {
-		fmt.Fprintf(out, "  metrics written to %s\n", metricsPath)
-	}
-	return 0
-}
-
-// runDynamic executes one program with the selected dynamic race
-// checker(s) attached as batched event sinks and prints the verdict.
-// With -checker both the epoch checker and the full-vector oracle observe
-// one event stream of a single execution and must agree.
-func runDynamic(name string, prog *core.Program, world *oskit.World, seed uint64, checker string, out, errOut io.Writer) int {
-	var chks []trace.RaceChecker
-	switch checker {
-	case "epoch":
-		chks = []trace.RaceChecker{trace.NewChecker(0)}
-	case "vector":
-		chks = []trace.RaceChecker{trace.NewVectorChecker(0)}
-	case "both":
-		chks = []trace.RaceChecker{trace.NewChecker(0), trace.NewVectorChecker(0)}
-	default:
-		fmt.Fprintf(errOut, "racecheck: unknown -checker %q (want epoch, vector, or both)\n", checker)
-		return 2
-	}
-	start := time.Now()
-	r := core.CheckDynamicRacesWith(prog, nil, core.RunConfig{World: world, Seed: seed}, chks...)
-	wall := time.Since(start)
-	if r.Err != nil {
-		fmt.Fprintf(errOut, "racecheck: %s: run: %v\n", name, r.Err)
-		return 1
-	}
-	races := chks[0].Races()
-	fmt.Fprintf(out, "%s: %d dynamic race(s) (checker=%s, seed=%d, wall=%s)\n",
-		name, len(races), checker, seed, wall.Round(time.Microsecond))
-	if ec, ok := chks[0].(*trace.EpochChecker); ok {
-		fmt.Fprintf(out, "  checker share: %s\n", time.Duration(ec.WallNS()).Round(time.Microsecond))
-	}
-	for _, rc := range races {
-		fmt.Fprintf(out, "  %s\n", rc)
-	}
-	if checker == "both" {
-		if !sameVerdicts(chks[0].Races(), chks[1].Races()) {
-			fmt.Fprintf(errOut, "racecheck: %s: epoch and vector checkers diverged:\n  epoch:  %v\n  vector: %v\n",
-				name, chks[0].Races(), chks[1].Races())
-			return 1
-		}
-		fmt.Fprintln(out, "  epoch and full-vector verdicts agree")
-	}
-	return 0
-}
-
-// runDynamicBench runs the dynamic checker over embedded benchmarks'
-// original (uninstrumented) programs under their evaluation worlds.
-func runDynamicBench(name, checker string, seed uint64, out, errOut io.Writer) int {
-	var list []*bench.Benchmark
-	if name == "all" {
-		list = bench.All()
-	} else {
-		b := bench.ByName(name)
-		if b == nil {
-			fmt.Fprintf(errOut, "racecheck: unknown benchmark %q\n", name)
-			return 2
-		}
-		list = []*bench.Benchmark{b}
-	}
-	status := 0
-	for _, b := range list {
-		prog, err := core.Load(b.Name, b.FullSource())
-		if err != nil {
-			fmt.Fprintf(errOut, "racecheck: %s: %v\n", b.Name, err)
-			return 1
-		}
-		if rc := runDynamic(b.Name, prog, b.EvalWorld(4), seed, checker, out, errOut); rc != 0 {
-			status = rc
-		}
-	}
-	return status
-}
-
-// sameVerdicts compares two race lists as deduplicated canonical
-// (node, node) pair sets — the equivalence the differential tests pin.
-func sameVerdicts(a, b []trace.Race) bool {
-	return trace.SameVerdicts(a, b)
-}
-
-// runGen is the one-shot repro path for generated scenarios: parse the
-// spec, generate the program, and push it through the complete soundness
-// pipeline. On failure it also prints a greedily minimized spec.
-func runGen(text string, verbose bool, out, errOut io.Writer) int {
-	spec, err := scenario.Parse(text)
-	if err != nil {
-		fmt.Fprintln(errOut, "racecheck:", err)
-		return 2
-	}
-	r := scenario.RunPipeline(spec)
-	if verbose {
-		fmt.Fprint(out, r.Source)
-	}
-	fmt.Fprintf(out, "%s: %d static race pair(s), MHP kept %d, %d weak lock(s), %d dynamic race(s) on the original\n",
-		spec, r.StaticPairs, r.KeptPairs, r.WeakLocks, r.OriginalRaces)
-	fmt.Fprintf(out, "  stages passed: %s\n", strings.Join(r.Stages, " → "))
-	if r.OK() {
-		fmt.Fprintln(out, "  soundness pipeline: ok (certified clean, replay bit-identical, checkers agree)")
-		return 0
-	}
-	fmt.Fprintf(errOut, "racecheck: %v\n", r.Err)
-	if min := scenario.Minimize(spec); min != spec {
-		fmt.Fprintf(errOut, "racecheck: minimized repro: racecheck -gen '%s'\n", min)
-	}
-	return 1
-}
-
-// runBench certifies embedded benchmarks: the full pipeline (analysis,
-// profile, instrumentation) runs per benchmark and the instrumented
-// output is certified against the same report it was derived from.
-func runBench(name, label string, opts instrument.Options, useMHP, usePrecision bool, certOut string, out, errOut io.Writer) int {
-	var list []*bench.Benchmark
-	if name == "all" {
-		list = bench.All()
-	} else {
-		b := bench.ByName(name)
-		if b == nil {
-			fmt.Fprintf(errOut, "racecheck: unknown benchmark %q\n", name)
-			return 2
-		}
-		list = []*bench.Benchmark{b}
-	}
-	status := 0
-	for _, b := range list {
-		prog, err := core.Load(b.Name, b.FullSource())
-		if err != nil {
-			fmt.Fprintf(errOut, "racecheck: %s: %v\n", b.Name, err)
-			return 1
-		}
-		rep := prog.Races
-		switch {
-		case useMHP && usePrecision:
-			rep = prog.PrecisionRaces()
-		case usePrecision:
-			rep = prog.PrecisionRacesBase()
-		case useMHP:
-			rep = prog.RefinedRaces()
-		}
-		conc := prog.ProfileNonConcurrency(b.ProfileWorld, b.ProfileRuns, 10_000)
-		ip, err := prog.InstrumentWith(rep, conc, opts)
-		if err != nil {
-			fmt.Fprintf(errOut, "racecheck: %s: %v\n", b.Name, err)
-			return 1
-		}
-		cert, _, err := ip.Certify(label)
-		if err != nil {
-			fmt.Fprintf(errOut, "racecheck: %s: certify: %v\n", b.Name, err)
-			return 1
-		}
-		if rc := reportCert(cert, certOut, out, errOut); rc != 0 {
-			status = rc
-		}
-	}
-	return status
-}
-
-// reportCert prints the verdict, optionally writes the JSON certificate,
-// and returns the process exit status the certificate warrants.
-func reportCert(cert *certify.Certificate, certOut string, out, errOut io.Writer) int {
-	fmt.Fprintln(out, cert.Summary())
-	data, err := certify.Render(cert)
-	if err != nil {
-		fmt.Fprintln(errOut, "racecheck: render certificate:", err)
-		return 1
-	}
-	if certOut != "" {
-		if err := os.MkdirAll(certOut, 0o755); err != nil {
-			fmt.Fprintln(errOut, "racecheck:", err)
-			return 1
-		}
-		fname := fmt.Sprintf("%s_%s.cert.json", cert.Program, strings.ReplaceAll(cert.Config, "+", "_"))
-		if err := os.WriteFile(filepath.Join(certOut, fname), data, 0o644); err != nil {
-			fmt.Fprintln(errOut, "racecheck:", err)
-			return 1
-		}
-	}
-	if !cert.OK {
-		fmt.Fprint(errOut, string(data))
-		return 1
-	}
-	return 0
-}
-
-// printPairProvenance runs the full refinement chain — MHP, then the
-// precision layer — over the raw RELAY report and prints one row per
-// reported pair with its final disposition: pruned-by-mhp (with the MHP
-// sub-reason), pruned-by-escape, pruned-by-mustlock, pruned-by-readonly,
-// or instrumented. Rows are sorted by source position, then function
-// pair, so the table is byte-stable and diffable across runs.
-func printPairProvenance(path string, rep *relay.Report, out io.Writer) {
-	refined := escape.Refine(mhp.Refine(rep))
-	disposition := make(map[[2]ast.NodeID]string, len(refined.Pruned))
-	counts := make(map[string]int, 5)
-	for _, pp := range refined.Pruned {
-		var label string
-		switch pp.Reason {
-		case "pre-fork", "join-ordered", "barrier-phase":
-			label = "pruned-by-mhp(" + pp.Reason + ")"
-			counts["pruned-by-mhp"]++
-		case "escape":
-			label = "pruned-by-escape"
-			counts[label]++
-		case "must-lock":
-			label = "pruned-by-mustlock"
-			counts[label]++
-		case "read-only":
-			label = "pruned-by-readonly"
-			counts[label]++
-		default:
-			label = "pruned-by-" + pp.Reason
-			counts[label]++
-		}
-		disposition[pp.Pair.Key()] = label
-	}
-	fmt.Fprintf(out, "%s: %d reported = %d pruned-by-mhp + %d pruned-by-escape + %d pruned-by-mustlock + %d pruned-by-readonly + %d instrumented\n",
-		path, len(rep.Pairs),
-		counts["pruned-by-mhp"], counts["pruned-by-escape"],
-		counts["pruned-by-mustlock"], counts["pruned-by-readonly"],
-		len(refined.Pairs))
-	pairs := append([]*relay.RacePair(nil), rep.Pairs...)
-	sort.SliceStable(pairs, func(i, j int) bool { return pairLess(pairs[i], pairs[j]) })
-	for _, p := range pairs {
-		label, ok := disposition[p.Key()]
-		if !ok {
-			label = "instrumented"
-		}
-		fmt.Fprintf(out, "  %-26s %s\n", label, pairString(p))
-	}
-}
-
-func pairString(p *relay.RacePair) string {
-	return fmt.Sprintf("%s:%s [w=%v ls=%v] <-> %s:%s [w=%v ls=%v]",
-		p.A.Fn.Name, p.A.Pos, p.A.Write, p.A.Lockset,
-		p.B.Fn.Name, p.B.Pos, p.B.Write, p.B.Lockset)
-}
-
-// pairLess orders race pairs by source position, then function names.
-func pairLess(a, b *relay.RacePair) bool {
-	ka := [4]int{a.A.Pos.Line, a.A.Pos.Col, a.B.Pos.Line, a.B.Pos.Col}
-	kb := [4]int{b.A.Pos.Line, b.A.Pos.Col, b.B.Pos.Line, b.B.Pos.Col}
-	for i := range ka {
-		if ka[i] != kb[i] {
-			return ka[i] < kb[i]
-		}
-	}
-	fa, fb := a.FnPair(), b.FnPair()
-	if fa[0] != fb[0] {
-		return fa[0] < fb[0]
-	}
-	return fa[1] < fb[1]
+	return service.RunRequest(req, nil, out, errOut)
 }

@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/scenario"
+)
+
+// Workload is the set of outputs one evaluation run regenerates — the
+// paper's tables and figures plus the machine-readable JSON entries.
+// It was lifted out of cmd/chimera-bench so the service layer and the
+// CLI drive the identical workload path.
+type Workload struct {
+	Table1, Table2               bool
+	Fig5, Fig6, Fig7, Fig8, Sens bool
+	MHP, JSON                    bool
+}
+
+// RunWorkload prepares a suite and renders every requested output to w,
+// returning the machine-readable entries when the JSON export was
+// requested. Progress notes go to errOut (nil discards them).
+func RunWorkload(cfg Config, names []string, want Workload, w, errOut io.Writer) ([]JSONEntry, error) {
+	if errOut == nil {
+		errOut = io.Discard
+	}
+	fmt.Fprintln(errOut, "preparing benchmarks (analyze + profile + instrument)...")
+	s, err := NewSuite(cfg, names...)
+	if err != nil {
+		return nil, err
+	}
+
+	if want.Table1 {
+		fmt.Fprintln(w, s.Table1())
+	}
+	if want.Table2 {
+		_, out, err := s.Table2()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(w, out)
+	}
+	if want.Fig5 {
+		_, out, err := s.Figure5()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(w, out)
+	}
+	if want.Fig6 {
+		_, out, err := s.Figure6()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(w, out)
+	}
+	if want.Fig7 {
+		_, out, err := s.Figure7()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(w, out)
+	}
+	if want.Fig8 {
+		_, out, err := s.Figure8(nil)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(w, out)
+	}
+	if want.Sens {
+		sensNames := names
+		if len(sensNames) == 0 {
+			sensNames = []string{"pfscan", "water"}
+		}
+		_, out, err := ProfileSensitivity(sensNames, 10)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(w, out)
+	}
+	if want.MHP {
+		_, out, err := s.FigureMHP()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(w, out)
+	}
+	if want.JSON {
+		return s.MeasureJSON(MHPConfigNames)
+	}
+	return nil, nil
+}
+
+// RunScenarios measures generated scenario workloads (';'-separated
+// family:seed:size specs) through the full harness (MHP opt sets),
+// printing a per-row summary to w and returning the JSON entries. The
+// rows carry the same metrics block as the embedded benchmarks; the CI
+// soundness gate asserts certified / replay_matches / checkers_agree /
+// checker_races on them. Progress notes go to errOut (nil discards).
+func RunScenarios(cfg Config, specText string, w, errOut io.Writer) ([]JSONEntry, error) {
+	if errOut == nil {
+		errOut = io.Discard
+	}
+	specs, err := scenario.ParseList(specText)
+	if err != nil {
+		return nil, err
+	}
+	list := make([]*bench.Benchmark, len(specs))
+	for i, sp := range specs {
+		if list[i], err = scenario.ToBenchmark(sp); err != nil {
+			return nil, err
+		}
+	}
+	fmt.Fprintf(errOut, "preparing %d generated scenario(s) (analyze + profile + instrument)...\n", len(list))
+	s, err := NewSuiteOf(cfg, list)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := s.MeasureJSON(MHPConfigNames)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "Generated scenarios (all+mhp column):")
+	fmt.Fprintf(w, "%-28s %6s %6s %6s | %7s %5s %5s %6s %6s\n",
+		"scenario", "pairs", "kept", "wl", "rec.ovh", "cert", "rep?", "races", "agree")
+	for _, e := range entries {
+		if e.Config != "all+mhp" {
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %6d %6d %6d | %7.2f %5v %5v %6d %6v\n",
+			e.Bench, e.StaticPairs, e.InstrumentedPairs, e.WeakLocks,
+			e.RecordOverhead, e.Certified, e.ReplayMatches, e.CheckerRaces, e.CheckersAgree)
+	}
+	fmt.Fprintln(w)
+	return entries, nil
+}

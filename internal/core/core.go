@@ -452,6 +452,36 @@ func (ip *Instrumented) Replay(log *replay.Log, rc RunConfig) (*vm.Result, error
 	return ReplayProgram(ip.Prog, ip.Table, log, rc)
 }
 
+// ReplayProgramStream is ReplayProgram reading the recording from a
+// CHIMLOG2 stream (e.g. an on-disk spool) through replay.StreamReplayer
+// instead of a decoded in-memory Log: chunks are decoded as the replay
+// consumes them, so memory stays bounded by one chunk per stream no
+// matter how long the recording is. This is the replay path of the
+// service's replay-verify jobs, which must never hold whole logs in
+// memory. The divergence checks match ReplayProgram's exactly.
+func ReplayProgramStream(p *Program, table *weaklock.Table, r io.ReadSeeker, rc RunConfig) (*vm.Result, error) {
+	rep, err := replay.NewStreamReplayer(r, rc.Cost)
+	if err != nil {
+		return nil, fmt.Errorf("open log stream: %w", err)
+	}
+	cfg := rc.vmConfig()
+	cfg.Inputs = rep
+	cfg.Monitor = rep
+	cfg.WL = table
+	cfg.DisableTimeouts = true
+	res := vm.Run(p.Code, cfg)
+	if rep.Err() != nil {
+		return res, rep.Err()
+	}
+	if res.Err != nil {
+		return res, res.Err
+	}
+	if !rep.Drained() {
+		return res, fmt.Errorf("replay divergence: order log not fully consumed")
+	}
+	return res, nil
+}
+
 // VerifyDeterministicReplay records with one seed and replays with another;
 // it returns an error unless the replay bit-matches the recording.
 func (ip *Instrumented) VerifyDeterministicReplay(world func() *oskit.World, recSeed, repSeed uint64) error {

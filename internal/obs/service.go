@@ -1,0 +1,66 @@
+package obs
+
+import "encoding/json"
+
+// Service metrics: the document chimerad serves at /metrics. Everything
+// here is a counter snapshot — per-tenant cache and summary-store
+// traffic with hit ratios, job counts by state, and pool occupancy.
+// Unlike Report, none of it is pinned byte-stable across runs (a warm
+// service is stateful by design), but field order and encoding are
+// canonical so diffs within one server lifetime are readable.
+
+// JobCounts is the jobs-by-state section.
+type JobCounts struct {
+	Queued      int64 `json:"queued"`
+	AwaitingLog int64 `json:"awaiting_log"`
+	Running     int64 `json:"running"`
+	Done        int64 `json:"done"`
+	Failed      int64 `json:"failed"`
+}
+
+// PoolCounts is the sharded-pool section.
+type PoolCounts struct {
+	Shards    int   `json:"shards"`
+	Pending   int64 `json:"pending"`
+	Completed int64 `json:"completed"`
+}
+
+// TenantMetrics is one tenant's slice of the service: job volume, its
+// whole-program cache outcomes, and its summary-store view's counters.
+// The ratios are the headline numbers ("how warm is this tenant").
+type TenantMetrics struct {
+	Tenant          string            `json:"tenant"`
+	Jobs            int64             `json:"jobs"`
+	Cache           CacheStats        `json:"cache"`
+	CacheHitRatio   float64           `json:"cache_hit_ratio"`
+	SummaryStore    SummaryStoreStats `json:"summary_store"`
+	SummaryHitRatio float64           `json:"summary_hit_ratio"`
+}
+
+// ServiceMetrics is the full /metrics document. Tenants are sorted by
+// name for stable output.
+type ServiceMetrics struct {
+	Schema   int             `json:"schema"`
+	Draining bool            `json:"draining"`
+	Jobs     JobCounts       `json:"jobs"`
+	Pool     PoolCounts      `json:"pool"`
+	Tenants  []TenantMetrics `json:"tenants,omitempty"`
+}
+
+// Marshal renders the metrics as stable, indented JSON with a trailing
+// newline (the same canonical shape Report.Marshal uses).
+func (m *ServiceMetrics) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Ratio returns hits/total, or 0 when there has been no traffic.
+func Ratio(hits, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}

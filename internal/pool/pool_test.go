@@ -1,0 +1,218 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunWaveEmpty(t *testing.T) {
+	if err := RunWave(4, nil, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatalf("empty wave: %v", err)
+	}
+}
+
+func TestRunWaveRunsAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		wave := make([]int, 100)
+		for i := range wave {
+			wave[i] = i
+		}
+		var ran [100]atomic.Int32
+		if err := RunWave(workers, wave, func(i int) error {
+			ran[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ran {
+			if n := ran[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+// TestRunWaveLeastIndexError is the determinism contract: whichever
+// schedule the workers take, the surfaced error is the one a sequential
+// in-order walk would hit first.
+func TestRunWaveLeastIndexError(t *testing.T) {
+	wave := make([]int, 64)
+	for i := range wave {
+		wave[i] = i
+	}
+	for _, workers := range []int{1, 3, 16} {
+		err := RunWave(workers, wave, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want task 3 failed", workers, err)
+		}
+	}
+}
+
+func TestRunWaveSequentialShortCircuit(t *testing.T) {
+	var ran []int
+	err := RunWave(1, []int{0, 1, 2, 3}, func(i int) error {
+		ran = append(ran, i)
+		if i == 1 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ran) != 2 {
+		t.Fatalf("sequential walk ran %v, want short-circuit after index 1", ran)
+	}
+}
+
+func TestShardedPerKeyFIFO(t *testing.T) {
+	p := NewSharded(4, 128)
+	const perKey = 50
+	var mu sync.Mutex
+	got := map[uint64][]int{}
+	for seq := 0; seq < perKey; seq++ {
+		for key := uint64(0); key < 8; key++ {
+			key, seq := key, seq
+			if err := p.Submit(key, func() {
+				mu.Lock()
+				got[key] = append(got[key], seq)
+				mu.Unlock()
+			}); err != nil {
+				t.Fatalf("Submit(%d,%d): %v", key, seq, err)
+			}
+		}
+	}
+	if !p.Drain(nil) {
+		t.Fatal("drain did not complete")
+	}
+	for key, seqs := range got {
+		if len(seqs) != perKey {
+			t.Fatalf("key %d: %d tasks ran, want %d", key, len(seqs), perKey)
+		}
+		for i, s := range seqs {
+			if s != i {
+				t.Fatalf("key %d: out of order at %d: %v", key, i, seqs)
+			}
+		}
+	}
+}
+
+func TestShardedRouting(t *testing.T) {
+	p := NewSharded(4, 1)
+	defer p.Drain(nil)
+	if p.Shards() != 4 {
+		t.Fatalf("Shards() = %d", p.Shards())
+	}
+	for key := uint64(0); key < 100; key++ {
+		if a, b := p.Shard(key), p.Shard(key); a != b {
+			t.Fatalf("Shard(%d) unstable: %d vs %d", key, a, b)
+		}
+		if s := p.Shard(key); s < 0 || s >= 4 {
+			t.Fatalf("Shard(%d) = %d out of range", key, s)
+		}
+	}
+	if p.Shard(5) != p.Shard(9) { // 5 % 4 == 9 % 4
+		t.Fatal("equal residues routed to different shards")
+	}
+}
+
+func TestShardedFull(t *testing.T) {
+	p := NewSharded(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(0, func() { close(started); <-block }); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	<-started // worker is busy; queue is empty
+	if err := p.Submit(0, func() {}); err != nil {
+		t.Fatalf("queue-filling submit: %v", err)
+	}
+	if err := p.Submit(0, func() {}); !errors.Is(err, ErrFull) {
+		t.Fatalf("over-capacity submit: %v, want ErrFull", err)
+	}
+	close(block)
+	if !p.Drain(nil) {
+		t.Fatal("drain did not complete")
+	}
+}
+
+func TestShardedDrain(t *testing.T) {
+	p := NewSharded(2, 16)
+	var done atomic.Int64
+	for i := uint64(0); i < 20; i++ {
+		if err := p.Submit(i, func() {
+			time.Sleep(time.Millisecond)
+			done.Add(1)
+		}); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	if !p.Drain(nil) {
+		t.Fatal("drain did not complete")
+	}
+	if done.Load() != 20 {
+		t.Fatalf("done = %d, want 20 (drain must run queued work)", done.Load())
+	}
+	if err := p.Submit(0, func() {}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit: %v, want ErrDraining", err)
+	}
+	pending, completed := p.Stats()
+	if pending != 0 || completed != 20 {
+		t.Fatalf("Stats() = (%d, %d), want (0, 20)", pending, completed)
+	}
+}
+
+func TestShardedDrainTimeout(t *testing.T) {
+	p := NewSharded(1, 4)
+	block := make(chan struct{})
+	if err := p.Submit(0, func() { <-block }); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	close(stop)
+	if p.Drain(stop) {
+		t.Fatal("drain reported complete while a task was blocked")
+	}
+	close(block)
+	// Idempotent second drain now succeeds.
+	if !p.Drain(nil) {
+		t.Fatal("second drain did not complete")
+	}
+}
+
+// TestShardedConcurrentSubmitDrain races many submitters against a
+// drainer under -race: every submission either runs or is rejected,
+// nothing is lost.
+func TestShardedConcurrentSubmitDrain(t *testing.T) {
+	p := NewSharded(4, 64)
+	var accepted, ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := p.Submit(uint64(g*1000+i), func() { ran.Add(1) }); err == nil {
+					accepted.Add(1)
+				}
+			}
+		}(g)
+	}
+	time.Sleep(500 * time.Microsecond)
+	if !p.Drain(nil) {
+		t.Fatal("drain did not complete")
+	}
+	wg.Wait()
+	if ran.Load() != accepted.Load() {
+		t.Fatalf("accepted %d submissions but ran %d", accepted.Load(), ran.Load())
+	}
+}

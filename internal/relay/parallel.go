@@ -2,13 +2,11 @@ package relay
 
 import (
 	"fmt"
-	"math"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/callgraph"
 	"repro/internal/minic/types"
 	"repro/internal/pointsto"
+	"repro/internal/pool"
 )
 
 // Parallel summary computation.
@@ -49,8 +47,13 @@ func AnalyzeParallel(info *types.Info, pta *pointsto.Analysis, cg *callgraph.Gra
 }
 
 // computeSummariesParallel is the wave-scheduled counterpart of
-// computeSummaries. It returns the first error in canonical order (see
-// below); nil in normal operation.
+// computeSummaries, scheduled on the shared wave pool (internal/pool).
+// Each wave ends with a full barrier (pool.RunWave returns only when the
+// wave is complete, publishing its summaries); an error cancels all
+// outstanding work with a higher SCC index while lower-index SCCs of the
+// same wave still run, so the surfaced error is deterministic: the
+// least-index fault of the first faulty wave — exactly the error the
+// sequential walk would hit first.
 func (rl *analyzer) computeSummariesParallel(workers int) error {
 	// Pre-create every summary sequentially so the map is never written
 	// during the concurrent phase: workers mutate only the Summary structs
@@ -61,60 +64,16 @@ func (rl *analyzer) computeSummariesParallel(workers int) error {
 		}
 	}
 
-	// errSCC holds the smallest SCC index that produced an error
-	// (math.MaxInt64 = none). An error cancels all outstanding work with a
-	// higher SCC index; lower-index SCCs of the same wave still run, so
-	// the surfaced error is deterministic: the least-index fault of the
-	// first faulty wave — exactly the error the sequential walk would hit
-	// first.
-	errSCC := int64(math.MaxInt64)
-	var errMu sync.Mutex
-	errs := make(map[int64]error)
-	record := func(scc int, err error) {
-		errMu.Lock()
-		errs[int64(scc)] = err
-		errMu.Unlock()
-		for {
-			cur := atomic.LoadInt64(&errSCC)
-			if int64(scc) >= cur || atomic.CompareAndSwapInt64(&errSCC, cur, int64(scc)) {
-				return
-			}
-		}
-	}
-
 	for _, wave := range rl.cg.Waves() {
-		if atomic.LoadInt64(&errSCC) != math.MaxInt64 {
-			break // a previous wave failed: later waves never start
+		err := pool.RunWave(workers, wave, func(scc int) error {
+			if err := rl.analyzeSCC(scc); err != nil {
+				return fmt.Errorf("scc %d: %w", scc, err)
+			}
+			return nil
+		})
+		if err != nil {
+			return err // a wave failed: later waves never start
 		}
-		n := workers
-		if n > len(wave) {
-			n = len(wave)
-		}
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		for i := 0; i < n; i++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for scc := range jobs {
-					if int64(scc) > atomic.LoadInt64(&errSCC) {
-						continue // cancelled: a lower-index SCC failed
-					}
-					if err := rl.analyzeSCC(scc); err != nil {
-						record(scc, err)
-					}
-				}
-			}()
-		}
-		for _, scc := range wave {
-			jobs <- scc
-		}
-		close(jobs)
-		wg.Wait() // wave barrier: publishes this wave's summaries
-	}
-
-	if first := atomic.LoadInt64(&errSCC); first != math.MaxInt64 {
-		return fmt.Errorf("scc %d: %w", first, errs[first])
 	}
 	return nil
 }

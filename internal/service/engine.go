@@ -1,0 +1,513 @@
+package service
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/oskit"
+	"repro/internal/pool"
+	"repro/internal/scenario"
+	"repro/internal/summary"
+)
+
+// EngineConfig sizes an Engine. Zero values select the defaults noted.
+type EngineConfig struct {
+	// Shards is the worker-shard count (default 4). Jobs are routed by
+	// spec hash, so identical re-submissions serialize on one shard.
+	Shards int
+	// Depth is the per-shard queue capacity (default 256). A full shard
+	// rejects with pool.ErrFull rather than blocking the submitter.
+	Depth int
+	// SpoolDir holds CHIMLOG2 spools (default: the OS temp dir). One
+	// file per record/replay-verify job, named by job ID.
+	SpoolDir string
+	// JobTimeout bounds each job's execution (default 2m). A job still
+	// running at the deadline is marked failed and its shard moves on;
+	// this is also what bounds graceful drain.
+	JobTimeout time.Duration
+}
+
+// Engine is the job engine behind chimerad: a sharded worker pool
+// (internal/pool) executing Jobs against per-tenant environments that
+// share one content-addressed summary store through tenant-prefixed
+// views. It is safe for concurrent use.
+type Engine struct {
+	cfg   EngineConfig
+	store *summary.Store
+	pool  *pool.Sharded
+
+	mu       sync.Mutex
+	tenants  map[string]*tenantState
+	jobs     map[string]*Job
+	order    []string // job IDs in submission order
+	seq      int
+	draining bool
+}
+
+// tenantState is one tenant's slice of the engine: its own whole-program
+// cache and its view of the shared summary store. The view rewrites
+// every key through summary.DeriveKey with the tenant label, so tenants
+// can never collide on — or observe — each other's entries, while the
+// per-view counters give the tenant's own hit/miss traffic.
+type tenantState struct {
+	name string
+	env  *Env
+	jobs int64
+}
+
+// NewEngine starts an engine with cfg's shards running.
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 256
+	}
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 2 * time.Minute
+	}
+	if cfg.SpoolDir == "" {
+		cfg.SpoolDir = os.TempDir()
+	}
+	return &Engine{
+		cfg:     cfg,
+		store:   summary.NewStore(),
+		pool:    pool.NewSharded(cfg.Shards, cfg.Depth),
+		tenants: make(map[string]*tenantState),
+		jobs:    make(map[string]*Job),
+	}
+}
+
+// tenant returns (creating on first use) the named tenant. e.mu held.
+func (e *Engine) tenant(name string) *tenantState {
+	t, ok := e.tenants[name]
+	if !ok {
+		view := e.store.View(name)
+		t = &tenantState{
+			name: name,
+			env:  &Env{Cache: core.NewIncrementalCache(view), Store: view},
+		}
+		e.tenants[name] = t
+	}
+	return t
+}
+
+// envFor returns the tenant's environment.
+func (e *Engine) envFor(name string) *Env {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tenant(name).env
+}
+
+// Submit validates, registers and schedules a job. Replay-verify jobs
+// expecting an upload are registered in awaiting-log and scheduled by
+// AttachLog instead. The returned error is pool.ErrDraining when the
+// engine is shutting down and pool.ErrFull when the routed shard's
+// queue is at capacity.
+func (e *Engine) Submit(spec *JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	hash := spec.Hash()
+
+	e.mu.Lock()
+	if e.draining {
+		e.mu.Unlock()
+		return nil, pool.ErrDraining
+	}
+	e.seq++
+	job := &Job{
+		id:      fmt.Sprintf("j%06d-%s", e.seq, hash[:12]),
+		spec:    spec,
+		hash:    hash,
+		state:   StateQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	job.spool = filepath.Join(e.cfg.SpoolDir, job.id+".clog")
+	e.jobs[job.id] = job
+	e.order = append(e.order, job.id)
+	e.tenant(spec.Tenant).jobs++
+	e.mu.Unlock()
+
+	if spec.Kind == JobReplayVerify && spec.LogUpload {
+		job.mu.Lock()
+		job.state = StateAwaitingLog
+		job.mu.Unlock()
+		return job, nil
+	}
+	if err := e.schedule(job); err != nil {
+		return job, err
+	}
+	return job, nil
+}
+
+// schedule enqueues the job on its hash-routed shard.
+func (e *Engine) schedule(job *Job) error {
+	var key uint64
+	if b, err := hex.DecodeString(job.hash[:16]); err == nil {
+		key = binary.BigEndian.Uint64(b)
+	}
+	if err := e.pool.Submit(key, func() { e.runJob(job) }); err != nil {
+		job.complete(nil, fmt.Sprintf("submit: %v", err))
+		return err
+	}
+	return nil
+}
+
+// ErrUnknownJob and ErrNotAwaitingLog classify AttachLog/OpenLog
+// failures for the transport layer (404 vs 409).
+var (
+	ErrUnknownJob     = errors.New("unknown job")
+	ErrNotAwaitingLog = errors.New("job is not awaiting a log")
+)
+
+// AttachLog streams a CHIMLOG2 upload into an awaiting-log job's spool
+// (constant memory — an io.Copy to disk) and schedules the job. It
+// returns the byte count spooled.
+func (e *Engine) AttachLog(id string, r io.Reader) (int64, error) {
+	job, ok := e.Job(id)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	job.mu.Lock()
+	if job.state != StateAwaitingLog {
+		state := job.state
+		job.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s (state %s)", ErrNotAwaitingLog, id, state)
+	}
+	job.state = StateQueued // claimed: a concurrent second upload fails above
+	job.mu.Unlock()
+
+	f, err := os.Create(job.spool)
+	if err != nil {
+		job.complete(nil, fmt.Sprintf("log spool: %v", err))
+		return 0, err
+	}
+	n, err := io.Copy(f, r)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		job.complete(nil, fmt.Sprintf("log upload: %v", err))
+		return n, err
+	}
+	if err := e.schedule(job); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// OpenLog opens a job's CHIMLOG2 spool for streaming out. The caller
+// closes the returned file.
+func (e *Engine) OpenLog(id string) (*os.File, error) {
+	job, ok := e.Job(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return os.Open(job.spool)
+}
+
+// Job returns a registered job by ID.
+func (e *Engine) Job(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Views snapshots every job in submission order.
+func (e *Engine) Views() []JobView {
+	e.mu.Lock()
+	ids := append([]string(nil), e.order...)
+	jobs := make([]*Job, len(ids))
+	for i, id := range ids {
+		jobs[i] = e.jobs[id]
+	}
+	e.mu.Unlock()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View()
+	}
+	return views
+}
+
+// Draining reports whether the engine has stopped admitting jobs.
+func (e *Engine) Draining() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.draining
+}
+
+// Drain stops admission and waits up to timeout for queued and running
+// jobs to finish, reporting whether the pool drained completely. Each
+// in-flight job is individually bounded by JobTimeout, so a drain
+// timeout of at least JobTimeout plus queue slack always succeeds.
+func (e *Engine) Drain(timeout time.Duration) bool {
+	e.mu.Lock()
+	e.draining = true
+	e.mu.Unlock()
+	stop := make(chan struct{})
+	t := time.AfterFunc(timeout, func() { close(stop) })
+	defer t.Stop()
+	return e.pool.Drain(stop)
+}
+
+// Metrics snapshots the engine: job counts by state, pool occupancy, and
+// per-tenant cache and summary-store traffic with hit ratios.
+func (e *Engine) Metrics() *obs.ServiceMetrics {
+	e.mu.Lock()
+	jobs := make([]*Job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		jobs = append(jobs, j)
+	}
+	tenants := make([]*tenantState, 0, len(e.tenants))
+	for _, t := range e.tenants {
+		tenants = append(tenants, t)
+	}
+	draining := e.draining
+	e.mu.Unlock()
+
+	m := &obs.ServiceMetrics{Schema: 1, Draining: draining}
+	for _, j := range jobs {
+		switch j.View().State {
+		case StateQueued:
+			m.Jobs.Queued++
+		case StateAwaitingLog:
+			m.Jobs.AwaitingLog++
+		case StateRunning:
+			m.Jobs.Running++
+		case StateDone:
+			m.Jobs.Done++
+		case StateFailed:
+			m.Jobs.Failed++
+		}
+	}
+	pending, completed := e.pool.Stats()
+	m.Pool = obs.PoolCounts{Shards: e.pool.Shards(), Pending: pending, Completed: completed}
+
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+	for _, t := range tenants {
+		hits, partial, misses := t.env.Cache.Stats()
+		st := t.env.Store.Stats()
+		m.Tenants = append(m.Tenants, obs.TenantMetrics{
+			Tenant:        t.name,
+			Jobs:          t.jobs,
+			Cache:         obs.CacheStats{Hits: hits, PartialHits: partial, Misses: misses},
+			CacheHitRatio: obs.Ratio(hits+partial, hits+partial+misses),
+			SummaryStore: obs.SummaryStoreStats{
+				Hits: st.Hits, Misses: st.Misses, Puts: st.Puts,
+				Evictions: st.Evictions, Entries: st.Entries,
+				MHPHits: st.MHPHits, MHPMisses: st.MHPMisses,
+			},
+			SummaryHitRatio: obs.Ratio(st.Hits, st.Hits+st.Misses),
+		})
+	}
+	return m
+}
+
+// runJob executes one job on its shard with the configured timeout. The
+// executor runs in a helper goroutine so a wedged job fails at the
+// deadline and frees the shard; a late result from the abandoned
+// executor is dropped by Job.complete.
+func (e *Engine) runJob(job *Job) {
+	job.setRunning()
+	done := make(chan *JobResult, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- &JobResult{ExitCode: ExitFailure, Stderr: fmt.Sprintf("job panic: %v\n", p)}
+			}
+		}()
+		done <- e.execute(job)
+	}()
+	select {
+	case res := <-done:
+		job.complete(res, "") // nonzero exits are verdicts, not engine failures
+	case <-time.After(e.cfg.JobTimeout):
+		job.complete(nil, fmt.Sprintf("job timed out after %s", e.cfg.JobTimeout))
+	}
+}
+
+// execute dispatches on the job kind.
+func (e *Engine) execute(job *Job) *JobResult {
+	spec := job.spec
+	switch spec.Kind {
+	case JobAnalyze:
+		return e.execAnalyze(spec)
+	case JobRecord:
+		return e.execRecord(job, spec)
+	case JobReplayVerify:
+		return e.execReplayVerify(job, spec)
+	case JobGenPipeline:
+		return execGen(spec)
+	}
+	return &JobResult{ExitCode: ExitUsage, Stderr: fmt.Sprintf("unknown job kind %q\n", spec.Kind)}
+}
+
+// execAnalyze runs the canonical racecheck pipeline against the tenant's
+// environment. The captured stdout/stderr are byte-identical to the
+// offline CLI on the same request: RunRequest is the single verdict
+// path, and the tenant caches are proven pure accelerators.
+func (e *Engine) execAnalyze(spec *JobSpec) *JobResult {
+	env := e.envFor(spec.Tenant)
+	var out, errOut bytes.Buffer
+	code := RunRequest(spec.Request, env, &out, &errOut)
+	return &JobResult{ExitCode: code, Stdout: out.String(), Stderr: errOut.String()}
+}
+
+// instrumentFor loads and instruments the program a record or
+// replay-verify job describes: tenant-cached analysis, optional MHP
+// refinement, then the named instrumentation config.
+func (e *Engine) instrumentFor(tenant, name, source, config string, useMHP bool) (*core.Instrumented, error) {
+	env := e.envFor(tenant)
+	if name == "" {
+		name = "prog"
+	}
+	prog, err := env.loadProgram(name, source, 1)
+	if err != nil {
+		return nil, err
+	}
+	rep := prog.Races
+	if useMHP {
+		rep = prog.RefinedRaces()
+	}
+	opts, ok := optionsFor(config)
+	if !ok {
+		return nil, fmt.Errorf("unknown config %q", config)
+	}
+	return prog.InstrumentWith(rep, nil, opts)
+}
+
+// execRecord instruments the program and records one execution, with the
+// CHIMLOG2 log streamed to the job's disk spool as records commit.
+func (e *Engine) execRecord(job *Job, spec *JobSpec) *JobResult {
+	ip, err := e.instrumentFor(spec.Tenant, spec.Name, spec.Source, spec.config(), spec.MHP)
+	if err != nil {
+		return &JobResult{ExitCode: ExitFailure, Stderr: fmt.Sprintf("record: %v\n", err)}
+	}
+	f, err := os.Create(job.spool)
+	if err != nil {
+		return &JobResult{ExitCode: ExitArtifact, Stderr: fmt.Sprintf("record: spool: %v\n", err)}
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	res, _, _ := ip.RecordTo(core.RunConfig{World: oskit.NewWorld(seed), Seed: seed}, f)
+	if cerr := f.Close(); cerr != nil && res.Err == nil {
+		res.Err = cerr
+	}
+	if res.Err != nil {
+		return &JobResult{ExitCode: ExitFailure, Stderr: fmt.Sprintf("record: %v\n", res.Err)}
+	}
+	fi, err := os.Stat(job.spool)
+	if err != nil {
+		return &JobResult{ExitCode: ExitArtifact, Stderr: fmt.Sprintf("record: spool: %v\n", err)}
+	}
+	hash := fmt.Sprintf("%016x", res.Hash64())
+	return &JobResult{
+		ExitCode:   ExitOK,
+		Stdout:     fmt.Sprintf("%s: recorded %d bytes (seed=%d, output hash %s)\n", spec.Name, fi.Size(), seed, hash),
+		LogBytes:   fi.Size(),
+		OutputHash: hash,
+	}
+}
+
+// execReplayVerify replays a CHIMLOG2 stream against the instrumented
+// program straight from disk (replay.StreamReplayer — bounded memory)
+// and verifies the replay: it must run clean, fully drain the order log,
+// and, when the log came from a record job, bit-match that job's output
+// hash.
+func (e *Engine) execReplayVerify(job *Job, spec *JobSpec) *JobResult {
+	logPath := job.spool
+	expect := ""
+	name, source, config, useMHP := spec.Name, spec.Source, spec.config(), spec.MHP
+	if spec.LogJob != "" {
+		src, ok := e.Job(spec.LogJob)
+		if !ok {
+			return &JobResult{ExitCode: ExitUsage, Stderr: fmt.Sprintf("replay-verify: unknown log_job %s\n", spec.LogJob)}
+		}
+		v := src.View()
+		if v.Kind != JobRecord || v.State != StateDone || v.Result == nil {
+			return &JobResult{ExitCode: ExitUsage, Stderr: fmt.Sprintf("replay-verify: log_job %s is not a finished record job\n", spec.LogJob)}
+		}
+		logPath = src.spool
+		expect = v.Result.OutputHash
+		if source == "" {
+			name, source, config, useMHP = src.spec.Name, src.spec.Source, src.spec.config(), src.spec.MHP
+		}
+	}
+	ip, err := e.instrumentFor(spec.Tenant, name, source, config, useMHP)
+	if err != nil {
+		return &JobResult{ExitCode: ExitFailure, Stderr: fmt.Sprintf("replay-verify: %v\n", err)}
+	}
+	f, err := os.Open(logPath)
+	if err != nil {
+		return &JobResult{ExitCode: ExitFailure, Stderr: fmt.Sprintf("replay-verify: %v\n", err)}
+	}
+	defer f.Close()
+	// The replay seed deliberately differs from any recording seed:
+	// determinism must come from the log alone.
+	res, rerr := core.ReplayProgramStream(ip.Prog, ip.Table, f, core.RunConfig{World: oskit.NewWorld(977), Seed: 977})
+
+	matches := rerr == nil
+	hash := ""
+	if res != nil {
+		hash = fmt.Sprintf("%016x", res.Hash64())
+	}
+	if matches && expect != "" && hash != expect {
+		matches = false
+		rerr = fmt.Errorf("output hash %s differs from recorded %s", hash, expect)
+	}
+	r := &JobResult{ReplayMatches: &matches}
+	if matches {
+		r.ExitCode = ExitOK
+		r.Stdout = fmt.Sprintf("%s: replay matches (output hash %s)\n", name, hash)
+	} else {
+		r.ExitCode = ExitFailure
+		r.Stderr = fmt.Sprintf("%s: replay diverged: %v\n", name, rerr)
+	}
+	return r
+}
+
+// execGen pushes a generated scenario through the complete soundness
+// pipeline. Stdout/stderr are byte-identical to `racecheck -gen` on the
+// same spec (reportGen is the shared printer); the structured verdict
+// fields come from the same pipeline Result.
+func execGen(jobSpec *JobSpec) *JobResult {
+	var out, errOut bytes.Buffer
+	spec, err := scenario.Parse(jobSpec.Spec)
+	if err != nil {
+		fmt.Fprintln(&errOut, "racecheck:", err)
+		return &JobResult{ExitCode: ExitUsage, Stderr: errOut.String()}
+	}
+	r := scenario.RunPipeline(spec)
+	code := reportGen(r, spec, jobSpec.Verbose, &out, &errOut)
+
+	certified := r.StagePassed("certify")
+	replayMatches := r.StagePassed("replay")
+	checkersAgree := r.StagePassed("differential") && r.StagePassed("clean")
+	races := r.OriginalRaces
+	return &JobResult{
+		ExitCode:      code,
+		Stdout:        out.String(),
+		Stderr:        errOut.String(),
+		Certified:     &certified,
+		ReplayMatches: &replayMatches,
+		CheckersAgree: &checkersAgree,
+		CheckerRaces:  &races,
+		Stages:        r.Stages,
+	}
+}

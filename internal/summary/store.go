@@ -11,11 +11,34 @@ import "sync"
 // Artifacts handed to Put and returned by Get are shared and must be
 // treated as immutable; the relay decoder copies what it rehydrates.
 //
+// A Store value is a *handle* onto shared storage. View derives a
+// tenant-namespaced handle onto the same underlying map: every key a
+// view reads or writes is first rewritten through DeriveKey with a
+// tenant label, so two tenants submitting byte-identical programs each
+// get full within-tenant reuse while never colliding on — or even
+// observing — each other's entries. Hit/miss/put accounting is kept per
+// handle, which is what gives the service layer its per-tenant cache
+// ratios; capacity, eviction and the resident-entry count are global to
+// the shared storage.
+//
 // The default store is unbounded, which keeps hit/miss accounting a pure
 // function of the load sequence (no eviction nondeterminism); a capacity
 // can be opted into with NewStoreCap, evicting the oldest insertion first
-// (deterministic FIFO).
+// (deterministic FIFO) across all tenants.
 type Store struct {
+	inner *storeInner
+	label string // tenant namespace; "" = root (keys pass through unchanged)
+
+	// Per-handle counters, guarded by inner.mu.
+	hits      int64
+	misses    int64
+	puts      int64
+	mhpHits   int64
+	mhpMisses int64
+}
+
+// storeInner is the storage shared by a root store and all its views.
+type storeInner struct {
 	mu  sync.Mutex
 	cap int
 
@@ -23,43 +46,73 @@ type Store struct {
 	order []Key // insertion order, for deterministic FIFO eviction
 	mhp   map[Key]*MHPFacts
 
-	hits      int64
-	misses    int64
-	puts      int64
 	evictions int64
-	mhpHits   int64
-	mhpMisses int64
 }
 
-// StoreStats is a snapshot of the store's counters.
+// StoreStats is a snapshot of one handle's counters plus the global
+// residency of the shared storage.
 type StoreStats struct {
 	Hits      int64 // function-summary lookups that found an entry
 	Misses    int64 // function-summary lookups that did not
 	Puts      int64 // function summaries inserted
-	Evictions int64 // entries dropped by the capacity bound
-	Entries   int64 // function summaries currently resident
+	Evictions int64 // entries dropped by the capacity bound (global)
+	Entries   int64 // function summaries currently resident (global)
 	MHPHits   int64 // MHP-fact lookups that found an entry
 	MHPMisses int64 // MHP-fact lookups that did not
 }
 
 // NewStore returns an empty, unbounded store.
 func NewStore() *Store {
-	return &Store{funcs: make(map[Key]*FuncSummary), mhp: make(map[Key]*MHPFacts)}
+	return &Store{inner: &storeInner{funcs: make(map[Key]*FuncSummary), mhp: make(map[Key]*MHPFacts)}}
 }
 
 // NewStoreCap returns a store that holds at most n function summaries
 // (n <= 0 means unbounded), evicting the oldest insertion when full.
 func NewStoreCap(n int) *Store {
 	s := NewStore()
-	s.cap = n
+	s.inner.cap = n
 	return s
+}
+
+// View returns a tenant-namespaced handle onto the same underlying
+// storage: keys are rewritten through DeriveKey(k, "tenant\x00"+label),
+// so views of distinct labels can never collide with each other or with
+// the root namespace, and a view of the same label always addresses the
+// same entries. The returned handle has fresh counters — its Stats are
+// the tenant's own traffic. View("") returns a fresh-countered handle
+// onto the root namespace.
+func (s *Store) View(label string) *Store {
+	v := &Store{inner: s.inner}
+	if label != "" {
+		v.label = "tenant\x00" + label
+	}
+	return v
+}
+
+// Label returns the tenant label this handle namespaces keys under
+// ("" for the root namespace).
+func (s *Store) Label() string {
+	const prefix = "tenant\x00"
+	if len(s.label) > len(prefix) {
+		return s.label[len(prefix):]
+	}
+	return ""
+}
+
+// key maps a caller key into this handle's namespace.
+func (s *Store) key(k Key) Key {
+	if s.label == "" {
+		return k
+	}
+	return DeriveKey(k, s.label)
 }
 
 // Get returns the function summary stored under k, if any.
 func (s *Store) Get(k Key) (*FuncSummary, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sum, ok := s.funcs[k]
+	k = s.key(k)
+	s.inner.mu.Lock()
+	defer s.inner.mu.Unlock()
+	sum, ok := s.inner.funcs[k]
 	if ok {
 		s.hits++
 	} else {
@@ -71,35 +124,38 @@ func (s *Store) Get(k Key) (*FuncSummary, bool) {
 // Put stores a function summary under k. Re-putting an existing key
 // refreshes the value without consuming capacity.
 func (s *Store) Put(k Key, sum *FuncSummary) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	k = s.key(k)
+	in := s.inner
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	s.puts++
-	if _, exists := s.funcs[k]; exists {
-		s.funcs[k] = sum
+	if _, exists := in.funcs[k]; exists {
+		in.funcs[k] = sum
 		return
 	}
-	if s.cap > 0 && len(s.funcs) >= s.cap {
+	if in.cap > 0 && len(in.funcs) >= in.cap {
 		// FIFO: drop insertion-order entries until there is room. Keys
 		// already re-put (and so refreshed) were never re-appended, so the
 		// order slice can hold stale keys; skip those.
-		for len(s.order) > 0 && len(s.funcs) >= s.cap {
-			victim := s.order[0]
-			s.order = s.order[1:]
-			if _, ok := s.funcs[victim]; ok {
-				delete(s.funcs, victim)
-				s.evictions++
+		for len(in.order) > 0 && len(in.funcs) >= in.cap {
+			victim := in.order[0]
+			in.order = in.order[1:]
+			if _, ok := in.funcs[victim]; ok {
+				delete(in.funcs, victim)
+				in.evictions++
 			}
 		}
 	}
-	s.funcs[k] = sum
-	s.order = append(s.order, k)
+	in.funcs[k] = sum
+	in.order = append(in.order, k)
 }
 
 // GetMHP returns the MHP facts stored under the program key k, if any.
 func (s *Store) GetMHP(k Key) (*MHPFacts, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	f, ok := s.mhp[k]
+	k = s.key(k)
+	s.inner.mu.Lock()
+	defer s.inner.mu.Unlock()
+	f, ok := s.inner.mhp[k]
 	if ok {
 		s.mhpHits++
 	} else {
@@ -111,21 +167,23 @@ func (s *Store) GetMHP(k Key) (*MHPFacts, bool) {
 // PutMHP stores MHP facts under the program key k. MHP facts are whole-
 // program and few; they are not subject to the capacity bound.
 func (s *Store) PutMHP(k Key, f *MHPFacts) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.mhp[k] = f
+	k = s.key(k)
+	s.inner.mu.Lock()
+	defer s.inner.mu.Unlock()
+	s.inner.mhp[k] = f
 }
 
-// Stats returns a snapshot of the store counters.
+// Stats returns a snapshot of this handle's counters (global residency
+// and evictions are shared across handles).
 func (s *Store) Stats() StoreStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.inner.mu.Lock()
+	defer s.inner.mu.Unlock()
 	return StoreStats{
 		Hits:      s.hits,
 		Misses:    s.misses,
 		Puts:      s.puts,
-		Evictions: s.evictions,
-		Entries:   int64(len(s.funcs)),
+		Evictions: s.inner.evictions,
+		Entries:   int64(len(s.inner.funcs)),
 		MHPHits:   s.mhpHits,
 		MHPMisses: s.mhpMisses,
 	}
