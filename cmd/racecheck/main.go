@@ -105,7 +105,8 @@ func run(args []string, out, errOut io.Writer) int {
 	fs.BoolVar(&req.Dynamic, "dynamic", false, "run the program and report dynamic races from the event-sink checker")
 	fs.StringVar(&req.Checker, "checker", "epoch", "dynamic race checker for -dynamic: epoch, vector, or both")
 	fs.Uint64Var(&req.Seed, "seed", 1, "schedule seed for -dynamic runs")
-	fs.StringVar(&req.TracePath, "trace", "", "write a Chrome/Perfetto trace of the observed pipeline to this file (with -dynamic)")
+	fs.StringVar(&req.TracePath, "trace", "", "write a Chrome/Perfetto trace to this file: the observed pipeline with -dynamic, the server-side request span tree with -server")
+	fs.StringVar(&req.TraceID, "trace-id", "", "trace ID to stamp on the request with -server (default: server-minted)")
 	fs.StringVar(&req.MetricsPath, "metrics", "", "write the observability metrics report (JSON) to this file (with -dynamic)")
 	fs.BoolVar(&req.Incremental, "incremental", false, "run the static analysis through the summary-store-backed incremental engine")
 	fs.StringVar(&req.BatchDir, "batch", "", "analyze every *.mc file in this directory through one shared summary store")

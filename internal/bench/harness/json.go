@@ -70,6 +70,12 @@ type JSONEntry struct {
 	// per-weak-lock-site counters, event-stream stats and the log-stream
 	// breakdown. Every field in it is simulated and deterministic.
 	Metrics *obs.RowMetrics `json:"metrics,omitempty"`
+
+	// QueueWaitNS and ServerRunNS appear only on server-mode rows
+	// (chimera-bench -server): the chimerad queue wait and execution wall
+	// the job view reported for this row's gen-pipeline job.
+	QueueWaitNS int64 `json:"queue_wait_ns,omitempty"`
+	ServerRunNS int64 `json:"server_run_ns,omitempty"`
 }
 
 // JSONReport is the machine-readable export document. Entries are sorted

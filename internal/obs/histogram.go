@@ -1,0 +1,96 @@
+package obs
+
+import "sync"
+
+// Fixed-bucket latency histograms. The bucket layout is chosen at
+// construction and never changes, so two histograms built from the same
+// bounds are structurally identical regardless of what they observed —
+// that is what lets the service metrics masking (ServiceMetrics.Mask)
+// zero the observed state while determinism tests still pin the
+// structure, exactly as Report.MaskWall does for wall-clock fields.
+
+// DefaultLatencyBuckets is the service latency bucket layout: upper
+// bounds in nanoseconds, 1µs × 4^i from 1µs to ≈16.8s (13 bounds, 14
+// buckets counting the implicit +Inf). Powers of four keep the table
+// short while still separating "cache hit" (µs), "static analysis" (ms)
+// and "full record/replay pipeline" (s) populations.
+func DefaultLatencyBuckets() []int64 {
+	bounds := make([]int64, 13)
+	b := int64(1_000)
+	for i := range bounds {
+		bounds[i] = b
+		b *= 4
+	}
+	return bounds
+}
+
+// Histogram is a concurrency-safe fixed-bucket histogram of nanosecond
+// durations. A nil *Histogram is the disabled histogram: Observe on it
+// is an allocation-free no-op, mirroring the nil-Tracer contract.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []int64 // ascending upper bounds; implicit +Inf bucket last
+	counts []int64 // len(bounds)+1
+	sum    int64
+	count  int64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds (nanoseconds). The bounds slice is copied.
+func NewHistogram(bounds []int64) *Histogram {
+	return &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration. Nil-safe and allocation-free.
+func (h *Histogram) Observe(ns int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := 0
+	for i < len(h.bounds) && ns > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += ns
+	h.count++
+	h.mu.Unlock()
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		BoundsNS: append([]int64(nil), h.bounds...),
+		Counts:   append([]int64(nil), h.counts...),
+		SumNS:    h.sum,
+		Count:    h.count,
+	}
+}
+
+// HistogramSnapshot is the serialized form of a histogram: the fixed
+// bucket bounds (structure) and the observed counts/sum (state). Counts
+// has one entry per bound plus a final +Inf bucket.
+type HistogramSnapshot struct {
+	BoundsNS []int64 `json:"bounds_ns"`
+	Counts   []int64 `json:"counts"`
+	SumNS    int64   `json:"sum_ns"`
+	Count    int64   `json:"count"`
+}
+
+// Mask zeroes the observed state in place, keeping the bucket structure
+// — the histogram analogue of Report.MaskWall.
+func (s *HistogramSnapshot) Mask() {
+	for i := range s.Counts {
+		s.Counts[i] = 0
+	}
+	s.SumNS = 0
+	s.Count = 0
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Structured JSON logging for the service: one JSON object per line,
+// with a fixed header (ts, level, event) followed by the caller's fields
+// in call order — deterministic field order, so log lines diff cleanly
+// and tests can pin everything but the timestamp. A nil *Logger is the
+// disabled logger: every method is an allocation-free no-op, the same
+// contract as the nil Tracer and nil Histogram.
+
+// Level is a log severity. Records below the logger's minimum are
+// dropped before any formatting work happens.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	// LevelOff is above every real level; a logger with this minimum
+	// emits nothing.
+	LevelOff
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "off"
+	}
+}
+
+// ParseLevel maps a flag value ("debug", "info", "warn", "error",
+// "off") to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	case "off":
+		return LevelOff, nil
+	}
+	return LevelOff, fmt.Errorf("unknown log level %q (want debug|info|warn|error|off)", s)
+}
+
+// Field is one key/value pair in a log record. Construct with Str, Int,
+// or RawJSON; the zero Field renders as a JSON null.
+type Field struct {
+	Key  string
+	str  string
+	num  int64
+	raw  []byte
+	kind fieldKind
+}
+
+type fieldKind uint8
+
+const (
+	fieldNull fieldKind = iota
+	fieldStr
+	fieldInt
+	fieldRaw
+)
+
+// Str builds a string field.
+func Str(key, v string) Field { return Field{Key: key, str: v, kind: fieldStr} }
+
+// Int builds an integer field.
+func Int(key string, v int64) Field { return Field{Key: key, num: v, kind: fieldInt} }
+
+// RawJSON embeds pre-encoded JSON verbatim (e.g. a metrics snapshot).
+// The caller is responsible for v being valid JSON; invalid input would
+// corrupt the line.
+func RawJSON(key string, v []byte) Field { return Field{Key: key, raw: v, kind: fieldRaw} }
+
+// Logger writes newline-delimited JSON records to one writer. Safe for
+// concurrent use; each record is written in a single Write call.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	min   Level
+	clock func() time.Time
+}
+
+// NewLogger returns a logger writing records at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{w: w, min: min, clock: time.Now}
+}
+
+// NewLoggerWithClock is NewLogger with an injectable timestamp source,
+// for tests that pin whole lines.
+func NewLoggerWithClock(w io.Writer, min Level, clock func() time.Time) *Logger {
+	return &Logger{w: w, min: min, clock: clock}
+}
+
+// Enabled reports whether records at lv would be written. Nil-safe.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv >= l.min && lv < LevelOff
+}
+
+// Log writes one record. Nil-safe; below-minimum records cost one
+// comparison and no allocation.
+func (l *Logger) Log(lv Level, event string, fields ...Field) {
+	if !l.Enabled(lv) {
+		return
+	}
+	var buf []byte
+	buf = append(buf, `{"ts":`...)
+	buf = appendJSONString(buf, l.clock().UTC().Format(time.RFC3339Nano))
+	buf = append(buf, `,"level":`...)
+	buf = appendJSONString(buf, lv.String())
+	buf = append(buf, `,"event":`...)
+	buf = appendJSONString(buf, event)
+	for i := range fields {
+		f := &fields[i]
+		buf = append(buf, ',')
+		buf = appendJSONString(buf, f.Key)
+		buf = append(buf, ':')
+		switch f.kind {
+		case fieldStr:
+			buf = appendJSONString(buf, f.str)
+		case fieldInt:
+			buf = strconv.AppendInt(buf, f.num, 10)
+		case fieldRaw:
+			buf = append(buf, f.raw...)
+		default:
+			buf = append(buf, "null"...)
+		}
+	}
+	buf = append(buf, '}', '\n')
+	l.mu.Lock()
+	l.w.Write(buf)
+	l.mu.Unlock()
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(event string, fields ...Field) { l.Log(LevelDebug, event, fields...) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(event string, fields ...Field) { l.Log(LevelInfo, event, fields...) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(event string, fields ...Field) { l.Log(LevelWarn, event, fields...) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(event string, fields ...Field) { l.Log(LevelError, event, fields...) }
+
+func appendJSONString(buf []byte, s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return append(buf, `""`...)
+	}
+	return append(buf, b...)
+}

@@ -30,14 +30,20 @@ type traceDoc struct {
 // render as stacked slices. An unended span gets its latest descendant's
 // end (or its own start) as a best-effort end time.
 func (t *Tracer) Perfetto() ([]byte, error) {
-	roots := t.Roots()
+	return PerfettoNodes(t.Nodes())
+}
+
+// PerfettoNodes renders a detached span forest — typically one returned
+// over the wire in a job result — as the same Chrome trace-event JSON
+// document Tracer.Perfetto produces locally.
+func PerfettoNodes(roots []*SpanNode) ([]byte, error) {
 	var epoch int64
 	if len(roots) > 0 {
 		epoch = roots[0].StartNS
 	}
 	doc := traceDoc{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
-	var walk func(sp *Span)
-	walk = func(sp *Span) {
+	var walk func(sp *SpanNode)
+	walk = func(sp *SpanNode) {
 		end := sp.EndNS
 		for _, c := range sp.Children {
 			if c.EndNS > end {

@@ -2,9 +2,11 @@ package obs
 
 import "encoding/json"
 
-// Service metrics: the document chimerad serves at /metrics. Everything
+// Service metrics: the document chimerad serves at /metrics.json (and
+// flattens into Prometheus text exposition at /metrics). Everything
 // here is a counter snapshot — per-tenant cache and summary-store
-// traffic with hit ratios, job counts by state, and pool occupancy.
+// traffic with hit ratios, job counts by state, pool and per-shard
+// occupancy, and the latency histogram registry.
 // Unlike Report, none of it is pinned byte-stable across runs (a warm
 // service is stateful by design), but field order and encoding are
 // canonical so diffs within one server lifetime are readable.
@@ -37,14 +39,38 @@ type TenantMetrics struct {
 	SummaryHitRatio float64           `json:"summary_hit_ratio"`
 }
 
-// ServiceMetrics is the full /metrics document. Tenants are sorted by
-// name for stable output.
+// ShardMetrics is one pool shard's occupancy at scrape time.
+type ShardMetrics struct {
+	Shard      int   `json:"shard"`
+	QueueDepth int64 `json:"queue_depth"`
+	InFlight   int64 `json:"in_flight"`
+}
+
+// ServiceMetrics is the full service metrics document (served as JSON
+// at /metrics.json and rendered as Prometheus text at /metrics).
+// Tenants are sorted by name for stable output.
 type ServiceMetrics struct {
-	Schema   int             `json:"schema"`
-	Draining bool            `json:"draining"`
-	Jobs     JobCounts       `json:"jobs"`
-	Pool     PoolCounts      `json:"pool"`
-	Tenants  []TenantMetrics `json:"tenants,omitempty"`
+	Schema    int                `json:"schema"`
+	Draining  bool               `json:"draining"`
+	Jobs      JobCounts          `json:"jobs"`
+	Pool      PoolCounts         `json:"pool"`
+	Shards    []ShardMetrics     `json:"shards,omitempty"`
+	Telemetry *TelemetrySnapshot `json:"telemetry,omitempty"`
+	Tenants   []TenantMetrics    `json:"tenants,omitempty"`
+}
+
+// Mask zeroes every load- and wall-dependent value in place — histogram
+// state, spool counters, shard gauges, pool pending — keeping the
+// structural parts (schema, bucket bounds, family names, job/tenant
+// counts for a quiesced engine) so two equivalent runs compare
+// byte-equal after masking, the service analogue of Report.MaskWall.
+func (m *ServiceMetrics) Mask() {
+	m.Pool.Pending = 0
+	for i := range m.Shards {
+		m.Shards[i].QueueDepth = 0
+		m.Shards[i].InFlight = 0
+	}
+	m.Telemetry.Mask()
 }
 
 // Marshal renders the metrics as stable, indented JSON with a trailing

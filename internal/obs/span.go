@@ -1,0 +1,69 @@
+package obs
+
+// SpanNode is the serializable form of a span tree: the same shape as
+// the live *Span forest but detached from the tracer, safe to marshal
+// onto the wire (job results, /debug/traces) and to render with
+// PerfettoNodes on the far side. Children keep start order.
+type SpanNode struct {
+	Name     string      `json:"name"`
+	StartNS  int64       `json:"start_ns"`
+	EndNS    int64       `json:"end_ns"`
+	Attrs    AttrMap     `json:"attrs,omitempty"`
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// WallNS returns the node duration (zero for an unended span).
+func (n *SpanNode) WallNS() int64 {
+	if n == nil || n.EndNS < n.StartNS {
+		return 0
+	}
+	return n.EndNS - n.StartNS
+}
+
+// Nodes deep-copies the recorded span forest into detached SpanNodes.
+// The copy is taken under the tracer lock, so it is safe even while
+// other goroutines are still opening and ending spans; spans recorded
+// after the call do not appear.
+func (t *Tracer) Nodes() []*SpanNode {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*SpanNode, 0, len(t.roots))
+	for _, r := range t.roots {
+		out = append(out, copyNode(r))
+	}
+	return out
+}
+
+func copyNode(sp *Span) *SpanNode {
+	n := &SpanNode{
+		Name:    sp.Name,
+		StartNS: sp.StartNS,
+		EndNS:   sp.EndNS,
+		Attrs:   append(AttrMap(nil), sp.Attrs...),
+	}
+	for _, c := range sp.Children {
+		n.Children = append(n.Children, copyNode(c))
+	}
+	return n
+}
+
+// Walk visits every node in the forest depth-first, parents before
+// children, in start order.
+func Walk(roots []*SpanNode, fn func(n *SpanNode)) {
+	for _, r := range roots {
+		walkNode(r, fn)
+	}
+}
+
+func walkNode(n *SpanNode, fn func(n *SpanNode)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		walkNode(c, fn)
+	}
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Telemetry is the service-wide aggregation point chimerad scrapes:
+// per-job-kind and per-stage latency histograms plus spool byte
+// counters. Job-kind histograms are pre-registered at construction so
+// the exposition always carries every kind's family (scrapers and CI
+// can assert on them before the first job of that kind runs); stage
+// histograms appear lazily as span names are observed, which is still
+// deterministic for a fixed job mix because span names are. A nil
+// *Telemetry is the disabled registry: every method is an
+// allocation-free no-op.
+type Telemetry struct {
+	mu         sync.Mutex
+	jobs       map[string]*Histogram
+	stages     map[string]*Histogram
+	spoolIn    atomic.Int64
+	spoolOut   atomic.Int64
+	newBuckets func() []int64
+}
+
+// NewTelemetry returns a registry with DefaultLatencyBuckets and one
+// pre-registered job histogram per kind.
+func NewTelemetry(kinds ...string) *Telemetry {
+	t := &Telemetry{
+		jobs:       make(map[string]*Histogram, len(kinds)),
+		stages:     make(map[string]*Histogram),
+		newBuckets: DefaultLatencyBuckets,
+	}
+	for _, k := range kinds {
+		t.jobs[k] = NewHistogram(t.newBuckets())
+	}
+	return t
+}
+
+// ObserveJob records one job execution duration under its kind.
+func (t *Telemetry) ObserveJob(kind string, ns int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	h := t.jobs[kind]
+	if h == nil {
+		h = NewHistogram(t.newBuckets())
+		t.jobs[kind] = h
+	}
+	t.mu.Unlock()
+	h.Observe(ns)
+}
+
+// ObserveStage records one pipeline-stage duration under the stage
+// (span) name.
+func (t *Telemetry) ObserveStage(stage string, ns int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	h := t.stages[stage]
+	if h == nil {
+		h = NewHistogram(t.newBuckets())
+		t.stages[stage] = h
+	}
+	t.mu.Unlock()
+	h.Observe(ns)
+}
+
+// AddSpoolBytes bumps the spool I/O counters: in is bytes written to
+// the spool directory (log uploads, record output), out is bytes read
+// back (replay input, log downloads).
+func (t *Telemetry) AddSpoolBytes(in, out int64) {
+	if t == nil {
+		return
+	}
+	if in != 0 {
+		t.spoolIn.Add(in)
+	}
+	if out != 0 {
+		t.spoolOut.Add(out)
+	}
+}
+
+// Snapshot copies the registry state, kinds and stages sorted by name.
+func (t *Telemetry) Snapshot() *TelemetrySnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	jobs := make([]NamedHistogram, 0, len(t.jobs))
+	for k, h := range t.jobs {
+		jobs = append(jobs, NamedHistogram{Name: k, Histogram: h.Snapshot()})
+	}
+	stages := make([]NamedHistogram, 0, len(t.stages))
+	for k, h := range t.stages {
+		stages = append(stages, NamedHistogram{Name: k, Histogram: h.Snapshot()})
+	}
+	t.mu.Unlock()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Name < jobs[j].Name })
+	sort.Slice(stages, func(i, j int) bool { return stages[i].Name < stages[j].Name })
+	return &TelemetrySnapshot{
+		Jobs:          jobs,
+		Stages:        stages,
+		SpoolInBytes:  t.spoolIn.Load(),
+		SpoolOutBytes: t.spoolOut.Load(),
+	}
+}
+
+// NamedHistogram is one keyed histogram in a snapshot.
+type NamedHistogram struct {
+	Name      string            `json:"name"`
+	Histogram HistogramSnapshot `json:"histogram"`
+}
+
+// TelemetrySnapshot is the serialized registry: job-kind histograms,
+// stage histograms, and spool byte counters.
+type TelemetrySnapshot struct {
+	Jobs          []NamedHistogram `json:"jobs"`
+	Stages        []NamedHistogram `json:"stages"`
+	SpoolInBytes  int64            `json:"spool_in_bytes"`
+	SpoolOutBytes int64            `json:"spool_out_bytes"`
+}
+
+// Mask zeroes every observed value (histogram counts and sums, spool
+// counters) in place while keeping the structure — family names and
+// bucket bounds — so masked snapshots from equivalent runs compare
+// byte-equal, the way Report.MaskWall pins reports.
+func (s *TelemetrySnapshot) Mask() {
+	if s == nil {
+		return
+	}
+	for i := range s.Jobs {
+		s.Jobs[i].Histogram.Mask()
+	}
+	for i := range s.Stages {
+		s.Stages[i].Histogram.Mask()
+	}
+	s.SpoolInBytes = 0
+	s.SpoolOutBytes = 0
+}

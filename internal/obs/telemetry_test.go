@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := DefaultLatencyBuckets()
+	if len(bounds) != 13 || bounds[0] != 1_000 || bounds[12] != 1_000*(1<<24) {
+		t.Fatalf("DefaultLatencyBuckets = %v, want 13 bounds 1µs×4^i", bounds)
+	}
+
+	h := NewHistogram([]int64{10, 100, 1000})
+	// One observation per bucket edge case: below first bound, exactly on
+	// a bound (inclusive upper), between bounds, above the last bound.
+	for _, ns := range []int64{5, 10, 11, 100, 500, 1000, 1001, 1 << 40} {
+		h.Observe(ns)
+	}
+	s := h.Snapshot()
+	wantCounts := []int64{2, 2, 2, 2} // (≤10)=5,10  (≤100)=11,100  (≤1000)=500,1000  (+Inf)=1001,2^40
+	if len(s.Counts) != len(wantCounts) {
+		t.Fatalf("Counts len = %d, want %d", len(s.Counts), len(wantCounts))
+	}
+	for i, want := range wantCounts {
+		if s.Counts[i] != want {
+			t.Errorf("bucket %d count = %d, want %d (counts %v)", i, s.Counts[i], want, s.Counts)
+		}
+	}
+	if s.Count != 8 {
+		t.Errorf("Count = %d, want 8", s.Count)
+	}
+
+	s.Mask()
+	for i, c := range s.Counts {
+		if c != 0 {
+			t.Errorf("masked bucket %d = %d, want 0", i, c)
+		}
+	}
+	if s.SumNS != 0 || s.Count != 0 {
+		t.Errorf("masked sum/count = %d/%d, want 0/0", s.SumNS, s.Count)
+	}
+	if len(s.BoundsNS) != 3 {
+		t.Errorf("Mask dropped bucket structure: bounds %v", s.BoundsNS)
+	}
+}
+
+func TestTelemetrySnapshotSortedAndMasked(t *testing.T) {
+	tel := NewTelemetry("record", "analyze")
+	tel.ObserveJob("record", 5_000)
+	tel.ObserveJob("replay-verify", 7_000) // not pre-registered: lazy family
+	tel.ObserveStage("parse", 100)
+	tel.ObserveStage("analyze", 200)
+	tel.AddSpoolBytes(64, 32)
+
+	s := tel.Snapshot()
+	gotJobs := make([]string, len(s.Jobs))
+	for i, nh := range s.Jobs {
+		gotJobs[i] = nh.Name
+	}
+	if strings.Join(gotJobs, ",") != "analyze,record,replay-verify" {
+		t.Errorf("job families = %v, want sorted analyze,record,replay-verify", gotJobs)
+	}
+	if s.Stages[0].Name != "analyze" || s.Stages[1].Name != "parse" {
+		t.Errorf("stage families = %v/%v, want analyze,parse", s.Stages[0].Name, s.Stages[1].Name)
+	}
+	if s.SpoolInBytes != 64 || s.SpoolOutBytes != 32 {
+		t.Errorf("spool counters = %d/%d, want 64/32", s.SpoolInBytes, s.SpoolOutBytes)
+	}
+
+	// Masked snapshots from two registries with the same families must be
+	// byte-equal regardless of what each observed.
+	tel2 := NewTelemetry("record", "analyze")
+	tel2.ObserveJob("record", 999_999_999)
+	tel2.ObserveJob("replay-verify", 1)
+	tel2.ObserveStage("parse", 42)
+	tel2.ObserveStage("analyze", 4_200)
+	tel2.AddSpoolBytes(7, 7)
+	s2 := tel2.Snapshot()
+	s.Mask()
+	s2.Mask()
+	a, _ := json.Marshal(s)
+	b, _ := json.Marshal(s2)
+	if !bytes.Equal(a, b) {
+		t.Errorf("masked snapshots differ:\n%s\n%s", a, b)
+	}
+}
+
+func TestLoggerFieldOrderLevelsAndClock(t *testing.T) {
+	var buf bytes.Buffer
+	clock := func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+	lg := NewLoggerWithClock(&buf, LevelInfo, clock)
+
+	lg.Debug("dropped") // below minimum
+	lg.Info("job_done",
+		Str("job", "j000001"),
+		Int("run_ns", 1234),
+		RawJSON("stages", []byte(`{"parse":1}`)),
+		Str("quote", `a"b`),
+	)
+	want := `{"ts":"2026-08-08T12:00:00Z","level":"info","event":"job_done","job":"j000001","run_ns":1234,"stages":{"parse":1},"quote":"a\"b"}` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("log line:\n got %q\nwant %q", got, want)
+	}
+	if !json.Valid(bytes.TrimSpace(buf.Bytes())) {
+		t.Errorf("log line is not valid JSON: %s", buf.String())
+	}
+
+	buf.Reset()
+	off := NewLogger(&buf, LevelOff)
+	off.Error("never")
+	if buf.Len() != 0 {
+		t.Errorf("LevelOff logger wrote %q", buf.String())
+	}
+	if off.Enabled(LevelError) {
+		t.Error("LevelOff logger reports Enabled(error)")
+	}
+
+	for in, want := range map[string]Level{"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn, "error": LevelError, "off": LevelOff} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) did not fail")
+	}
+}
+
+// TestNilObservabilityIsAllocFree pins the disabled contract for every
+// new observability type: a nil receiver must cost zero allocations on
+// the hot paths the engine calls unconditionally.
+func TestNilObservabilityIsAllocFree(t *testing.T) {
+	var h *Histogram
+	var tel *Telemetry
+	var lg *Logger
+	var tr *Tracer
+	if n := testing.AllocsPerRun(100, func() {
+		h.Observe(123)
+		tel.ObserveJob("analyze", 1)
+		tel.ObserveStage("parse", 1)
+		tel.AddSpoolBytes(1, 1)
+		lg.Info("event", Str("k", "v"))
+		sp := tr.Start("stage")
+		sp.SetAttr("k", 1)
+		sp.End()
+	}); n != 0 {
+		t.Errorf("nil observability allocated %.1f per op, want 0", n)
+	}
+}
+
+func TestRatioZeroTraffic(t *testing.T) {
+	if r := Ratio(0, 0); r != 0 {
+		t.Errorf("Ratio(0,0) = %v, want 0", r)
+	}
+	if r := Ratio(3, 4); r != 0.75 {
+		t.Errorf("Ratio(3,4) = %v, want 0.75", r)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	tel := NewTelemetry("analyze")
+	tel.ObserveJob("analyze", 3_000) // second bucket (1µs < 3µs ≤ 4µs)
+	tel.ObserveJob("analyze", 1<<40) // +Inf bucket
+	tel.AddSpoolBytes(10, 20)
+	m := &ServiceMetrics{
+		Schema:   2,
+		Draining: true,
+		Jobs:     JobCounts{Done: 2},
+		Pool:     PoolCounts{Shards: 2, Completed: 2},
+		Shards: []ShardMetrics{
+			{Shard: 0, QueueDepth: 1, InFlight: 1},
+			{Shard: 1},
+		},
+		Telemetry: tel.Snapshot(),
+		Tenants: []TenantMetrics{
+			{Tenant: "acme", Jobs: 2, CacheHitRatio: 0.5},
+		},
+	}
+	text := string(m.Prometheus())
+
+	for _, want := range []string{
+		"chimerad_draining 1\n",
+		`chimerad_jobs{state="done"} 2`,
+		`chimerad_shard_queue_depth{shard="0"} 1`,
+		`chimerad_job_duration_seconds_bucket{kind="analyze",le="1e-06"} 0`,
+		`chimerad_job_duration_seconds_bucket{kind="analyze",le="4e-06"} 1`,
+		// Buckets are cumulative: every later finite bound still counts the
+		// 3µs observation, and +Inf counts both.
+		`chimerad_job_duration_seconds_bucket{kind="analyze",le="16.777216"} 1`,
+		`chimerad_job_duration_seconds_bucket{kind="analyze",le="+Inf"} 2`,
+		`chimerad_job_duration_seconds_count{kind="analyze"} 2`,
+		`chimerad_spool_bytes_total{direction="in"} 10`,
+		`chimerad_spool_bytes_total{direction="out"} 20`,
+		`chimerad_tenant_cache_hit_ratio{tenant="acme"} 0.5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n--- got:\n%s", want, text)
+		}
+	}
+
+	// Every non-comment line must be "name{labels} value" with a numeric
+	// value, and a second render must be byte-identical.
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Errorf("line %q: bad value: %v", line, err)
+		}
+	}
+	if again := string(m.Prometheus()); again != text {
+		t.Error("two renders of one snapshot differ")
+	}
+}

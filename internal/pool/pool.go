@@ -116,6 +116,8 @@ var ErrFull = errors.New("pool: shard queue full")
 // FIFO; instead of run-to-completion, the pool drains on demand.
 type Sharded struct {
 	shards  []chan func()
+	queued  []atomic.Int64 // per-shard tasks waiting in queue
+	running []atomic.Int64 // per-shard tasks executing (0 or 1)
 	wg      sync.WaitGroup
 	drain   atomic.Bool
 	submit  sync.RWMutex // held (R) across enqueue so Drain can fence
@@ -132,19 +134,26 @@ func NewSharded(shards, depth int) *Sharded {
 	if depth < 1 {
 		depth = 1
 	}
-	p := &Sharded{shards: make([]chan func(), shards)}
+	p := &Sharded{
+		shards:  make([]chan func(), shards),
+		queued:  make([]atomic.Int64, shards),
+		running: make([]atomic.Int64, shards),
+	}
 	for i := range p.shards {
 		ch := make(chan func(), depth)
 		p.shards[i] = ch
 		p.wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer p.wg.Done()
 			for task := range ch {
+				p.queued[i].Add(-1)
+				p.running[i].Add(1)
 				task()
+				p.running[i].Add(-1)
 				p.pending.Add(-1)
 				p.done.Add(1)
 			}
-		}()
+		}(i)
 	}
 	return p
 }
@@ -163,11 +172,17 @@ func (p *Sharded) Submit(key uint64, task func()) error {
 	if p.drain.Load() {
 		return ErrDraining
 	}
+	// The queued gauge is bumped before the send: the channel receive
+	// orders the worker's decrement after this increment, so the gauge
+	// never goes negative.
+	idx := p.Shard(key)
+	p.queued[idx].Add(1)
 	select {
-	case p.shards[p.Shard(key)] <- task:
+	case p.shards[idx] <- task:
 		p.pending.Add(1)
 		return nil
 	default:
+		p.queued[idx].Add(-1)
 		return ErrFull
 	}
 }
@@ -175,6 +190,21 @@ func (p *Sharded) Submit(key uint64, task func()) error {
 // Stats reports tasks currently queued or running, and tasks completed.
 func (p *Sharded) Stats() (pending, done int64) {
 	return p.pending.Load(), p.done.Load()
+}
+
+// ShardStats reports, per shard, the tasks waiting in queue and the
+// tasks executing. The two slices are parallel to shard indices. Each
+// gauge is individually accurate; a scrape concurrent with task
+// hand-off may observe the one-task transition inconsistently between
+// the two slices (gauges, not ledgers).
+func (p *Sharded) ShardStats() (queued, running []int64) {
+	queued = make([]int64, len(p.shards))
+	running = make([]int64, len(p.shards))
+	for i := range p.shards {
+		queued[i] = p.queued[i].Load()
+		running[i] = p.running[i].Load()
+	}
+	return queued, running
 }
 
 // Drain stops admission and waits for every queued task to finish, or

@@ -141,13 +141,35 @@ func (c *Client) DownloadLog(id string, w io.Writer) (int64, error) {
 	return io.Copy(w, resp.Body)
 }
 
-// Metrics fetches the server's /metrics document.
+// Metrics fetches the server's /metrics.json document.
 func (c *Client) Metrics() (*obs.ServiceMetrics, error) {
 	m := new(obs.ServiceMetrics)
-	if err := c.do("GET", "/metrics", nil, m); err != nil {
+	if err := c.do("GET", "/metrics.json", nil, m); err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// MetricsText fetches the server's Prometheus exposition at /metrics.
+func (c *Client) MetricsText() ([]byte, error) {
+	resp, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("metrics: %s", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Trace fetches one retained trace by trace ID or job ID.
+func (c *Client) Trace(id string) (*TraceRecord, error) {
+	rec := new(TraceRecord)
+	if err := c.do("GET", "/debug/traces/"+url.PathEscape(id), nil, rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
 }
 
 // RemoteRun is racecheck's -server client mode: it ships the parsed
@@ -158,7 +180,14 @@ func (c *Client) Metrics() (*obs.ServiceMetrics, error) {
 // reading the source file: the client inlines it so the server never
 // touches client paths, while Args keeps the display path so output
 // matches the offline run.
+//
+// -trace is handled client-side: the path never reaches the server.
+// The job is asked to return its span tree (WantTrace) and the client
+// renders it as a Perfetto file locally, so a server-mode trace covers
+// queue wait, spool I/O, every pipeline stage, and verdict encode.
 func RemoteRun(server, tenant string, req *Request, out, errOut io.Writer) int {
+	tracePath := req.TracePath
+	req.TracePath = ""
 	if err := req.ValidateRemote(); err != nil {
 		fmt.Fprintf(errOut, "racecheck: -server: %v\n", err)
 		return ExitUsage
@@ -174,7 +203,13 @@ func RemoteRun(server, tenant string, req *Request, out, errOut io.Writer) int {
 		req.HasSource = true
 	}
 	c := NewClient(server)
-	accepted, err := c.Submit(&JobSpec{Kind: JobAnalyze, Tenant: tenant, Request: req})
+	accepted, err := c.Submit(&JobSpec{
+		Kind:      JobAnalyze,
+		Tenant:    tenant,
+		Request:   req,
+		TraceID:   req.TraceID,
+		WantTrace: tracePath != "",
+	})
 	if err != nil {
 		fmt.Fprintf(errOut, "racecheck: server: %v\n", err)
 		return ExitFailure
@@ -190,5 +225,20 @@ func RemoteRun(server, tenant string, req *Request, out, errOut io.Writer) int {
 	}
 	io.WriteString(out, v.Result.Stdout)
 	io.WriteString(errOut, v.Result.Stderr)
+	if tracePath != "" {
+		if v.Result.Trace == nil {
+			fmt.Fprintf(errOut, "racecheck: server: job %s returned no trace\n", v.ID)
+			return ExitArtifact
+		}
+		data, err := obs.PerfettoNodes([]*obs.SpanNode{v.Result.Trace})
+		if err == nil {
+			err = os.WriteFile(tracePath, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(errOut, "racecheck: write %s: %v\n", tracePath, err)
+			return ExitArtifact
+		}
+		fmt.Fprintf(out, "  trace written to %s\n", tracePath)
+	}
 	return v.Result.ExitCode
 }

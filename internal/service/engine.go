@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -36,6 +37,15 @@ type EngineConfig struct {
 	// running at the deadline is marked failed and its shard moves on;
 	// this is also what bounds graceful drain.
 	JobTimeout time.Duration
+	// Telemetry receives job/stage latency and spool-byte observations
+	// (default: a fresh registry with the four job kinds pre-registered).
+	Telemetry *obs.Telemetry
+	// Logger receives structured job-lifecycle records. Nil is the
+	// disabled logger: no output, no allocation.
+	Logger *obs.Logger
+	// TraceRing is how many recent job traces /debug/traces retains
+	// (default 64).
+	TraceRing int
 }
 
 // Engine is the job engine behind chimerad: a sharded worker pool
@@ -43,9 +53,12 @@ type EngineConfig struct {
 // share one content-addressed summary store through tenant-prefixed
 // views. It is safe for concurrent use.
 type Engine struct {
-	cfg   EngineConfig
-	store *summary.Store
-	pool  *pool.Sharded
+	cfg    EngineConfig
+	store  *summary.Store
+	pool   *pool.Sharded
+	tel    *obs.Telemetry
+	log    *obs.Logger
+	traces *traceRing
 
 	mu       sync.Mutex
 	tenants  map[string]*tenantState
@@ -80,10 +93,21 @@ func NewEngine(cfg EngineConfig) *Engine {
 	if cfg.SpoolDir == "" {
 		cfg.SpoolDir = os.TempDir()
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = obs.NewTelemetry(
+			string(JobAnalyze), string(JobRecord),
+			string(JobReplayVerify), string(JobGenPipeline))
+	}
+	if cfg.TraceRing <= 0 {
+		cfg.TraceRing = 64
+	}
 	return &Engine{
 		cfg:     cfg,
 		store:   summary.NewStore(),
 		pool:    pool.NewSharded(cfg.Shards, cfg.Depth),
+		tel:     cfg.Telemetry,
+		log:     cfg.Logger,
+		traces:  newTraceRing(cfg.TraceRing),
 		tenants: make(map[string]*tenantState),
 		jobs:    make(map[string]*Job),
 	}
@@ -136,21 +160,50 @@ func (e *Engine) Submit(spec *JobSpec) (*Job, error) {
 		done:    make(chan struct{}),
 	}
 	job.spool = filepath.Join(e.cfg.SpoolDir, job.id+".clog")
+	job.traceID = traceIDFor(spec, e.seq, hash)
 	e.jobs[job.id] = job
 	e.order = append(e.order, job.id)
 	e.tenant(spec.Tenant).jobs++
 	e.mu.Unlock()
 
+	// The job's span tree starts here: an open "request" root carrying
+	// the trace identity, then the wait phase ("awaiting-log" for jobs
+	// expecting an upload, "queue-wait" otherwise) as its first child.
+	job.tracer = obs.NewTracer()
+	job.rootSpan = job.tracer.Start("request").
+		SetStr("trace_id", job.traceID).
+		SetStr("job_id", job.id).
+		SetStr("kind", string(spec.Kind)).
+		SetStr("tenant", spec.Tenant)
+	e.log.Info("job_submitted",
+		obs.Str("trace_id", job.traceID), obs.Str("job", job.id),
+		obs.Str("kind", string(spec.Kind)), obs.Str("tenant", spec.Tenant))
+
 	if spec.Kind == JobReplayVerify && spec.LogUpload {
+		job.waitSpan = job.tracer.Start("awaiting-log")
 		job.mu.Lock()
 		job.state = StateAwaitingLog
 		job.mu.Unlock()
 		return job, nil
 	}
+	job.waitSpan = job.tracer.Start("queue-wait")
 	if err := e.schedule(job); err != nil {
 		return job, err
 	}
 	return job, nil
+}
+
+// traceIDFor resolves a job's trace identity: the spec's, the embedded
+// request's, or a server-minted one derived from the submission
+// sequence number and spec hash.
+func traceIDFor(spec *JobSpec, seq int, hash string) string {
+	if spec.TraceID != "" {
+		return spec.TraceID
+	}
+	if spec.Request != nil && spec.Request.TraceID != "" {
+		return spec.Request.TraceID
+	}
+	return fmt.Sprintf("t%06d-%s", seq, hash[:8])
 }
 
 // schedule enqueues the job on its hash-routed shard.
@@ -161,6 +214,9 @@ func (e *Engine) schedule(job *Job) error {
 	}
 	if err := e.pool.Submit(key, func() { e.runJob(job) }); err != nil {
 		job.complete(nil, fmt.Sprintf("submit: %v", err))
+		job.waitSpan.End()
+		job.rootSpan.End()
+		e.retire(job)
 		return err
 	}
 	return nil
@@ -190,19 +246,29 @@ func (e *Engine) AttachLog(id string, r io.Reader) (int64, error) {
 	job.state = StateQueued // claimed: a concurrent second upload fails above
 	job.mu.Unlock()
 
+	job.waitSpan.End() // awaiting-log is over; the upload is here
+	sw := job.tracer.Start("spool-write")
 	f, err := os.Create(job.spool)
 	if err != nil {
+		sw.End()
 		job.complete(nil, fmt.Sprintf("log spool: %v", err))
+		job.rootSpan.End()
+		e.retire(job)
 		return 0, err
 	}
 	n, err := io.Copy(f, r)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
+	sw.SetAttr("bytes", n).End()
+	e.tel.AddSpoolBytes(n, 0)
 	if err != nil {
 		job.complete(nil, fmt.Sprintf("log upload: %v", err))
+		job.rootSpan.End()
+		e.retire(job)
 		return n, err
 	}
+	job.waitSpan = job.tracer.Start("queue-wait")
 	if err := e.schedule(job); err != nil {
 		return n, err
 	}
@@ -243,6 +309,30 @@ func (e *Engine) Views() []JobView {
 	return views
 }
 
+// Traces returns the retained trace ring, newest first.
+func (e *Engine) Traces() []*TraceRecord { return e.traces.list() }
+
+// Trace returns the newest retained trace whose trace ID or job ID
+// matches.
+func (e *Engine) Trace(id string) (*TraceRecord, bool) { return e.traces.find(id) }
+
+// countReader counts bytes read through it (re-reads after a seek
+// count again: the counter is I/O traffic, not file size).
+type countReader struct {
+	r io.ReadSeeker
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countReader) Seek(offset int64, whence int) (int64, error) {
+	return c.r.Seek(offset, whence)
+}
+
 // Draining reports whether the engine has stopped admitting jobs.
 func (e *Engine) Draining() bool {
 	e.mu.Lock()
@@ -279,7 +369,7 @@ func (e *Engine) Metrics() *obs.ServiceMetrics {
 	draining := e.draining
 	e.mu.Unlock()
 
-	m := &obs.ServiceMetrics{Schema: 1, Draining: draining}
+	m := &obs.ServiceMetrics{Schema: 2, Draining: draining}
 	for _, j := range jobs {
 		switch j.View().State {
 		case StateQueued:
@@ -296,6 +386,12 @@ func (e *Engine) Metrics() *obs.ServiceMetrics {
 	}
 	pending, completed := e.pool.Stats()
 	m.Pool = obs.PoolCounts{Shards: e.pool.Shards(), Pending: pending, Completed: completed}
+	queued, running := e.pool.ShardStats()
+	m.Shards = make([]obs.ShardMetrics, len(queued))
+	for i := range queued {
+		m.Shards[i] = obs.ShardMetrics{Shard: i, QueueDepth: queued[i], InFlight: running[i]}
+	}
+	m.Telemetry = e.tel.Snapshot()
 
 	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
 	for _, t := range tenants {
@@ -322,7 +418,13 @@ func (e *Engine) Metrics() *obs.ServiceMetrics {
 // deadline and frees the shard; a late result from the abandoned
 // executor is dropped by Job.complete.
 func (e *Engine) runJob(job *Job) {
+	job.waitSpan.End()
+	job.mu.Lock()
+	job.queueWaitNS = job.waitSpan.WallNS()
+	job.mu.Unlock()
 	job.setRunning()
+
+	run := job.tracer.Start("run")
 	done := make(chan *JobResult, 1)
 	go func() {
 		defer func() {
@@ -334,10 +436,114 @@ func (e *Engine) runJob(job *Job) {
 	}()
 	select {
 	case res := <-done:
+		run.End()
+		job.mu.Lock()
+		job.runNS = run.WallNS()
+		job.mu.Unlock()
+		// Measure the verdict's wire encoding as its own span: for
+		// analyze jobs with large stdout this is real request time.
+		enc := job.tracer.Start("verdict-encode")
+		if b, err := json.Marshal(res); err == nil {
+			enc.SetAttr("bytes", int64(len(b)))
+		}
+		enc.End()
+		job.rootSpan.SetAttr("exit_code", int64(res.ExitCode)).End()
+		if job.spec.WantTrace {
+			if nodes := job.tracer.Nodes(); len(nodes) > 0 {
+				res.Trace = nodes[0]
+			}
+		}
 		job.complete(res, "") // nonzero exits are verdicts, not engine failures
 	case <-time.After(e.cfg.JobTimeout):
-		job.complete(nil, fmt.Sprintf("job timed out after %s", e.cfg.JobTimeout))
+		msg := fmt.Sprintf("job timed out after %s", e.cfg.JobTimeout)
+		job.complete(nil, msg)
+		run.End() // the abandoned executor may still add spans; snapshots won't see them
+		job.mu.Lock()
+		job.runNS = run.WallNS()
+		job.mu.Unlock()
+		job.rootSpan.SetStr("error", msg).End()
 	}
+	e.retire(job)
+}
+
+// retire flushes a finished job's observability: job and stage
+// durations into the telemetry histograms, the span tree into the
+// /debug/traces ring, and one structured lifecycle record into the log.
+// Jobs that never started (queue rejection, upload failure) keep their
+// trace and log record but do not pollute the latency histograms.
+func (e *Engine) retire(job *Job) {
+	v := job.View()
+	nodes := job.tracer.Nodes()
+	var root *obs.SpanNode
+	if len(nodes) > 0 {
+		root = nodes[0]
+	}
+	if v.Started != nil {
+		e.tel.ObserveJob(string(v.Kind), v.RunNS)
+		obs.Walk(nodes, func(n *obs.SpanNode) { e.tel.ObserveStage(n.Name, n.WallNS()) })
+	}
+	e.traces.push(&TraceRecord{
+		TraceID:     v.TraceID,
+		JobID:       v.ID,
+		Kind:        v.Kind,
+		Tenant:      v.Tenant,
+		State:       v.State,
+		QueueWaitNS: v.QueueWaitNS,
+		RunNS:       v.RunNS,
+		Spans:       root,
+	})
+	if !e.log.Enabled(obs.LevelInfo) {
+		return
+	}
+	event := "job_done"
+	exit := int64(0)
+	if v.Result != nil {
+		exit = int64(v.Result.ExitCode)
+	}
+	fields := []obs.Field{
+		obs.Str("trace_id", v.TraceID),
+		obs.Str("job", v.ID),
+		obs.Str("kind", string(v.Kind)),
+		obs.Str("tenant", v.Tenant),
+		obs.Str("state", string(v.State)),
+		obs.Int("exit_code", exit),
+		obs.Int("queue_wait_ns", v.QueueWaitNS),
+		obs.Int("run_ns", v.RunNS),
+		obs.RawJSON("stages", stageDurationsJSON(root)),
+	}
+	if v.State == StateFailed {
+		event = "job_failed"
+		fields = append(fields, obs.Str("error", v.Error))
+	}
+	e.log.Info(event, fields...)
+}
+
+// stageDurationsJSON renders the request's top two span levels — the
+// request phases and the pipeline stages under "run" — as one compact
+// JSON object of nanosecond durations, in span start order.
+func stageDurationsJSON(root *obs.SpanNode) []byte {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	first := true
+	emit := func(path string, ns int64) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%q:%d", path, ns)
+	}
+	if root != nil {
+		for _, c := range root.Children {
+			emit(c.Name, c.WallNS())
+			if c.Name == "run" {
+				for _, s := range c.Children {
+					emit("run/"+s.Name, s.WallNS())
+				}
+			}
+		}
+	}
+	b.WriteByte('}')
+	return b.Bytes()
 }
 
 // execute dispatches on the job kind.
@@ -345,13 +551,13 @@ func (e *Engine) execute(job *Job) *JobResult {
 	spec := job.spec
 	switch spec.Kind {
 	case JobAnalyze:
-		return e.execAnalyze(spec)
+		return e.execAnalyze(job, spec)
 	case JobRecord:
 		return e.execRecord(job, spec)
 	case JobReplayVerify:
 		return e.execReplayVerify(job, spec)
 	case JobGenPipeline:
-		return execGen(spec)
+		return execGen(job.tracer, spec)
 	}
 	return &JobResult{ExitCode: ExitUsage, Stderr: fmt.Sprintf("unknown job kind %q\n", spec.Kind)}
 }
@@ -360,10 +566,14 @@ func (e *Engine) execute(job *Job) *JobResult {
 // environment. The captured stdout/stderr are byte-identical to the
 // offline CLI on the same request: RunRequest is the single verdict
 // path, and the tenant caches are proven pure accelerators.
-func (e *Engine) execAnalyze(spec *JobSpec) *JobResult {
+func (e *Engine) execAnalyze(job *Job, spec *JobSpec) *JobResult {
 	env := e.envFor(spec.Tenant)
+	// Shallow copy: the spec (and its request) may be shared across
+	// re-submissions, but the tracer is strictly per-job.
+	req := *spec.Request
+	req.Tracer = job.tracer
 	var out, errOut bytes.Buffer
-	code := RunRequest(spec.Request, env, &out, &errOut)
+	code := RunRequest(&req, env, &out, &errOut)
 	return &JobResult{ExitCode: code, Stdout: out.String(), Stderr: errOut.String()}
 }
 
@@ -393,10 +603,17 @@ func (e *Engine) instrumentFor(tenant, name, source, config string, useMHP bool)
 // execRecord instruments the program and records one execution, with the
 // CHIMLOG2 log streamed to the job's disk spool as records commit.
 func (e *Engine) execRecord(job *Job, spec *JobSpec) *JobResult {
+	sp := job.tracer.Start("instrument")
 	ip, err := e.instrumentFor(spec.Tenant, spec.Name, spec.Source, spec.config(), spec.MHP)
+	sp.End()
 	if err != nil {
 		return &JobResult{ExitCode: ExitFailure, Stderr: fmt.Sprintf("record: %v\n", err)}
 	}
+	// The record span covers the recorded execution including its
+	// streaming spool writes (RecordTo commits records straight to
+	// disk), plus the spool open/close/stat around it.
+	rec := job.tracer.Start("record")
+	defer rec.End()
 	f, err := os.Create(job.spool)
 	if err != nil {
 		return &JobResult{ExitCode: ExitArtifact, Stderr: fmt.Sprintf("record: spool: %v\n", err)}
@@ -416,7 +633,9 @@ func (e *Engine) execRecord(job *Job, spec *JobSpec) *JobResult {
 	if err != nil {
 		return &JobResult{ExitCode: ExitArtifact, Stderr: fmt.Sprintf("record: spool: %v\n", err)}
 	}
+	e.tel.AddSpoolBytes(fi.Size(), 0)
 	hash := fmt.Sprintf("%016x", res.Hash64())
+	rec.SetAttr("spool_bytes", fi.Size()).SetStr("output_hash", hash)
 	return &JobResult{
 		ExitCode:   ExitOK,
 		Stdout:     fmt.Sprintf("%s: recorded %d bytes (seed=%d, output hash %s)\n", spec.Name, fi.Size(), seed, hash),
@@ -449,18 +668,28 @@ func (e *Engine) execReplayVerify(job *Job, spec *JobSpec) *JobResult {
 			name, source, config, useMHP = src.spec.Name, src.spec.Source, src.spec.config(), src.spec.MHP
 		}
 	}
+	sp := job.tracer.Start("instrument")
 	ip, err := e.instrumentFor(spec.Tenant, name, source, config, useMHP)
+	sp.End()
 	if err != nil {
 		return &JobResult{ExitCode: ExitFailure, Stderr: fmt.Sprintf("replay-verify: %v\n", err)}
 	}
+	// The replay span covers the replayed execution including its
+	// streaming spool reads; the counting reader feeds the actual
+	// bytes pulled from disk into the span and the spool counter.
+	rp := job.tracer.Start("replay")
+	defer rp.End()
 	f, err := os.Open(logPath)
 	if err != nil {
 		return &JobResult{ExitCode: ExitFailure, Stderr: fmt.Sprintf("replay-verify: %v\n", err)}
 	}
 	defer f.Close()
+	cr := &countReader{r: f}
 	// The replay seed deliberately differs from any recording seed:
 	// determinism must come from the log alone.
-	res, rerr := core.ReplayProgramStream(ip.Prog, ip.Table, f, core.RunConfig{World: oskit.NewWorld(977), Seed: 977})
+	res, rerr := core.ReplayProgramStream(ip.Prog, ip.Table, cr, core.RunConfig{World: oskit.NewWorld(977), Seed: 977})
+	rp.SetAttr("spool_bytes", cr.n)
+	e.tel.AddSpoolBytes(0, cr.n)
 
 	matches := rerr == nil
 	hash := ""
@@ -486,14 +715,16 @@ func (e *Engine) execReplayVerify(job *Job, spec *JobSpec) *JobResult {
 // pipeline. Stdout/stderr are byte-identical to `racecheck -gen` on the
 // same spec (reportGen is the shared printer); the structured verdict
 // fields come from the same pipeline Result.
-func execGen(jobSpec *JobSpec) *JobResult {
+func execGen(tr *obs.Tracer, jobSpec *JobSpec) *JobResult {
 	var out, errOut bytes.Buffer
 	spec, err := scenario.Parse(jobSpec.Spec)
 	if err != nil {
 		fmt.Fprintln(&errOut, "racecheck:", err)
 		return &JobResult{ExitCode: ExitUsage, Stderr: errOut.String()}
 	}
+	sp := tr.Start("gen-pipeline").SetStr("spec", spec.String())
 	r := scenario.RunPipeline(spec)
+	sp.End()
 	code := reportGen(r, spec, jobSpec.Verbose, &out, &errOut)
 
 	certified := r.StagePassed("certify")

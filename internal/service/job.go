@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // JobKind names the four kinds of work the engine schedules.
@@ -49,6 +51,17 @@ const (
 type JobSpec struct {
 	Kind   JobKind `json:"kind"`
 	Tenant string  `json:"tenant,omitempty"`
+
+	// TraceID names this submission in spans, logs, and /debug/traces;
+	// the engine mints one when both this and the embedded request's
+	// trace ID are empty. WantTrace asks the engine to attach the
+	// job's span tree to the result (JobResult.Trace) so the client
+	// can render it (racecheck -server -trace). Neither participates
+	// in Hash: trace identity is per-request, work identity per-spec,
+	// and hashing them would break shard affinity and cache-warm dedup
+	// for identical work.
+	TraceID   string `json:"trace_id,omitempty"`
+	WantTrace bool   `json:"want_trace,omitempty"`
 
 	// Request drives analyze jobs: the full racecheck flag vocabulary.
 	Request *Request `json:"request,omitempty"`
@@ -175,6 +188,11 @@ type JobResult struct {
 	CheckersAgree *bool    `json:"checkers_agree,omitempty"`
 	CheckerRaces  *int     `json:"checker_races,omitempty"`
 	Stages        []string `json:"stages,omitempty"`
+
+	// Trace is the job's span tree, attached when the spec set
+	// WantTrace: the root "request" span with queue wait, spool I/O,
+	// pipeline stages, and verdict encode as descendants.
+	Trace *obs.SpanNode `json:"trace,omitempty"`
 }
 
 // Job is one scheduled unit of work. All fields are guarded by mu;
@@ -194,6 +212,17 @@ type Job struct {
 
 	done  chan struct{}
 	spool string // CHIMLOG2 spool path (record output / replay input)
+
+	// Per-request observability, owned by the engine. tracer records
+	// the job's span tree; rootSpan is the open "request" span and
+	// waitSpan the currently open wait-phase span ("awaiting-log" or
+	// "queue-wait"). queueWaitNS/runNS are filled as the spans close.
+	traceID     string
+	tracer      *obs.Tracer
+	rootSpan    *obs.Span
+	waitSpan    *obs.Span
+	queueWaitNS int64
+	runNS       int64
 }
 
 // ID returns the job's engine-assigned identifier.
@@ -234,17 +263,22 @@ func (j *Job) complete(res *JobResult, errMsg string) bool {
 }
 
 // JobView is the wire representation of a job's current state.
+// QueueWaitNS and RunNS come from the job's span tree (queue-wait and
+// run spans), so they are populated once the corresponding phase ends.
 type JobView struct {
-	ID       string     `json:"id"`
-	Kind     JobKind    `json:"kind"`
-	Tenant   string     `json:"tenant,omitempty"`
-	SpecHash string     `json:"spec_hash"`
-	State    JobState   `json:"state"`
-	Error    string     `json:"error,omitempty"`
-	Result   *JobResult `json:"result,omitempty"`
-	Created  time.Time  `json:"created"`
-	Started  *time.Time `json:"started,omitempty"`
-	Finished *time.Time `json:"finished,omitempty"`
+	ID          string     `json:"id"`
+	Kind        JobKind    `json:"kind"`
+	Tenant      string     `json:"tenant,omitempty"`
+	SpecHash    string     `json:"spec_hash"`
+	TraceID     string     `json:"trace_id,omitempty"`
+	State       JobState   `json:"state"`
+	Error       string     `json:"error,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+	Created     time.Time  `json:"created"`
+	Started     *time.Time `json:"started,omitempty"`
+	Finished    *time.Time `json:"finished,omitempty"`
+	QueueWaitNS int64      `json:"queue_wait_ns,omitempty"`
+	RunNS       int64      `json:"run_ns,omitempty"`
 }
 
 // Terminal reports whether the job has finished (done or failed).
@@ -257,14 +291,17 @@ func (j *Job) View() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID:       j.id,
-		Kind:     j.spec.Kind,
-		Tenant:   j.spec.Tenant,
-		SpecHash: j.hash,
-		State:    j.state,
-		Error:    j.errMsg,
-		Result:   j.result,
-		Created:  j.created,
+		ID:          j.id,
+		Kind:        j.spec.Kind,
+		Tenant:      j.spec.Tenant,
+		SpecHash:    j.hash,
+		TraceID:     j.traceID,
+		State:       j.state,
+		Error:       j.errMsg,
+		Result:      j.result,
+		Created:     j.created,
+		QueueWaitNS: j.queueWaitNS,
+		RunNS:       j.runNS,
 	}
 	if !j.started.IsZero() {
 		t := j.started

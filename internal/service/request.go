@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/obs"
 )
 
 // Request is racecheck's flag vocabulary as a value: everything one
@@ -39,6 +41,15 @@ type Request struct {
 	SummaryStats bool   `json:"summary_stats,omitempty"`
 	Gen          string `json:"gen,omitempty"`
 
+	// TraceID is the request's trace identity (racecheck -trace-id, or
+	// any client-chosen string). It names this submission in the
+	// server's span tree, structured logs, and /debug/traces ring; the
+	// server mints one when it is empty. It is deliberately EXCLUDED
+	// from SpecHash: trace identity is per-request, work identity is
+	// per-spec, and folding it in would break hash-routed shard
+	// affinity and warm-cache dedup for identical work.
+	TraceID string `json:"trace_id,omitempty"`
+
 	// Args are the positional arguments (at most one: the source path).
 	Args []string `json:"args,omitempty"`
 
@@ -52,6 +63,13 @@ type Request struct {
 	// Usage, when non-nil, prints the CLI usage text on argument errors
 	// (the CLI wires its FlagSet's Usage here). Not serialized.
 	Usage func() `json:"-"`
+
+	// Tracer, when non-nil, records pipeline-stage spans (parse,
+	// typecheck, analyze, refinement, certify, …) for this run. The job
+	// engine wires the job's per-request tracer here; the offline CLI
+	// leaves it nil, which is the zero-cost disabled tracer. Not
+	// serialized and not part of SpecHash.
+	Tracer *obs.Tracer `json:"-"`
 }
 
 // NewRequest returns a Request with racecheck's flag defaults.
@@ -88,8 +106,12 @@ func (req *Request) ValidateRemote() error {
 		return fmt.Errorf("-certout writes local certificate files")
 	case req.Instrumented != "":
 		return fmt.Errorf("-instrumented reads a local pre-instrumented file")
-	case req.TracePath != "" || req.MetricsPath != "":
-		return fmt.Errorf("-trace/-metrics write local artifact files")
+	case req.TracePath != "":
+		// The -server client never ships this: it strips -trace and
+		// renders the job's returned span tree locally (see RemoteRun).
+		return fmt.Errorf("-trace writes a local artifact file")
+	case req.MetricsPath != "":
+		return fmt.Errorf("-metrics writes a local artifact file")
 	case req.ShowCFG:
 		return fmt.Errorf("-cfg is a local debugging dump")
 	}

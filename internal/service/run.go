@@ -124,11 +124,15 @@ func RunRequest(req *Request, env *Env, out, errOut io.Writer) int {
 			return ExitFailure
 		}
 		name := strings.TrimSuffix(filepath.Base(req.Args[0]), filepath.Ext(req.Args[0]))
+		sp := req.Tracer.Start("analyze")
 		prog, err := env.loadProgram(name, string(src), 1)
+		sp.End()
 		if err != nil {
 			fmt.Fprintln(errOut, "racecheck:", err)
 			return ExitFailure
 		}
+		sp = req.Tracer.Start("dynamic-check")
+		defer sp.End()
 		return runDynamic(name, prog, oskit.NewWorld(req.Seed), req.Seed, req.Checker, out, errOut)
 	}
 
@@ -162,12 +166,16 @@ func RunRequest(req *Request, env *Env, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, "racecheck:", err)
 		return ExitFailure
 	}
+	sp := req.Tracer.Start("parse")
 	file, err := parser.Parse(req.Args[0], string(src))
+	sp.End()
 	if err != nil {
 		fmt.Fprintln(errOut, "racecheck:", err)
 		return ExitFailure
 	}
+	sp = req.Tracer.Start("typecheck")
 	info, err := types.Check(file)
+	sp.End()
 	if err != nil {
 		fmt.Fprintln(errOut, "racecheck:", err)
 		return ExitFailure
@@ -179,6 +187,7 @@ func RunRequest(req *Request, env *Env, out, errOut io.Writer) int {
 	// on any cache-path failure, falling through to the offline walk —
 	// the cache can accelerate a verdict but never alter it.
 	var prog *core.Program
+	sp = req.Tracer.Start("analyze")
 	if env != nil && env.Cache != nil {
 		if p, cerr := env.Cache.Load(req.Args[0], string(src), req.Parallel); cerr == nil {
 			prog = p
@@ -202,17 +211,22 @@ func RunRequest(req *Request, env *Env, out, errOut io.Writer) int {
 	default:
 		rep = relay.AnalyzeProgramParallel(info, req.Parallel)
 	}
+	sp.SetAttr("pairs", int64(len(rep.Pairs))).End()
 	if req.Pairs {
+		sp = req.Tracer.Start("report")
 		printPairProvenance(req.Args[0], rep, out)
+		sp.End()
 		return ExitOK
 	}
 	if req.MHP {
+		sp = req.Tracer.Start("mhp-refine")
 		var refined *relay.Report
 		if prog != nil {
 			refined = prog.RefinedRaces()
 		} else {
 			refined = mhp.Refine(rep)
 		}
+		sp.SetAttr("kept", int64(len(refined.Pairs))).End()
 		fmt.Fprintf(out, "%s: %d potential race pairs, MHP kept %d, pruned %d\n",
 			req.Args[0], len(rep.Pairs), len(refined.Pairs), len(refined.Pruned))
 		pruned := append([]relay.PrunedPair(nil), refined.Pruned...)
@@ -225,6 +239,7 @@ func RunRequest(req *Request, env *Env, out, errOut io.Writer) int {
 		rep = refined
 	}
 	if req.Precision {
+		sp = req.Tracer.Start("precision-refine")
 		prior := len(rep.Pruned)
 		var refined *relay.Report
 		switch {
@@ -235,6 +250,7 @@ func RunRequest(req *Request, env *Env, out, errOut io.Writer) int {
 		default:
 			refined = escape.Refine(rep)
 		}
+		sp.SetAttr("kept", int64(len(refined.Pairs))).End()
 		fmt.Fprintf(out, "%s: precision kept %d, discharged %d\n",
 			req.Args[0], len(refined.Pairs), len(refined.Pruned)-prior)
 		// RefinePrecision carries prior prunes first, so the tail is ours.
@@ -248,6 +264,7 @@ func RunRequest(req *Request, env *Env, out, errOut io.Writer) int {
 		rep = refined
 	}
 
+	sp = req.Tracer.Start("report")
 	fmt.Fprintf(out, "%s: %d potential race pairs, %d racy nodes, %d racy functions\n",
 		req.Args[0], len(rep.Pairs), len(rep.RacyNodes), len(rep.RacyFuncs))
 
@@ -296,6 +313,7 @@ func RunRequest(req *Request, env *Env, out, errOut io.Writer) int {
 			incStats.DirtySCCs, len(incStats.Unkeyable))
 		printSummaryStats(nil, store, out)
 	}
+	sp.End() // report
 
 	if !req.Certify {
 		return ExitOK
@@ -314,14 +332,18 @@ func RunRequest(req *Request, env *Env, out, errOut io.Writer) int {
 		}
 		instSrc = string(b)
 	} else {
+		sp = req.Tracer.Start("instrument")
 		res, err := instrument.Instrument(rep, nil, opts)
+		sp.End()
 		if err != nil {
 			fmt.Fprintln(errOut, "racecheck: instrument:", err)
 			return ExitFailure
 		}
 		instSrc = res.Source
 	}
+	sp = req.Tracer.Start("certify")
 	cert, err := certify.Certify(rep, instSrc, name, label)
+	sp.End()
 	if err != nil {
 		fmt.Fprintln(errOut, "racecheck: certify:", err)
 		return ExitFailure

@@ -21,7 +21,10 @@ import (
 //	PUT  /v1/jobs/{id}/log   stream a CHIMLOG2 upload into an
 //	                         awaiting-log replay-verify job
 //	GET  /v1/jobs/{id}/log   stream a job's CHIMLOG2 spool out
-//	GET  /metrics            engine metrics (internal/obs ServiceMetrics)
+//	GET  /metrics            Prometheus text exposition
+//	GET  /metrics.json       engine metrics (internal/obs ServiceMetrics)
+//	GET  /debug/traces       recent job traces, newest first
+//	GET  /debug/traces/{id}  one retained trace by trace ID or job ID
 //	GET  /healthz            liveness + draining flag
 //
 // Logs stream through io.Copy in both directions: the server never
@@ -40,7 +43,10 @@ func NewServer(eng *Engine) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/wait", s.wait)
 	s.mux.HandleFunc("PUT /v1/jobs/{id}/log", s.putLog)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/log", s.getLog)
-	s.mux.HandleFunc("GET /metrics", s.metrics)
+	s.mux.HandleFunc("GET /metrics", s.prometheus)
+	s.mux.HandleFunc("GET /metrics.json", s.metrics)
+	s.mux.HandleFunc("GET /debug/traces", s.traces)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.trace)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	return s
 }
@@ -157,7 +163,27 @@ func (s *Server) getLog(w http.ResponseWriter, r *http.Request) {
 	}
 	defer f.Close()
 	w.Header().Set("Content-Type", "application/octet-stream")
-	io.Copy(w, f)
+	n, _ := io.Copy(w, f)
+	s.eng.tel.AddSpoolBytes(0, n)
+}
+
+func (s *Server) prometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(s.eng.Metrics().Prometheus())
+}
+
+func (s *Server) traces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"traces": s.eng.Traces()})
+}
+
+func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.eng.Trace(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no retained trace %s", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {

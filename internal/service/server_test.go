@@ -317,10 +317,42 @@ func TestRemoteRunMatchesOffline(t *testing.T) {
 
 	// Local-filesystem modes are rejected client-side as usage errors.
 	badReq := build()
-	badReq.TracePath = "t.json"
+	badReq.MetricsPath = "m.json"
 	var bo, be bytes.Buffer
 	if code := RemoteRun(ts.URL, "cli", badReq, &bo, &be); code != ExitUsage {
-		t.Errorf("RemoteRun with -trace: exit %d, want %d", code, ExitUsage)
+		t.Errorf("RemoteRun with -metrics: exit %d, want %d", code, ExitUsage)
+	}
+
+	// -trace, by contrast, is handled client-side: the job returns its
+	// span tree and the client writes a Perfetto file naming queue-wait
+	// and every pipeline stage.
+	tracePath := filepath.Join(t.TempDir(), "req.trace.json")
+	traced := build()
+	traced.TracePath = tracePath
+	var to, te bytes.Buffer
+	if code := RemoteRun(ts.URL, "cli", traced, &to, &te); code != offCode {
+		t.Fatalf("RemoteRun with -trace: exit %d, want %d (stderr %q)", code, offCode, te.String())
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := make(map[string]bool, len(doc.TraceEvents))
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"request", "queue-wait", "run", "parse", "typecheck", "analyze", "mhp-refine", "report", "verdict-encode"} {
+		if !names[want] {
+			t.Errorf("trace lacks span %q (have %v)", want, names)
+		}
 	}
 	// A missing source file fails exactly like the offline CLI.
 	missing := build()

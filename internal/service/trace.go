@@ -1,0 +1,70 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// TraceRecord is one finished job's trace as retained by the engine's
+// bounded ring and served at /debug/traces: identity, outcome, the
+// headline latencies, and the full span tree.
+type TraceRecord struct {
+	TraceID     string        `json:"trace_id"`
+	JobID       string        `json:"job_id"`
+	Kind        JobKind       `json:"kind"`
+	Tenant      string        `json:"tenant,omitempty"`
+	State       JobState      `json:"state"`
+	QueueWaitNS int64         `json:"queue_wait_ns"`
+	RunNS       int64         `json:"run_ns"`
+	Spans       *obs.SpanNode `json:"spans"`
+}
+
+// traceRing keeps the most recent cap trace records, newest last in
+// recs; once full, each push evicts the oldest.
+type traceRing struct {
+	mu   sync.Mutex
+	cap  int
+	recs []*TraceRecord
+}
+
+func newTraceRing(cap int) *traceRing {
+	if cap < 1 {
+		cap = 1
+	}
+	return &traceRing{cap: cap}
+}
+
+func (r *traceRing) push(rec *TraceRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.recs) == r.cap {
+		copy(r.recs, r.recs[1:])
+		r.recs[len(r.recs)-1] = rec
+		return
+	}
+	r.recs = append(r.recs, rec)
+}
+
+// list returns the retained records newest first.
+func (r *traceRing) list() []*TraceRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*TraceRecord, len(r.recs))
+	for i, rec := range r.recs {
+		out[len(out)-1-i] = rec
+	}
+	return out
+}
+
+// find returns the newest record whose trace ID or job ID matches.
+func (r *traceRing) find(id string) (*TraceRecord, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.recs) - 1; i >= 0; i-- {
+		if r.recs[i].TraceID == id || r.recs[i].JobID == id {
+			return r.recs[i], true
+		}
+	}
+	return nil, false
+}
